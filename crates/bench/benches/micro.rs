@@ -1,0 +1,199 @@
+//! Criterion microbenchmarks over the core data structures and hot paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use uc_bench::{World, WorldConfig, ADMIN};
+use uc_catalog::authz::decision::{AuthzContext, AuthzNode, SecurableAuthz};
+use uc_catalog::authz::Privilege;
+use uc_catalog::ids::Uid;
+use uc_catalog::model::paths;
+use uc_catalog::service::crud::TableSpec;
+use uc_catalog::types::{FullName, SecurableKind};
+use uc_cloudstore::{AccessLevel, Credential, ObjectStore, StoragePath};
+use uc_delta::actions::{Action, AddFile, CommitInfo};
+use uc_delta::value::{DataType, Field, Schema, Value};
+use uc_delta::{DeltaTable, Snapshot};
+use uc_txdb::Db;
+
+fn bench_path_index(c: &mut Criterion) {
+    // overlap check + registration against a populated path index
+    let db = Db::in_memory();
+    let ms = Uid::from("ms");
+    for i in 0..10_000 {
+        let mut tx = db.begin_write();
+        let p = StoragePath::parse(&format!("s3://bkt/warehouse/t{i}")).unwrap();
+        paths::register_path(&mut tx, &ms, &p, &Uid::generate()).unwrap();
+        tx.commit().unwrap();
+    }
+    let mut n = 10_000u64;
+    c.bench_function("path_register_with_overlap_check_10k", |b| {
+        b.iter(|| {
+            n += 1;
+            let mut tx = db.begin_write();
+            let p = StoragePath::parse(&format!("s3://bkt/warehouse/t{n}")).unwrap();
+            paths::register_path(&mut tx, &ms, &p, &Uid::generate()).unwrap();
+            tx.commit().unwrap();
+        })
+    });
+    let rt = db.begin_read();
+    c.bench_function("path_resolve_nested_file_10k", |b| {
+        b.iter(|| {
+            let p = StoragePath::parse("s3://bkt/warehouse/t5000/part-0.json").unwrap();
+            paths::resolve_path(&rt, &ms, &p).unwrap()
+        })
+    });
+}
+
+fn bench_authz(c: &mut Criterion) {
+    let chain = SecurableAuthz::new(
+        (0..4)
+            .map(|i| AuthzNode {
+                id: Uid::generate(),
+                kind: match i {
+                    0 => SecurableKind::Table,
+                    1 => SecurableKind::Schema,
+                    2 => SecurableKind::Catalog,
+                    _ => SecurableKind::Metastore,
+                },
+                owner: "owner".into(),
+                grants: (0..8)
+                    .map(|g| (format!("group{g}"), Privilege::Select))
+                    .collect(),
+            })
+            .collect(),
+    );
+    let mut who = AuthzContext::new("alice");
+    who.groups.insert("group5".into());
+    c.bench_function("authz_full_read_decision", |b| {
+        b.iter(|| chain.can_read_data(&who, Privilege::Select))
+    });
+}
+
+fn bench_mvcc(c: &mut Criterion) {
+    let db = Db::in_memory();
+    let mut i = 0u64;
+    c.bench_function("mvcc_single_row_commit", |b| {
+        b.iter(|| {
+            i += 1;
+            let mut tx = db.begin_write();
+            tx.put("t", &format!("k{}", i % 1000), bytes::Bytes::from(i.to_string()));
+            tx.commit().unwrap()
+        })
+    });
+    c.bench_function("mvcc_snapshot_point_read", |b| {
+        b.iter(|| db.begin_read().get("t", "k1"))
+    });
+}
+
+fn bench_delta(c: &mut Criterion) {
+    // snapshot replay over a 200-commit log
+    let log: Vec<(i64, Vec<Action>)> = (0..200)
+        .map(|v| {
+            let mut actions = Vec::new();
+            if v == 0 {
+                actions.push(Action::Protocol(Default::default()));
+                actions.push(Action::MetaData(uc_delta::actions::MetaData {
+                    id: "t".into(),
+                    schema: Schema::new(vec![Field::new("x", DataType::Int)]),
+                    partition_columns: vec![],
+                    configuration: Default::default(),
+                }));
+            }
+            actions.push(Action::Add(AddFile {
+                path: format!("part-{v}.json"),
+                size_bytes: 100,
+                num_records: 10,
+                stats: Default::default(),
+                modification_time_ms: 0,
+            }));
+            actions.push(Action::CommitInfo(CommitInfo::default()));
+            (v, actions)
+        })
+        .collect();
+    c.bench_function("delta_snapshot_replay_200_commits", |b| {
+        b.iter(|| Snapshot::replay(&log).unwrap())
+    });
+
+    // stats-pruned scan
+    let store = ObjectStore::in_memory();
+    let root = store.create_bucket("b");
+    let cred = Credential::Root(root);
+    let path = StoragePath::parse("s3://b/t").unwrap();
+    let table = DeltaTable::create(
+        store,
+        path,
+        &cred,
+        "t",
+        Schema::new(vec![Field::new("x", DataType::Int)]),
+    )
+    .unwrap();
+    let rows: Vec<Vec<Value>> = (0..5_000).map(|i| vec![Value::Int(i)]).collect();
+    table.append_fragmented(&cred, &rows, 100).unwrap();
+    let snapshot = table.snapshot(&cred).unwrap();
+    let pred = uc_delta::expr::Expr::cmp("x", uc_delta::expr::CmpOp::Eq, 2_500i64);
+    c.bench_function("delta_pruned_scan_50_files", |b| {
+        b.iter(|| {
+            table
+                .scan_snapshot(&cred, &snapshot, Some(&pred), &uc_delta::expr::EvalContext::anonymous())
+                .unwrap()
+        })
+    });
+}
+
+fn bench_credentials(c: &mut Criterion) {
+    let store = ObjectStore::in_memory();
+    let root = store.create_bucket("b");
+    let scope = StoragePath::parse("s3://b/warehouse/t1").unwrap();
+    c.bench_function("sts_mint_and_verify", |b| {
+        b.iter(|| {
+            let tok = store.sts().mint(&root, &scope, AccessLevel::Read, 60_000).unwrap();
+            store.sts().verify(&tok).unwrap();
+        })
+    });
+}
+
+fn bench_sql_parse(c: &mut Criterion) {
+    let sql = "SELECT id, name, total FROM main.sales.orders \
+               WHERE total >= 100.0 AND region = 'emea' OR id IS NULL";
+    c.bench_function("sql_parse_select", |b| {
+        b.iter(|| uc_engine::parse_statement(sql).unwrap())
+    });
+}
+
+fn bench_catalog_hot_path(c: &mut Criterion) {
+    let world = World::build(&WorldConfig::default());
+    let ctx = world.admin();
+    world.uc.create_catalog(&ctx, &world.ms, "main").unwrap();
+    world.uc.create_schema(&ctx, &world.ms, "main", "s").unwrap();
+    let schema = Schema::new(vec![Field::new("x", DataType::Int)]);
+    world
+        .uc
+        .create_table(&ctx, &world.ms, TableSpec::managed("main.s.t", schema).unwrap())
+        .unwrap();
+    let trusted = uc_catalog::service::Context::trusted(ADMIN, "dbr");
+    let name = [FullName::parse("main.s.t").unwrap()];
+    // warm
+    world.uc.resolve_for_query(&trusted, &world.ms, &name, true).unwrap();
+    c.bench_function("catalog_get_table_cached", |b| {
+        b.iter(|| world.uc.get_table(&ctx, &world.ms, "main.s.t").unwrap())
+    });
+    c.bench_function("catalog_resolve_with_credentials_cached", |b| {
+        b.iter(|| world.uc.resolve_for_query(&trusted, &world.ms, &name, true).unwrap())
+    });
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_path_index, bench_authz, bench_mvcc, bench_delta,
+              bench_credentials, bench_sql_parse, bench_catalog_hot_path
+}
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Ablation: batched metadata resolution vs per-securable calls (§4.5).
+//!
+//! The paper's motivating case: nested views depending on hundreds of
+//! base tables. One `resolve_for_query` call returns the whole closure —
+//! metadata, authorization, FGAC, credentials — versus paying the
+//! network hop per securable.
+
+use std::time::{Duration, Instant};
+
+use uc_bench::{fmt_dur, print_table, World, WorldConfig, ADMIN};
+use uc_catalog::service::crud::TableSpec;
+use uc_catalog::types::FullName;
+use uc_cloudstore::AccessLevel;
+use uc_delta::value::{DataType, Field, Schema};
+
+fn main() {
+    let world = World::build(&WorldConfig {
+        api_latency: Duration::from_micros(500), // the hop batching amortizes
+        ..Default::default()
+    });
+    let ctx = world.admin();
+    world.uc.create_catalog(&ctx, &world.ms, "main").unwrap();
+    world.uc.create_schema(&ctx, &world.ms, "main", "s").unwrap();
+    let schema = Schema::new(vec![Field::new("x", DataType::Int)]);
+
+    let mut rows = Vec::new();
+    for &fanout in &[10usize, 50, 100, 200] {
+        // a view over `fanout` base tables
+        let mut deps = Vec::new();
+        for i in 0..fanout {
+            let name = format!("main.s.base_{fanout}_{i}");
+            world
+                .uc
+                .create_table(&ctx, &world.ms, TableSpec::managed(&name, schema.clone()).unwrap())
+                .unwrap();
+            deps.push(FullName::parse(&name).unwrap());
+        }
+        let view = format!("main.s.wide_view_{fanout}");
+        world
+            .uc
+            .create_view(&ctx, &world.ms, &FullName::parse(&view).unwrap(), "SELECT …", schema.clone(), &deps)
+            .unwrap();
+
+        // batched: one call resolves view + all bases + credentials
+        let trusted = uc_catalog::service::Context::trusted(ADMIN, "dbr");
+        let t0 = Instant::now();
+        let resolved = world
+            .uc
+            .resolve_for_query(&trusted, &world.ms, &[FullName::parse(&view).unwrap()], true)
+            .unwrap();
+        let batched = t0.elapsed();
+        assert_eq!(resolved[0].dependencies.len(), fanout);
+        let batched_calls = 1;
+
+        // unbatched: one metadata call + one credential call per securable
+        let t0 = Instant::now();
+        for dep in &deps {
+            world.uc.get_securable(&trusted, &world.ms, dep, "relation").unwrap();
+            world
+                .uc
+                .temp_credentials(&trusted, &world.ms, dep, "relation", AccessLevel::Read)
+                .unwrap();
+        }
+        world.uc.get_securable(&trusted, &world.ms, &FullName::parse(&view).unwrap(), "relation").unwrap();
+        let unbatched = t0.elapsed();
+        let unbatched_calls = 2 * fanout + 1;
+
+        rows.push(vec![
+            fanout.to_string(),
+            format!("{batched_calls}"),
+            fmt_dur(batched),
+            format!("{unbatched_calls}"),
+            fmt_dur(unbatched),
+            format!("{:.1}×", unbatched.as_secs_f64() / batched.as_secs_f64()),
+        ]);
+    }
+    print_table(
+        "Ablation — batched vs per-securable resolution (0.5 ms network hop)",
+        &["base tables", "batched calls", "batched", "unbatched calls", "unbatched", "speedup"],
+        &rows,
+    );
+    println!("\nconclusion: batching turns O(dependencies) network hops into one —\nessential for nested views over 100s of base tables (§4.5)");
+}

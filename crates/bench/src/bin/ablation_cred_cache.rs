@@ -1,0 +1,78 @@
+//! Ablation: temporary-credential caching (§4.5 "caller-based
+//! optimizations").
+//!
+//! Vending a token costs a cloud STS round trip. The paper caches
+//! unexpired tokens (server-side, and lets engines reuse them for their
+//! validity window). This bench measures the vending path with and
+//! without the token cache under a realistic STS cost.
+
+use std::time::Duration;
+
+use uc_bench::{closed_loop, fmt_dur, print_table, World, WorldConfig};
+use uc_catalog::service::crud::TableSpec;
+use uc_catalog::types::FullName;
+use uc_cloudstore::AccessLevel;
+use uc_delta::value::{DataType, Field, Schema};
+
+const TABLES: usize = 20;
+
+fn build(cred_cache: bool) -> World {
+    let world = World::build(&WorldConfig {
+        cred_cache,
+        sts_mint_cost: Duration::from_millis(5), // cloud STS round trip
+        ..Default::default()
+    });
+    let ctx = world.admin();
+    world.uc.create_catalog(&ctx, &world.ms, "main").unwrap();
+    world.uc.create_schema(&ctx, &world.ms, "main", "s").unwrap();
+    let schema = Schema::new(vec![Field::new("x", DataType::Int)]);
+    for i in 0..TABLES {
+        world
+            .uc
+            .create_table(&ctx, &world.ms, TableSpec::managed(&format!("main.s.t{i}"), schema.clone()).unwrap())
+            .unwrap();
+    }
+    world
+}
+
+fn main() {
+    println!("vending load over {TABLES} tables, 5 ms simulated STS round trip…");
+    let mut rows = Vec::new();
+    let mut summaries = Vec::new();
+    for cached in [true, false] {
+        let world = build(cached);
+        let ctx = world.admin();
+        let names: Vec<FullName> = (0..TABLES)
+            .map(|i| FullName::parse(&format!("main.s.t{i}")).unwrap())
+            .collect();
+        let counter = std::sync::atomic::AtomicUsize::new(0);
+        let summary = closed_loop(4, Duration::from_millis(800), || {
+            let i = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed) % TABLES;
+            world
+                .uc
+                .temp_credentials(&ctx, &world.ms, &names[i], "relation", AccessLevel::Read)
+                .unwrap();
+        });
+        let (hits, misses) = world.uc.credential_cache_stats();
+        rows.push(vec![
+            if cached { "token cache on" } else { "token cache off" }.to_string(),
+            format!("{:.0}", summary.throughput_rps),
+            fmt_dur(summary.mean),
+            fmt_dur(summary.p99),
+            format!("{hits}/{}", hits + misses),
+        ]);
+        summaries.push(summary);
+    }
+    print_table(
+        "Ablation — credential vending throughput/latency",
+        &["config", "rps", "mean", "p99", "cache hits"],
+        &rows,
+    );
+    let speedup = summaries[1].mean.as_secs_f64() / summaries[0].mean.as_secs_f64();
+    assert!(speedup > 3.0, "token caching must amortize the STS cost");
+    println!(
+        "\nconclusion: caching unexpired tokens removes the STS round trip from the\n\
+         hot path ({speedup:.0}× lower vending latency); tokens stay valid for tens of\n\
+         minutes so reuse across queries/executors is safe (§4.5)"
+    );
+}

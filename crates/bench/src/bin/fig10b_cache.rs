@@ -1,0 +1,105 @@
+//! Figure 10(b): latency vs throughput for a query-path metadata API
+//! (getTable), with and without the server-side metadata cache.
+//!
+//! Paper: caching yields 3–40× lower latency and much higher throughput;
+//! without it the system is bottlenecked by database reads and hits its
+//! throughput wall below 10 K requests/second.
+//!
+//! Setup mirrors the paper's: both configurations share the same backing
+//! database model (bounded connection pool + per-read latency, standing
+//! in for the AWS MySQL instance); only the cache flag differs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use uc_bench::{closed_loop, fmt_dur, print_table, World, WorldConfig};
+use uc_catalog::service::crud::TableSpec;
+use uc_delta::value::{DataType, Field, Schema};
+
+const TABLES: usize = 100;
+
+fn build(cache: bool) -> World {
+    let world = World::build(&WorldConfig {
+        db_pool: 8,
+        db_latency: Duration::from_millis(1),
+        api_latency: Duration::from_micros(200),
+        cache,
+        ..Default::default()
+    });
+    let ctx = world.admin();
+    world.uc.create_catalog(&ctx, &world.ms, "main").unwrap();
+    world.uc.create_schema(&ctx, &world.ms, "main", "s").unwrap();
+    let schema = Schema::new(vec![Field::new("x", DataType::Int)]);
+    for i in 0..TABLES {
+        world
+            .uc
+            .create_table(&ctx, &world.ms, TableSpec::managed(&format!("main.s.t{i}"), schema.clone()).unwrap())
+            .unwrap();
+    }
+    world
+}
+
+fn main() {
+    println!("building cached and uncached worlds ({TABLES} tables each)…");
+    let cached = build(true);
+    let uncached = build(false);
+    let duration = Duration::from_millis(500);
+    let thread_counts = [1usize, 2, 4, 8, 16, 32, 64];
+
+    let run = |world: &World, threads: usize| {
+        let ctx = world.admin();
+        let counter = AtomicU64::new(0);
+        closed_loop(threads, duration, || {
+            let i = counter.fetch_add(1, Ordering::Relaxed) as usize % TABLES;
+            world.uc.get_table(&ctx, &world.ms, &format!("main.s.t{i}")).unwrap();
+        })
+    };
+
+    // Warm the cached node once so the sweep measures steady state.
+    run(&cached, 4);
+
+    let mut rows = Vec::new();
+    let mut max_uncached_rps: f64 = 0.0;
+    let mut ratios = Vec::new();
+    for &threads in &thread_counts {
+        let with = run(&cached, threads);
+        let without = run(&uncached, threads);
+        max_uncached_rps = max_uncached_rps.max(without.throughput_rps);
+        let ratio = without.mean.as_secs_f64() / with.mean.as_secs_f64();
+        ratios.push(ratio);
+        rows.push(vec![
+            threads.to_string(),
+            format!("{:.0}", with.throughput_rps),
+            fmt_dur(with.mean),
+            fmt_dur(with.p99),
+            format!("{:.0}", without.throughput_rps),
+            fmt_dur(without.mean),
+            fmt_dur(without.p99),
+            format!("{ratio:.1}×"),
+        ]);
+    }
+    print_table(
+        "Fig 10(b) — getTable latency vs throughput (DB: pool=8, 1 ms/read)",
+        &[
+            "clients",
+            "cached rps",
+            "cached mean",
+            "cached p99",
+            "uncached rps",
+            "uncached mean",
+            "uncached p99",
+            "lat. ratio",
+        ],
+        &rows,
+    );
+    let min_ratio = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max_ratio = ratios.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "\nlatency improvement from caching: {min_ratio:.1}×–{max_ratio:.1}× (paper: 3×–40×)\n\
+         uncached throughput wall: {max_uncached_rps:.0} rps (paper: < 10 000 rps)\n\
+         cache hit rate: {:.1} %",
+        cached.uc.cache_stats().hit_rate() * 100.0
+    );
+    assert!(max_uncached_rps < 10_000.0, "uncached must hit the DB wall");
+    assert!(max_ratio > 3.0, "caching must win by at least 3×");
+}

@@ -1,0 +1,83 @@
+//! Figure 11: how tables are addressed — by catalog name, by raw cloud
+//! storage path, or both.
+//!
+//! Paper: most tables are name-only, but ~7 % see path-based access —
+//! which is why access control must be uniform across both address
+//! forms. This binary reports the calibrated census and then *proves*
+//! the uniformity property live: the same asset reached by name and by
+//! path yields identically-scoped credentials and identical policy
+//! decisions.
+
+use uc_bench::{print_table, World, WorldConfig};
+use uc_catalog::types::FullName;
+use uc_cloudstore::AccessLevel;
+use uc_workload::trace::{access_mode_fractions, access_modes, AccessModeParams};
+
+fn main() {
+    let modes = access_modes(&AccessModeParams::default());
+    let [name_only, path_only, both] = access_mode_fractions(&modes);
+    print_table(
+        "Fig 11 — table access modes",
+        &["mode", "measured", "paper"],
+        &[
+            vec!["name only".into(), format!("{:.1} %", name_only * 100.0), "most".into()],
+            vec!["path only".into(), format!("{:.1} %", path_only * 100.0), "small".into()],
+            vec!["name + path".into(), format!("{:.1} %", both * 100.0), "—".into()],
+            vec![
+                "any path access".into(),
+                format!("{:.1} %", (path_only + both) * 100.0),
+                "~7 %".into(),
+            ],
+        ],
+    );
+    assert!(((path_only + both) - 0.07).abs() < 0.01);
+
+    // Live uniformity check.
+    let world = World::build(&WorldConfig::default());
+    let ctx = world.admin();
+    world.uc.create_catalog(&ctx, &world.ms, "main").unwrap();
+    world.uc.create_schema(&ctx, &world.ms, "main", "s").unwrap();
+    world
+        .uc
+        .create_table(
+            &ctx,
+            &world.ms,
+            uc_catalog::service::crud::TableSpec::managed(
+                "main.s.t",
+                uc_delta::value::Schema::new(vec![uc_delta::value::Field::new(
+                    "x",
+                    uc_delta::value::DataType::Int,
+                )]),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    world.uc.grant_read_path(&ctx, &world.ms, "main.s.t", "alice").unwrap();
+    let alice = uc_catalog::service::Context::trusted("alice", "dbr");
+    let by_name = world
+        .uc
+        .temp_credentials(&alice, &world.ms, &FullName::parse("main.s.t").unwrap(), "relation", AccessLevel::Read)
+        .unwrap();
+    let raw = format!("{}/part-0.json", by_name.scope);
+    let by_path = world
+        .uc
+        .temp_credentials_for_path(&alice, &world.ms, &raw, AccessLevel::Read)
+        .unwrap();
+    assert_eq!(by_name.scope, by_path.scope, "identical scoping via either address");
+    // and identical denials for a principal without grants
+    let mallory = uc_catalog::service::Context::user("mallory");
+    let denied_name = world
+        .uc
+        .temp_credentials(&mallory, &world.ms, &FullName::parse("main.s.t").unwrap(), "relation", AccessLevel::Read)
+        .is_err();
+    let denied_path = world
+        .uc
+        .temp_credentials_for_path(&mallory, &world.ms, &raw, AccessLevel::Read)
+        .is_err();
+    assert!(denied_name && denied_path);
+    println!(
+        "\nlive check: name-based and path-based access produced the same token\n\
+         scope and the same authorization decisions — uniform access control\n\
+         (the design requirement Fig 11 motivates)"
+    );
+}

@@ -1,0 +1,31 @@
+//! Figure 6(a): distribution of asset-type usage, measured as the
+//! fraction of schemas containing only tables, only volumes, both, or
+//! other asset types.
+//!
+//! Paper: ~89 % tables-only, ~3 % volumes-only, ~3 % both, ~5 % other.
+
+use uc_bench::print_table;
+use uc_workload::population::{Population, PopulationParams, SchemaClass};
+
+fn main() {
+    let population = Population::generate(&PopulationParams { num_metastores: 2_000, ..Default::default() });
+    let comp = population.schema_composition();
+    let paper = |c: &SchemaClass| match c {
+        SchemaClass::TablesOnly => "~89 %",
+        SchemaClass::VolumesOnly => "~3 %",
+        SchemaClass::TablesAndVolumes => "~3 %",
+        SchemaClass::Other => "~5 %",
+    };
+    let rows: Vec<Vec<String>> = comp
+        .iter()
+        .map(|(c, f)| vec![format!("{c:?}"), format!("{:.1} %", f * 100.0), paper(c).to_string()])
+        .collect();
+    print_table("Fig 6(a) — schema composition", &["class", "measured", "paper"], &rows);
+    let tables_only = comp.iter().find(|(c, _)| *c == SchemaClass::TablesOnly).unwrap().1;
+    assert!((tables_only - 0.89).abs() < 0.03);
+    println!(
+        "\nconclusion: most schemas are tables-only, but ~{:.0} % need asset types\n\
+         beyond tables — a tables-only catalog cannot govern them (matches paper)",
+        (1.0 - tables_only) * 100.0
+    );
+}

@@ -1,0 +1,35 @@
+//! Figure 7: cumulative volumes created over time — the creation rate
+//! itself accelerates as AI/ML workloads expand.
+
+use uc_bench::print_table;
+use uc_workload::timeline::generate_report;
+
+fn main() {
+    let report = generate_report(42, 24);
+    let v = &report.volumes;
+    let rows: Vec<Vec<String>> = v
+        .cumulative
+        .iter()
+        .enumerate()
+        .map(|(m, c)| {
+            vec![
+                format!("month {:>2}", m + 1),
+                format!("{:>10.0}", v.monthly[m]),
+                format!("{:>12.0}", c),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig 7 — volume creation over 24 months",
+        &["month", "created/month", "cumulative"],
+        &rows,
+    );
+    assert!(v.is_accelerating(), "the figure's key property");
+    let first_q: f64 = v.monthly[..6].iter().sum();
+    let last_q: f64 = v.monthly[18..].iter().sum();
+    println!(
+        "\nconclusion: monthly creation rate grew {:.1}× from the first to the last\n\
+         half-year — volume growth is accelerating (matches paper)",
+        last_q / first_q
+    );
+}

@@ -1,0 +1,263 @@
+//! Shared harness for the figure-regeneration binaries and benches.
+//!
+//! Every table and figure in the paper's evaluation (§6) has a binary in
+//! `src/bin/` that regenerates it; this library holds what they share —
+//! world bootstrapping with configurable latency models, a closed-loop
+//! load generator, latency summaries, and plain-text table output.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use uc_catalog::ids::Uid;
+use uc_catalog::service::{Context, UcConfig, UnityCatalog};
+use uc_cloudstore::{LatencyModel, ObjectStore, StsService, Clock};
+use uc_txdb::{Db, DbConfig};
+
+pub use uc_workload as workload;
+
+/// The administrator principal every harness world uses.
+pub const ADMIN: &str = "admin";
+
+/// A bootstrapped catalog world.
+pub struct World {
+    pub db: Db,
+    pub store: ObjectStore,
+    pub uc: Arc<UnityCatalog>,
+    pub ms: Uid,
+}
+
+/// Knobs for world construction.
+pub struct WorldConfig {
+    /// Database connection pool size.
+    pub db_pool: usize,
+    /// Per-operation database latency.
+    pub db_latency: Duration,
+    /// Engine→catalog network hop latency.
+    pub api_latency: Duration,
+    /// Object storage per-operation latency.
+    pub storage_latency: Duration,
+    /// Metadata cache enabled?
+    pub cache: bool,
+    /// Credential cache enabled?
+    pub cred_cache: bool,
+    /// STS mint round-trip cost.
+    pub sts_mint_cost: Duration,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            db_pool: 64,
+            db_latency: Duration::ZERO,
+            api_latency: Duration::ZERO,
+            storage_latency: Duration::ZERO,
+            cache: true,
+            cred_cache: true,
+            sts_mint_cost: Duration::ZERO,
+        }
+    }
+}
+
+impl World {
+    /// Build a world: database + storage + one catalog node + a metastore
+    /// with a storage credential and managed root configured.
+    pub fn build(cfg: &WorldConfig) -> World {
+        let db = Db::new(DbConfig {
+            pool_size: cfg.db_pool,
+            latency: LatencyModel::uniform(cfg.db_latency),
+        });
+        let store = ObjectStore::new(
+            StsService::new(Clock::system()),
+            LatencyModel::uniform(cfg.storage_latency),
+        );
+        let uc_config = UcConfig {
+            api_latency: LatencyModel::uniform(cfg.api_latency),
+            cache: if cfg.cache {
+                uc_catalog::cache::CacheConfig::default()
+            } else {
+                uc_catalog::cache::CacheConfig::disabled()
+            },
+            cred_cache_enabled: cfg.cred_cache,
+            sts_mint_cost: cfg.sts_mint_cost,
+            ..Default::default()
+        };
+        let uc = UnityCatalog::new(db.clone(), store.clone(), uc_config, "node-0");
+        let ms = uc.create_metastore(ADMIN, "bench", "us-west-2").unwrap();
+        let ctx = Context::user(ADMIN);
+        let root = store.create_bucket("lake");
+        uc.create_storage_credential(&ctx, &ms, "lake_cred", &root).unwrap();
+        uc.set_metastore_root(&ctx, &ms, "s3://lake/managed").unwrap();
+        World { db, store, uc, ms }
+    }
+
+    pub fn admin(&self) -> Context {
+        Context::user(ADMIN)
+    }
+}
+
+/// Latency summary of one load run.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadSummary {
+    pub requests: u64,
+    pub wall: Duration,
+    pub throughput_rps: f64,
+    pub mean: Duration,
+    pub p50: Duration,
+    pub p99: Duration,
+}
+
+/// Run a closed loop: `threads` workers issue `op` back-to-back for
+/// `duration`, collecting per-request latencies.
+pub fn closed_loop(
+    threads: usize,
+    duration: Duration,
+    op: impl Fn() + Send + Sync,
+) -> LoadSummary {
+    let op = &op;
+    let total = AtomicU64::new(0);
+    let latencies: parking_lot::Mutex<Vec<u64>> = parking_lot::Mutex::new(Vec::new());
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut local = Vec::with_capacity(4096);
+                while start.elapsed() < duration {
+                    let t0 = Instant::now();
+                    op();
+                    local.push(t0.elapsed().as_nanos() as u64);
+                }
+                total.fetch_add(local.len() as u64, Ordering::Relaxed);
+                latencies.lock().extend(local);
+            });
+        }
+    });
+    let wall = start.elapsed();
+    let mut lat = latencies.into_inner();
+    lat.sort_unstable();
+    let requests = total.load(Ordering::Relaxed);
+    let pct = |q: f64| -> Duration {
+        if lat.is_empty() {
+            return Duration::ZERO;
+        }
+        let idx = ((lat.len() as f64 - 1.0) * q) as usize;
+        Duration::from_nanos(lat[idx])
+    };
+    let mean = if lat.is_empty() {
+        Duration::ZERO
+    } else {
+        Duration::from_nanos(lat.iter().sum::<u64>() / lat.len() as u64)
+    };
+    LoadSummary {
+        requests,
+        wall,
+        throughput_rps: requests as f64 / wall.as_secs_f64(),
+        mean,
+        p50: pct(0.5),
+        p99: pct(0.99),
+    }
+}
+
+/// Time a single closure.
+pub fn time_it(f: impl FnOnce()) -> Duration {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed()
+}
+
+/// Mean and standard deviation of durations, in milliseconds.
+pub fn mean_std_ms(samples: &[Duration]) -> (f64, f64) {
+    if samples.is_empty() {
+        return (0.0, 0.0);
+    }
+    let ms: Vec<f64> = samples.iter().map(|d| d.as_secs_f64() * 1e3).collect();
+    let mean = ms.iter().sum::<f64>() / ms.len() as f64;
+    let var = ms.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / ms.len() as f64;
+    (mean, var.sqrt())
+}
+
+/// Render a plain-text table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let joined: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:<w$}", w = w))
+            .collect();
+        println!("  {}", joined.join("  "));
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Format bytes human-readably.
+pub fn fmt_bytes(b: f64) -> String {
+    if b >= 1e9 {
+        format!("{:.1} GB", b / 1e9)
+    } else if b >= 1e6 {
+        format!("{:.1} MB", b / 1e6)
+    } else if b >= 1e3 {
+        format!("{:.1} KB", b / 1e3)
+    } else {
+        format!("{b:.0} B")
+    }
+}
+
+/// Format a duration in adaptive units.
+pub fn fmt_dur(d: Duration) -> String {
+    let us = d.as_micros();
+    if us >= 1_000_000 {
+        format!("{:.2} s", d.as_secs_f64())
+    } else if us >= 1_000 {
+        format!("{:.2} ms", us as f64 / 1e3)
+    } else {
+        format!("{us} µs")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_builds_and_serves() {
+        let w = World::build(&WorldConfig::default());
+        let ctx = w.admin();
+        w.uc.create_catalog(&ctx, &w.ms, "main").unwrap();
+        assert_eq!(w.uc.list_catalogs(&ctx, &w.ms).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn closed_loop_measures_throughput() {
+        let counter = AtomicU64::new(0);
+        let summary = closed_loop(4, Duration::from_millis(100), || {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(summary.requests, counter.load(Ordering::Relaxed));
+        assert!(summary.throughput_rps > 1000.0);
+        assert!(summary.p99 >= summary.p50);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_bytes(512.0), "512 B");
+        assert_eq!(fmt_bytes(2_500_000.0), "2.5 MB");
+        assert!(fmt_dur(Duration::from_micros(250)).contains("µs"));
+        assert!(fmt_dur(Duration::from_millis(5)).contains("ms"));
+        let (m, s) = mean_std_ms(&[Duration::from_millis(10), Duration::from_millis(10)]);
+        assert!((m - 10.0).abs() < 1e-9);
+        assert!(s.abs() < 1e-9);
+    }
+}

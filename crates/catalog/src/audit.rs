@@ -1,0 +1,157 @@
+//! Audit logging (§4.2.1): an ordered trail of API requests, lifecycle
+//! changes, and access-control decisions, for every asset type.
+
+use std::collections::VecDeque;
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+use crate::ids::Uid;
+
+/// Outcome recorded for an audited action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AuditDecision {
+    Allow,
+    Deny,
+}
+
+/// One audited event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditRecord {
+    pub seq: u64,
+    pub timestamp_ms: u64,
+    pub principal: String,
+    /// API/action name, e.g. `getTable`, `grant`, `generateTemporaryCredentials`.
+    pub action: String,
+    pub securable: Option<Uid>,
+    pub decision: AuditDecision,
+    pub detail: String,
+}
+
+/// Bounded in-memory audit trail. Production systems ship these to a sink;
+/// the bound keeps long-running simulations from growing unboundedly while
+/// preserving recent history for inspection.
+pub struct AuditLog {
+    records: RwLock<VecDeque<AuditRecord>>,
+    capacity: usize,
+    next_seq: parking_lot::Mutex<u64>,
+}
+
+impl AuditLog {
+    pub fn new(capacity: usize) -> Self {
+        AuditLog {
+            records: RwLock::new(VecDeque::new()),
+            capacity: capacity.max(1),
+            next_seq: parking_lot::Mutex::new(0),
+        }
+    }
+
+    /// Append a record; evicts the oldest when at capacity.
+    pub fn record(
+        &self,
+        timestamp_ms: u64,
+        principal: &str,
+        action: &str,
+        securable: Option<&Uid>,
+        decision: AuditDecision,
+        detail: &str,
+    ) {
+        let seq = {
+            let mut guard = self.next_seq.lock();
+            let s = *guard;
+            *guard += 1;
+            s
+        };
+        let rec = AuditRecord {
+            seq,
+            timestamp_ms,
+            principal: principal.to_string(),
+            action: action.to_string(),
+            securable: securable.cloned(),
+            decision,
+            detail: detail.to_string(),
+        };
+        let mut records = self.records.write();
+        if records.len() == self.capacity {
+            records.pop_front();
+        }
+        records.push_back(rec);
+    }
+
+    /// Most recent `n` records, newest last.
+    pub fn recent(&self, n: usize) -> Vec<AuditRecord> {
+        let records = self.records.read();
+        records.iter().rev().take(n).rev().cloned().collect()
+    }
+
+    /// All retained records matching a predicate.
+    pub fn query(&self, pred: impl Fn(&AuditRecord) -> bool) -> Vec<AuditRecord> {
+        self.records.read().iter().filter(|r| pred(r)).cloned().collect()
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.read().is_empty()
+    }
+
+    /// Total records ever written (including evicted).
+    pub fn total_recorded(&self) -> u64 {
+        *self.next_seq.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log3(log: &AuditLog) {
+        log.record(1, "alice", "getTable", None, AuditDecision::Allow, "t1");
+        log.record(2, "bob", "getTable", None, AuditDecision::Deny, "t1");
+        log.record(3, "alice", "grant", Some(&Uid::from("x")), AuditDecision::Allow, "SELECT");
+    }
+
+    #[test]
+    fn records_are_ordered_with_sequence_numbers() {
+        let log = AuditLog::new(10);
+        log3(&log);
+        let recent = log.recent(10);
+        assert_eq!(recent.len(), 3);
+        assert_eq!(recent[0].seq, 0);
+        assert_eq!(recent[2].seq, 2);
+        assert_eq!(recent[2].action, "grant");
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let log = AuditLog::new(2);
+        log3(&log);
+        assert_eq!(log.len(), 2);
+        let recent = log.recent(10);
+        assert_eq!(recent[0].principal, "bob");
+        assert_eq!(log.total_recorded(), 3);
+    }
+
+    #[test]
+    fn query_filters() {
+        let log = AuditLog::new(10);
+        log3(&log);
+        let denies = log.query(|r| r.decision == AuditDecision::Deny);
+        assert_eq!(denies.len(), 1);
+        assert_eq!(denies[0].principal, "bob");
+        let alice = log.query(|r| r.principal == "alice");
+        assert_eq!(alice.len(), 2);
+    }
+
+    #[test]
+    fn recent_with_small_n_returns_newest() {
+        let log = AuditLog::new(10);
+        log3(&log);
+        let last = log.recent(1);
+        assert_eq!(last.len(), 1);
+        assert_eq!(last[0].action, "grant");
+    }
+}

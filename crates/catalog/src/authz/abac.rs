@@ -1,0 +1,181 @@
+//! Attribute-based access control (§3.3).
+//!
+//! An ABAC policy lives on a *container* (catalog or schema, or the
+//! metastore itself) and applies to every current and future securable in
+//! that scope whose tags match the policy's condition. Policies are
+//! evaluated dynamically at metadata-resolution time, so newly tagged or
+//! newly created assets are covered immediately without re-grants.
+//!
+//! Two effects are modelled, covering the paper's motivating examples:
+//!
+//! * [`AbacEffect::MaskColumns`] — apply a redacting column mask to every
+//!   column tagged with the policy's tag ("mask all 'PII' columns for
+//!   non-privileged users");
+//! * [`AbacEffect::RestrictAccess`] — deny data access to matching assets
+//!   unless the caller is in one of the exempt groups.
+
+use serde::{Deserialize, Serialize};
+
+use uc_delta::expr::Expr;
+
+use crate::authz::fgac::ColumnMaskPolicy;
+use crate::error::{UcError, UcResult};
+
+/// What a matched policy does.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AbacEffect {
+    /// Mask matching *columns* (tag match is evaluated per column).
+    MaskColumns {
+        /// Replacement expression.
+        mask: Expr,
+        /// Groups that see unmasked data.
+        exempt_groups: Vec<String>,
+    },
+    /// Deny data access to matching *securables* unless in a group.
+    RestrictAccess { allowed_groups: Vec<String> },
+}
+
+/// A tag-driven policy attached to a container scope.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AbacPolicy {
+    pub name: String,
+    /// Tag key the policy matches on (e.g. "pii").
+    pub tag_key: String,
+    /// Optional tag value constraint; `None` matches any value.
+    pub tag_value: Option<String>,
+    pub effect: AbacEffect,
+}
+
+impl AbacPolicy {
+    pub fn encode(&self) -> bytes::Bytes {
+        bytes::Bytes::from(serde_json::to_vec(self).expect("policy serializes"))
+    }
+
+    pub fn decode(data: &[u8]) -> UcResult<Self> {
+        serde_json::from_slice(data)
+            .map_err(|e| UcError::Database(format!("corrupt ABAC policy: {e}")))
+    }
+
+    /// Does this policy match a tag assignment?
+    pub fn matches_tag(&self, key: &str, value: &str) -> bool {
+        self.tag_key == key && self.tag_value.as_ref().is_none_or(|v| v == value)
+    }
+
+    /// Synthesize the column masks this policy induces, given a table's
+    /// column tags and the caller's groups.
+    pub fn derive_masks(
+        &self,
+        column_tags: &[(String, String, String)], // (column, key, value)
+        caller_groups: &std::collections::HashSet<String>,
+    ) -> Vec<ColumnMaskPolicy> {
+        let AbacEffect::MaskColumns { mask, exempt_groups } = &self.effect else {
+            return Vec::new();
+        };
+        if exempt_groups.iter().any(|g| caller_groups.contains(g)) {
+            return Vec::new();
+        }
+        column_tags
+            .iter()
+            .filter(|(_, k, v)| self.matches_tag(k, v))
+            .map(|(col, _, _)| ColumnMaskPolicy {
+                column: col.clone(),
+                mask: mask.clone(),
+                exempt_when: None,
+            })
+            .collect()
+    }
+
+    /// Evaluate an access restriction against the caller. `None` means the
+    /// policy is not a restriction or does not match; `Some(allowed)`
+    /// reports the decision.
+    pub fn evaluate_restriction(
+        &self,
+        entity_tags: &[(String, String)], // (key, value)
+        caller_groups: &std::collections::HashSet<String>,
+    ) -> Option<bool> {
+        let AbacEffect::RestrictAccess { allowed_groups } = &self.effect else {
+            return None;
+        };
+        let matches = entity_tags.iter().any(|(k, v)| self.matches_tag(k, v));
+        if !matches {
+            return None;
+        }
+        Some(allowed_groups.iter().any(|g| caller_groups.contains(g)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use uc_delta::value::Value;
+
+    fn pii_mask_policy() -> AbacPolicy {
+        AbacPolicy {
+            name: "mask-pii".into(),
+            tag_key: "pii".into(),
+            tag_value: None,
+            effect: AbacEffect::MaskColumns {
+                mask: Expr::Literal(Value::Str("REDACTED".into())),
+                exempt_groups: vec!["privacy-officers".into()],
+            },
+        }
+    }
+
+    #[test]
+    fn tag_matching_with_and_without_value() {
+        let any = pii_mask_policy();
+        assert!(any.matches_tag("pii", "email"));
+        assert!(any.matches_tag("pii", ""));
+        assert!(!any.matches_tag("owner", "x"));
+
+        let specific = AbacPolicy { tag_value: Some("high".into()), ..pii_mask_policy() };
+        assert!(specific.matches_tag("pii", "high"));
+        assert!(!specific.matches_tag("pii", "low"));
+    }
+
+    #[test]
+    fn derive_masks_for_tagged_columns() {
+        let p = pii_mask_policy();
+        let coltags = vec![
+            ("email".to_string(), "pii".to_string(), "email".to_string()),
+            ("ssn".to_string(), "pii".to_string(), "high".to_string()),
+            ("amount".to_string(), "finance".to_string(), "x".to_string()),
+        ];
+        let masks = p.derive_masks(&coltags, &HashSet::new());
+        let cols: Vec<_> = masks.iter().map(|m| m.column.as_str()).collect();
+        assert_eq!(cols, vec!["email", "ssn"]);
+    }
+
+    #[test]
+    fn exempt_groups_see_unmasked_data() {
+        let p = pii_mask_policy();
+        let coltags = vec![("ssn".to_string(), "pii".to_string(), "x".to_string())];
+        let groups: HashSet<String> = ["privacy-officers".to_string()].into();
+        assert!(p.derive_masks(&coltags, &groups).is_empty());
+    }
+
+    #[test]
+    fn restriction_evaluation() {
+        let p = AbacPolicy {
+            name: "restricted-data".into(),
+            tag_key: "classification".into(),
+            tag_value: Some("secret".into()),
+            effect: AbacEffect::RestrictAccess { allowed_groups: vec!["cleared".into()] },
+        };
+        let tags = vec![("classification".to_string(), "secret".to_string())];
+        assert_eq!(p.evaluate_restriction(&tags, &HashSet::new()), Some(false));
+        let cleared: HashSet<String> = ["cleared".to_string()].into();
+        assert_eq!(p.evaluate_restriction(&tags, &cleared), Some(true));
+        // untagged entity: policy silent
+        assert_eq!(p.evaluate_restriction(&[], &HashSet::new()), None);
+        // mask policies never answer restriction queries
+        assert_eq!(pii_mask_policy().evaluate_restriction(&tags, &HashSet::new()), None);
+    }
+
+    #[test]
+    fn policy_storage_roundtrip() {
+        let p = pii_mask_policy();
+        assert_eq!(AbacPolicy::decode(&p.encode()).unwrap(), p);
+    }
+}

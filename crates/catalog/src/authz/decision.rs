@@ -1,0 +1,315 @@
+//! The authorization decision engine.
+//!
+//! Decisions are computed over a *securable chain*: the object itself
+//! followed by its ancestors up to the metastore, each carrying its owner
+//! and the grants attached to it. The service assembles chains from its
+//! cache/database; this module is pure logic, which keeps the decision
+//! table unit-testable in isolation.
+
+use std::collections::HashSet;
+
+use crate::authz::privilege::Privilege;
+use crate::ids::Uid;
+use crate::types::SecurableKind;
+
+/// One securable in a chain, with its governance metadata.
+#[derive(Debug, Clone)]
+pub struct AuthzNode {
+    pub id: Uid,
+    pub kind: SecurableKind,
+    pub owner: String,
+    /// Grants directly on this securable: (principal-or-group, privilege).
+    pub grants: Vec<(String, Privilege)>,
+}
+
+/// The caller: resolved principal, expanded groups, and whether they are a
+/// metastore admin.
+#[derive(Debug, Clone)]
+pub struct AuthzContext {
+    pub principal: String,
+    pub groups: HashSet<String>,
+    pub is_metastore_admin: bool,
+}
+
+impl AuthzContext {
+    pub fn new(principal: &str) -> Self {
+        AuthzContext {
+            principal: principal.to_string(),
+            groups: HashSet::new(),
+            is_metastore_admin: false,
+        }
+    }
+
+    /// Does a grantee string refer to this caller (directly or via group)?
+    fn matches(&self, grantee: &str) -> bool {
+        grantee == self.principal || self.groups.contains(grantee)
+    }
+}
+
+/// A securable plus its ancestor chain: `chain[0]` is the object itself,
+/// the last element is the metastore.
+#[derive(Debug, Clone)]
+pub struct SecurableAuthz {
+    pub chain: Vec<AuthzNode>,
+}
+
+impl SecurableAuthz {
+    pub fn new(chain: Vec<AuthzNode>) -> Self {
+        SecurableAuthz { chain }
+    }
+
+    fn object(&self) -> &AuthzNode {
+        &self.chain[0]
+    }
+
+    /// Owner of the object itself.
+    pub fn is_owner(&self, who: &AuthzContext) -> bool {
+        who.matches(&self.object().owner)
+    }
+
+    /// Administrative authority: metastore admin, owner of the object or
+    /// any ancestor, or a MANAGE/ALL grant on the object or any ancestor.
+    /// Confers management rights (grant, transfer, drop, update) over the
+    /// object — but NOT data access (§3.3: a schema owner does not
+    /// automatically gain SELECT on its tables).
+    pub fn has_admin_authority(&self, who: &AuthzContext) -> bool {
+        if who.is_metastore_admin {
+            return true;
+        }
+        self.chain.iter().any(|node| {
+            who.matches(&node.owner)
+                || node.grants.iter().any(|(g, p)| {
+                    who.matches(g) && matches!(p, Privilege::Manage | Privilege::All)
+                })
+        })
+    }
+
+    /// Does the caller hold `privilege` on the object? True if they own
+    /// the object itself (owners hold all privileges on their object), or
+    /// a matching grant (the privilege itself or ALL) exists on the object
+    /// or any ancestor (privilege inheritance, §3.3).
+    pub fn has_privilege(&self, who: &AuthzContext, privilege: Privilege) -> bool {
+        if self.is_owner(who) {
+            return true;
+        }
+        self.chain.iter().any(|node| {
+            node.grants.iter().any(|(g, p)| {
+                who.matches(g) && (*p == privilege || *p == Privilege::All)
+            })
+        })
+    }
+
+    /// The USE chain requirement: USE CATALOG on the catalog ancestor and
+    /// USE SCHEMA on the schema ancestor (owners of those containers and
+    /// metastore admins pass implicitly for their container).
+    pub fn can_traverse(&self, who: &AuthzContext) -> bool {
+        if who.is_metastore_admin {
+            return true;
+        }
+        for (idx, node) in self.chain.iter().enumerate() {
+            let needed = match node.kind {
+                SecurableKind::Catalog if idx > 0 => Privilege::UseCatalog,
+                SecurableKind::Schema if idx > 0 => Privilege::UseSchema,
+                _ => continue,
+            };
+            // The sub-chain rooted at this container: a USE grant on the
+            // container itself or anything above it satisfies traversal.
+            let sub = SecurableAuthz { chain: self.chain[idx..].to_vec() };
+            if !sub.has_privilege(who, needed) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Can the caller see this object's metadata at all? Any privilege,
+    /// ownership anywhere in the chain, or admin authority qualifies.
+    pub fn can_see(&self, who: &AuthzContext) -> bool {
+        if self.has_admin_authority(who) {
+            return true;
+        }
+        self.chain.iter().enumerate().any(|(idx, node)| {
+            let _ = idx;
+            node.grants.iter().any(|(g, _)| who.matches(g)) || who.matches(&node.owner)
+        })
+    }
+
+    /// Full data-access decision for reading: traversal plus the kind's
+    /// read privilege.
+    pub fn can_read_data(&self, who: &AuthzContext, read_privilege: Privilege) -> bool {
+        self.can_traverse(who) && self.has_privilege(who, read_privilege)
+    }
+
+    /// Full data-access decision for writing.
+    pub fn can_write_data(&self, who: &AuthzContext, write_privilege: Privilege) -> bool {
+        self.can_traverse(who) && self.has_privilege(who, write_privilege)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(id: &str, kind: SecurableKind, owner: &str, grants: &[(&str, Privilege)]) -> AuthzNode {
+        AuthzNode {
+            id: Uid::from(id),
+            kind,
+            owner: owner.to_string(),
+            grants: grants.iter().map(|(g, p)| (g.to_string(), *p)).collect(),
+        }
+    }
+
+    /// table chain: table → schema → catalog → metastore
+    fn chain(
+        table_grants: &[(&str, Privilege)],
+        schema_grants: &[(&str, Privilege)],
+        catalog_grants: &[(&str, Privilege)],
+    ) -> SecurableAuthz {
+        SecurableAuthz::new(vec![
+            node("t", SecurableKind::Table, "table_owner", table_grants),
+            node("s", SecurableKind::Schema, "schema_owner", schema_grants),
+            node("c", SecurableKind::Catalog, "catalog_owner", catalog_grants),
+            node("m", SecurableKind::Metastore, "ms_admin", &[]),
+        ])
+    }
+
+    fn user(name: &str) -> AuthzContext {
+        AuthzContext::new(name)
+    }
+
+    #[test]
+    fn select_requires_grant_plus_use_chain() {
+        let c = chain(
+            &[("alice", Privilege::Select)],
+            &[("alice", Privilege::UseSchema)],
+            &[("alice", Privilege::UseCatalog)],
+        );
+        assert!(c.can_read_data(&user("alice"), Privilege::Select));
+    }
+
+    #[test]
+    fn missing_use_catalog_blocks_read() {
+        let c = chain(
+            &[("alice", Privilege::Select)],
+            &[("alice", Privilege::UseSchema)],
+            &[], // no USE CATALOG
+        );
+        assert!(c.has_privilege(&user("alice"), Privilege::Select));
+        assert!(!c.can_traverse(&user("alice")));
+        assert!(!c.can_read_data(&user("alice"), Privilege::Select));
+    }
+
+    #[test]
+    fn select_granted_on_catalog_inherits_down() {
+        let c = chain(
+            &[],
+            &[("alice", Privilege::UseSchema)],
+            &[("alice", Privilege::Select), ("alice", Privilege::UseCatalog)],
+        );
+        assert!(c.can_read_data(&user("alice"), Privilege::Select));
+    }
+
+    #[test]
+    fn all_privileges_grant_implies_everything() {
+        let c = chain(&[], &[], &[("alice", Privilege::All)]);
+        let alice = user("alice");
+        assert!(c.has_privilege(&alice, Privilege::Select));
+        assert!(c.has_privilege(&alice, Privilege::Modify));
+        assert!(c.can_traverse(&alice), "ALL covers USE privileges too");
+        assert!(c.has_admin_authority(&alice));
+    }
+
+    #[test]
+    fn group_grants_apply_to_members() {
+        let c = chain(
+            &[("analysts", Privilege::Select)],
+            &[("analysts", Privilege::UseSchema)],
+            &[("analysts", Privilege::UseCatalog)],
+        );
+        let mut bob = user("bob");
+        assert!(!c.can_read_data(&bob, Privilege::Select));
+        bob.groups.insert("analysts".to_string());
+        assert!(c.can_read_data(&bob, Privilege::Select));
+    }
+
+    #[test]
+    fn table_owner_holds_all_privileges_on_table_but_still_needs_use_chain() {
+        let c = chain(&[], &[], &[]);
+        let owner = user("table_owner");
+        assert!(c.has_privilege(&owner, Privilege::Select));
+        assert!(c.has_privilege(&owner, Privilege::Modify));
+        // but traversal still requires USE on containers
+        assert!(!c.can_traverse(&owner));
+        assert!(!c.can_read_data(&owner, Privilege::Select));
+    }
+
+    #[test]
+    fn schema_owner_has_admin_authority_but_no_data_access() {
+        let c = chain(&[], &[], &[]);
+        let schema_owner = user("schema_owner");
+        assert!(c.has_admin_authority(&schema_owner));
+        // the separation the paper calls out for regulated environments:
+        assert!(!c.has_privilege(&schema_owner, Privilege::Select));
+        assert!(!c.can_read_data(&schema_owner, Privilege::Select));
+    }
+
+    #[test]
+    fn manage_grant_confers_admin_authority_not_data_access() {
+        let c = chain(&[("ops", Privilege::Manage)], &[], &[]);
+        let mut carol = user("carol");
+        carol.groups.insert("ops".to_string());
+        assert!(c.has_admin_authority(&carol));
+        assert!(!c.has_privilege(&carol, Privilege::Select));
+    }
+
+    #[test]
+    fn manage_on_ancestor_inherits_down() {
+        let c = chain(&[], &[], &[("ops", Privilege::Manage)]);
+        let mut carol = user("carol");
+        carol.groups.insert("ops".to_string());
+        assert!(c.has_admin_authority(&carol));
+    }
+
+    #[test]
+    fn metastore_admin_has_admin_authority_and_traversal_but_no_data_access() {
+        let c = chain(&[], &[], &[]);
+        let mut admin = user("root");
+        admin.is_metastore_admin = true;
+        assert!(c.has_admin_authority(&admin));
+        assert!(c.can_traverse(&admin));
+        assert!(!c.has_privilege(&admin, Privilege::Select));
+    }
+
+    #[test]
+    fn use_grant_on_schema_does_not_leak_to_catalog() {
+        // USE SCHEMA granted on the schema, but USE CATALOG missing.
+        let c = chain(&[("alice", Privilege::Select), ("alice", Privilege::UseSchema)], &[], &[]);
+        assert!(!c.can_traverse(&user("alice")));
+    }
+
+    #[test]
+    fn use_catalog_granted_on_metastore_inherits_to_catalog() {
+        let mut c = chain(&[("alice", Privilege::Select)], &[("alice", Privilege::UseSchema)], &[]);
+        // grant USE CATALOG at the metastore level
+        c.chain[3].grants.push(("alice".to_string(), Privilege::UseCatalog));
+        assert!(c.can_traverse(&user("alice")));
+    }
+
+    #[test]
+    fn can_see_with_any_grant() {
+        let c = chain(&[("alice", Privilege::Select)], &[], &[]);
+        assert!(c.can_see(&user("alice")));
+        assert!(!c.can_see(&user("mallory")));
+        assert!(c.can_see(&user("schema_owner")), "ancestors' owners see descendants");
+    }
+
+    #[test]
+    fn default_is_deny() {
+        let c = chain(&[], &[], &[]);
+        let nobody = user("nobody");
+        assert!(!c.has_privilege(&nobody, Privilege::Select));
+        assert!(!c.can_traverse(&nobody));
+        assert!(!c.can_see(&nobody));
+        assert!(!c.has_admin_authority(&nobody));
+    }
+}

@@ -1,0 +1,146 @@
+//! The privilege vocabulary.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// SQL-style privileges grantable on securables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Privilege {
+    /// Traverse into a catalog.
+    UseCatalog,
+    /// Traverse into a schema.
+    UseSchema,
+    /// Read rows of a table or view.
+    Select,
+    /// Write a table / update asset data or metadata.
+    Modify,
+    /// Create a catalog (granted on the metastore).
+    CreateCatalog,
+    /// Create a schema (granted on a catalog).
+    CreateSchema,
+    /// Create tables/views (granted on a schema).
+    CreateTable,
+    /// Create volumes (granted on a schema).
+    CreateVolume,
+    /// Create registered models (granted on a schema).
+    CreateModel,
+    /// Create functions (granted on a schema).
+    CreateFunction,
+    /// Create external locations (granted on the metastore).
+    CreateExternalLocation,
+    /// Create connections (granted on the metastore).
+    CreateConnection,
+    /// Create shares (granted on the metastore).
+    CreateShare,
+    /// Read files in a volume.
+    ReadVolume,
+    /// Write files in a volume.
+    WriteVolume,
+    /// Execute a function / load a model.
+    Execute,
+    /// Administrative authority equal to ownership.
+    Manage,
+    /// All privileges (the `ALL PRIVILEGES` pseudo-grant).
+    All,
+}
+
+impl Privilege {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Privilege::UseCatalog => "USE_CATALOG",
+            Privilege::UseSchema => "USE_SCHEMA",
+            Privilege::Select => "SELECT",
+            Privilege::Modify => "MODIFY",
+            Privilege::CreateCatalog => "CREATE_CATALOG",
+            Privilege::CreateSchema => "CREATE_SCHEMA",
+            Privilege::CreateTable => "CREATE_TABLE",
+            Privilege::CreateVolume => "CREATE_VOLUME",
+            Privilege::CreateModel => "CREATE_MODEL",
+            Privilege::CreateFunction => "CREATE_FUNCTION",
+            Privilege::CreateExternalLocation => "CREATE_EXTERNAL_LOCATION",
+            Privilege::CreateConnection => "CREATE_CONNECTION",
+            Privilege::CreateShare => "CREATE_SHARE",
+            Privilege::ReadVolume => "READ_VOLUME",
+            Privilege::WriteVolume => "WRITE_VOLUME",
+            Privilege::Execute => "EXECUTE",
+            Privilege::Manage => "MANAGE",
+            Privilege::All => "ALL_PRIVILEGES",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Privilege> {
+        let normalized = s.trim().to_ascii_uppercase().replace(' ', "_");
+        Some(match normalized.as_str() {
+            "USE_CATALOG" => Privilege::UseCatalog,
+            "USE_SCHEMA" => Privilege::UseSchema,
+            "SELECT" => Privilege::Select,
+            "MODIFY" => Privilege::Modify,
+            "CREATE_CATALOG" => Privilege::CreateCatalog,
+            "CREATE_SCHEMA" => Privilege::CreateSchema,
+            "CREATE_TABLE" => Privilege::CreateTable,
+            "CREATE_VOLUME" => Privilege::CreateVolume,
+            "CREATE_MODEL" => Privilege::CreateModel,
+            "CREATE_FUNCTION" => Privilege::CreateFunction,
+            "CREATE_EXTERNAL_LOCATION" => Privilege::CreateExternalLocation,
+            "CREATE_CONNECTION" => Privilege::CreateConnection,
+            "CREATE_SHARE" => Privilege::CreateShare,
+            "READ_VOLUME" => Privilege::ReadVolume,
+            "WRITE_VOLUME" => Privilege::WriteVolume,
+            "EXECUTE" => Privilege::Execute,
+            "MANAGE" => Privilege::Manage,
+            "ALL_PRIVILEGES" | "ALL" => Privilege::All,
+            _ => return None,
+        })
+    }
+
+    /// All concrete privileges (excludes the `All` pseudo-privilege).
+    pub fn all_concrete() -> &'static [Privilege] {
+        &[
+            Privilege::UseCatalog,
+            Privilege::UseSchema,
+            Privilege::Select,
+            Privilege::Modify,
+            Privilege::CreateCatalog,
+            Privilege::CreateSchema,
+            Privilege::CreateTable,
+            Privilege::CreateVolume,
+            Privilege::CreateModel,
+            Privilege::CreateFunction,
+            Privilege::CreateExternalLocation,
+            Privilege::CreateConnection,
+            Privilege::CreateShare,
+            Privilege::ReadVolume,
+            Privilege::WriteVolume,
+            Privilege::Execute,
+            Privilege::Manage,
+        ]
+    }
+}
+
+impl fmt::Display for Privilege {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrips_every_privilege() {
+        for p in Privilege::all_concrete() {
+            assert_eq!(Privilege::parse(p.as_str()), Some(*p));
+        }
+        assert_eq!(Privilege::parse("ALL_PRIVILEGES"), Some(Privilege::All));
+    }
+
+    #[test]
+    fn parse_accepts_sql_spellings() {
+        assert_eq!(Privilege::parse("use catalog"), Some(Privilege::UseCatalog));
+        assert_eq!(Privilege::parse("USE SCHEMA"), Some(Privilege::UseSchema));
+        assert_eq!(Privilege::parse("all"), Some(Privilege::All));
+        assert_eq!(Privilege::parse("select"), Some(Privilege::Select));
+        assert_eq!(Privilege::parse("FLY"), None);
+    }
+}

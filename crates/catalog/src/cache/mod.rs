@@ -1,0 +1,549 @@
+//! The write-through, multi-version, per-metastore metadata cache (§4.5).
+//!
+//! Design, mirroring the paper:
+//!
+//! * Each node caches the metastores it serves. A metastore's cache pins
+//!   the **metastore version** it is current as-of, plus the database CSN
+//!   at which that version was observed.
+//! * **Snapshot reads**: lookups serve the entry version that is newest at
+//!   the cache's pinned version. In-flight batched reads pin a
+//!   (version, CSN) pair and stay consistent even while writes land.
+//! * **Write-through**: a successful write (which bumped the metastore
+//!   version in the database, conditioned on the cached version) inserts
+//!   the new entity versions immediately — the invariant "cached versions
+//!   are the latest as of the version known to the node" is preserved.
+//! * **Reconciliation**: when a database read observes a different
+//!   metastore version than cached (another node wrote), the cache either
+//!   evicts everything (naive) or consumes the database change log to
+//!   invalidate exactly the touched entries (optimized) — both modes are
+//!   implemented, and the ablation bench compares them.
+//! * **Eviction**: unpopular assets are evicted LRU-batch-style when the
+//!   per-metastore entry cap is exceeded; superseded entry versions are
+//!   trimmed, keeping a small window for in-flight requests (the paper
+//!   bounds this window by the API timeout).
+//!
+//! No consensus service: multiple nodes may own the same metastore; the
+//! version-conditioned writes make that safe, merely costing reconciles.
+
+pub mod ttl;
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use uc_txdb::{ChangeRecord, Db};
+
+use crate::ids::Uid;
+use crate::model::entity::Entity;
+use crate::model::keys::{T_ENTITY, T_MSVER, T_NAME, T_PATH};
+
+/// How many superseded versions of an entry to retain for in-flight reads.
+const VERSION_WINDOW: usize = 4;
+
+/// Cache tuning.
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Master switch — disabled reproduces the "no caching" baseline of
+    /// Fig 10(b).
+    pub enabled: bool,
+    /// Per-metastore entry cap before LRU batch eviction.
+    pub max_entries: usize,
+    /// Use change-log-driven selective invalidation instead of full evict.
+    pub selective_reconcile: bool,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig { enabled: true, max_entries: 100_000, selective_reconcile: true }
+    }
+}
+
+impl CacheConfig {
+    pub fn disabled() -> Self {
+        CacheConfig { enabled: false, ..Default::default() }
+    }
+}
+
+/// Counters for cache behaviour.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    pub hits: AtomicU64,
+    pub misses: AtomicU64,
+    pub full_reconciles: AtomicU64,
+    pub selective_reconciles: AtomicU64,
+    pub invalidations: AtomicU64,
+    pub evictions: AtomicU64,
+}
+
+impl CacheStats {
+    pub fn hit_rate(&self) -> f64 {
+        let h = self.hits.load(Ordering::Relaxed) as f64;
+        let m = self.misses.load(Ordering::Relaxed) as f64;
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+}
+
+/// One cached entity's recent versions, newest last. `None` marks a
+/// deletion at that version.
+struct CachedEntry {
+    versions: Vec<(u64, Option<Arc<Entity>>)>,
+    /// Keys to clean from the secondary maps on eviction.
+    name_key: String,
+    path_key: Option<String>,
+    last_access: u64,
+}
+
+/// Cache state for one metastore on one node.
+pub struct MsCache {
+    /// Metastore version this cache is current as-of.
+    pub version: u64,
+    /// Database CSN at which `version` was observed.
+    pub csn: u64,
+    entries: HashMap<Uid, CachedEntry>,
+    by_name: HashMap<String, Uid>,
+    by_path: HashMap<String, Uid>,
+    tick: u64,
+}
+
+impl MsCache {
+    fn new() -> Self {
+        MsCache {
+            version: 0,
+            csn: 0,
+            entries: HashMap::new(),
+            by_name: HashMap::new(),
+            by_path: HashMap::new(),
+            tick: 0,
+        }
+    }
+
+    fn touch(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Entity version visible at `version`, if cached. Outer `None` =
+    /// not in cache; `Some(None)` = cached deletion.
+    pub fn get_at(&mut self, id: &Uid, version: u64) -> Option<Option<Arc<Entity>>> {
+        let tick = self.touch();
+        let entry = self.entries.get_mut(id)?;
+        entry.last_access = tick;
+        entry
+            .versions
+            .iter()
+            .rev()
+            .find(|(v, _)| *v <= version)
+            .map(|(_, e)| e.clone())
+    }
+
+    /// Look up by name-index key, valid at the cache's current version.
+    pub fn id_by_name(&self, name_key: &str) -> Option<Uid> {
+        self.by_name.get(name_key).cloned()
+    }
+
+    /// Look up by path-index key.
+    pub fn id_by_path(&self, path_key: &str) -> Option<Uid> {
+        self.by_path.get(path_key).cloned()
+    }
+
+    /// Insert (or update) an entity at a version, maintaining secondary
+    /// keys and trimming the version window.
+    pub fn insert(
+        &mut self,
+        entity: Arc<Entity>,
+        at_version: u64,
+        name_key: String,
+        path_key: Option<String>,
+        stats: &CacheStats,
+        max_entries: usize,
+    ) {
+        let tick = self.touch();
+        let id = entity.id.clone();
+        self.by_name.insert(name_key.clone(), id.clone());
+        if let Some(pk) = &path_key {
+            self.by_path.insert(pk.clone(), id.clone());
+        }
+        let entry = self.entries.entry(id).or_insert_with(|| CachedEntry {
+            versions: Vec::new(),
+            name_key: name_key.clone(),
+            path_key: path_key.clone(),
+            last_access: tick,
+        });
+        entry.name_key = name_key;
+        entry.path_key = path_key;
+        entry.last_access = tick;
+        push_version(&mut entry.versions, at_version, Some(entity));
+        if self.entries.len() > max_entries {
+            self.evict_lru(max_entries, stats);
+        }
+    }
+
+    /// Record a deletion at a version (write-through for drops).
+    pub fn insert_tombstone(&mut self, id: &Uid, at_version: u64) {
+        let tick = self.touch();
+        if let Some(entry) = self.entries.get_mut(id) {
+            entry.last_access = tick;
+            push_version(&mut entry.versions, at_version, None);
+            self.by_name.remove(&entry.name_key);
+            if let Some(pk) = &entry.path_key {
+                self.by_path.remove(pk);
+            }
+        }
+    }
+
+    /// Drop a name-index mapping (a rename freed the key).
+    pub fn remove_name_mapping(&mut self, name_key: &str) {
+        self.by_name.remove(name_key);
+    }
+
+    /// Batch-evict the least recently used ~10% beyond the cap.
+    fn evict_lru(&mut self, max_entries: usize, stats: &CacheStats) {
+        let excess = self.entries.len().saturating_sub(max_entries) + max_entries / 10;
+        let mut by_age: Vec<(u64, Uid)> = self
+            .entries
+            .iter()
+            .map(|(id, e)| (e.last_access, id.clone()))
+            .collect();
+        by_age.sort_unstable_by_key(|(age, _)| *age);
+        for (_, id) in by_age.into_iter().take(excess) {
+            if let Some(entry) = self.entries.remove(&id) {
+                self.by_name.remove(&entry.name_key);
+                if let Some(pk) = &entry.path_key {
+                    self.by_path.remove(pk);
+                }
+                stats.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Naive reconciliation: drop everything and adopt the new version.
+    pub fn reconcile_full(&mut self, new_version: u64, new_csn: u64, stats: &CacheStats) {
+        self.entries.clear();
+        self.by_name.clear();
+        self.by_path.clear();
+        self.version = new_version;
+        self.csn = new_csn;
+        stats.full_reconciles.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Optimized reconciliation: invalidate exactly the entries touched by
+    /// the change records between the cached CSN and the new one.
+    pub fn reconcile_selective(
+        &mut self,
+        ms: &Uid,
+        new_version: u64,
+        new_csn: u64,
+        changes: &[ChangeRecord],
+        stats: &CacheStats,
+    ) {
+        let ent_prefix = format!("{ms}/");
+        let path_prefix = format!("{ms}|");
+        for change in changes {
+            match change.table.as_str() {
+                T_ENTITY => {
+                    if let Some(id) = change.key.strip_prefix(&ent_prefix) {
+                        let id = Uid::from(id);
+                        if let Some(entry) = self.entries.remove(&id) {
+                            self.by_name.remove(&entry.name_key);
+                            if let Some(pk) = &entry.path_key {
+                                self.by_path.remove(pk);
+                            }
+                            stats.invalidations.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                T_NAME
+                    if change.key.starts_with(&ent_prefix) => {
+                        self.by_name.remove(&change.key);
+                    }
+                T_PATH
+                    if change.key.starts_with(&path_prefix) => {
+                        self.by_path.remove(&change.key);
+                    }
+                // Grants, tags, FGAC, etc. are not cached here; the
+                // service reads them from the database at the pinned CSN.
+                _ => {}
+            }
+        }
+        self.version = new_version;
+        self.csn = new_csn;
+        stats.selective_reconciles.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Advance version/CSN after this node's own successful write.
+    pub fn advance(&mut self, new_version: u64, new_csn: u64) {
+        self.version = new_version;
+        self.csn = new_csn;
+    }
+
+    /// Trim superseded versions older than the window everywhere; called
+    /// lazily (the paper trims on next access after the API timeout).
+    pub fn trim_versions(&mut self) {
+        for entry in self.entries.values_mut() {
+            trim(&mut entry.versions);
+        }
+    }
+
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+fn push_version(versions: &mut Vec<(u64, Option<Arc<Entity>>)>, v: u64, e: Option<Arc<Entity>>) {
+    match versions.last_mut() {
+        Some((last_v, last_e)) if *last_v == v => *last_e = e,
+        Some((last_v, _)) if *last_v > v => {
+            // Out-of-order insert (a read at an older snapshot landed after
+            // a newer write): keep ordering by inserting at position.
+            let pos = versions.partition_point(|(ver, _)| *ver < v);
+            if versions.get(pos).map(|(ver, _)| *ver) == Some(v) {
+                versions[pos] = (v, e);
+            } else {
+                versions.insert(pos, (v, e));
+            }
+        }
+        _ => versions.push((v, e)),
+    }
+    trim(versions);
+}
+
+fn trim(versions: &mut Vec<(u64, Option<Arc<Entity>>)>) {
+    if versions.len() > VERSION_WINDOW {
+        let drop = versions.len() - VERSION_WINDOW;
+        versions.drain(..drop);
+    }
+}
+
+/// All per-metastore caches on one node.
+pub struct NodeCache {
+    pub config: CacheConfig,
+    per_ms: RwLock<HashMap<Uid, Arc<Mutex<MsCache>>>>,
+    pub stats: CacheStats,
+}
+
+impl NodeCache {
+    pub fn new(config: CacheConfig) -> Self {
+        NodeCache { config, per_ms: RwLock::new(HashMap::new()), stats: CacheStats::default() }
+    }
+
+    /// The cache for a metastore, created on first touch.
+    pub fn for_metastore(&self, ms: &Uid) -> Arc<Mutex<MsCache>> {
+        if let Some(c) = self.per_ms.read().get(ms) {
+            return c.clone();
+        }
+        self.per_ms
+            .write()
+            .entry(ms.clone())
+            .or_insert_with(|| Arc::new(Mutex::new(MsCache::new())))
+            .clone()
+    }
+
+    /// Reconcile a metastore cache against the database's current state,
+    /// using the configured strategy. `db_version`/`db_csn` must come from
+    /// one consistent snapshot.
+    pub fn reconcile(&self, ms: &Uid, cache: &mut MsCache, db: &Db, db_version: u64, db_csn: u64) {
+        if !self.config.selective_reconcile {
+            cache.reconcile_full(db_version, db_csn, &self.stats);
+            return;
+        }
+        let changes = db.changelog().changes_since(cache.csn);
+        // If the log was truncated past our position — including the case
+        // where it is now empty while history advanced — we cannot trust
+        // selective invalidation.
+        let missed_history = cache.csn > 0
+            && match db.changelog().min_retained_csn() {
+                Some(min) => min > cache.csn + 1,
+                None => db_csn > cache.csn,
+            };
+        if missed_history {
+            cache.reconcile_full(db_version, db_csn, &self.stats);
+        } else {
+            cache.reconcile_selective(ms, db_version, db_csn, &changes, &self.stats);
+        }
+    }
+
+    /// Drop all cached state (tests / failover simulations).
+    pub fn clear(&self) {
+        self.per_ms.write().clear();
+    }
+}
+
+/// Re-read the metastore version from a read transaction.
+pub fn read_ms_version(rt: &uc_txdb::ReadTxn, ms: &Uid) -> u64 {
+    rt.get(T_MSVER, ms.as_str())
+        .and_then(|b| String::from_utf8(b.to_vec()).ok())
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::SecurableKind;
+
+    fn entity(id: &str, name: &str) -> Arc<Entity> {
+        let mut e = Entity::new(
+            SecurableKind::Table,
+            name,
+            None,
+            Uid::from("ms"),
+            "owner",
+            0,
+        );
+        e.id = Uid::from(id);
+        Arc::new(e)
+    }
+
+    fn insert(cache: &mut MsCache, stats: &CacheStats, id: &str, name: &str, ver: u64) {
+        cache.insert(entity(id, name), ver, format!("nk/{name}"), None, stats, 1000);
+    }
+
+    #[test]
+    fn snapshot_reads_see_version_at_or_below() {
+        let mut c = MsCache::new();
+        let stats = CacheStats::default();
+        insert(&mut c, &stats, "e1", "v1", 1);
+        insert(&mut c, &stats, "e1", "v2", 3);
+        let at1 = c.get_at(&Uid::from("e1"), 1).unwrap().unwrap();
+        assert_eq!(at1.name, "v1");
+        let at2 = c.get_at(&Uid::from("e1"), 2).unwrap().unwrap();
+        assert_eq!(at2.name, "v1");
+        let at3 = c.get_at(&Uid::from("e1"), 3).unwrap().unwrap();
+        assert_eq!(at3.name, "v2");
+        // before the first cached version: no visible version
+        assert_eq!(c.get_at(&Uid::from("e1"), 0), None);
+    }
+
+    #[test]
+    fn tombstone_hides_entity_and_unlinks_names() {
+        let mut c = MsCache::new();
+        let stats = CacheStats::default();
+        insert(&mut c, &stats, "e1", "t", 1);
+        assert!(c.id_by_name("nk/t").is_some());
+        c.insert_tombstone(&Uid::from("e1"), 2);
+        assert_eq!(c.get_at(&Uid::from("e1"), 2), Some(None));
+        // old version still readable for in-flight requests
+        assert!(c.get_at(&Uid::from("e1"), 1).unwrap().is_some());
+        assert!(c.id_by_name("nk/t").is_none());
+    }
+
+    #[test]
+    fn version_window_is_bounded() {
+        let mut c = MsCache::new();
+        let stats = CacheStats::default();
+        for v in 1..=20 {
+            insert(&mut c, &stats, "e1", &format!("n{v}"), v);
+        }
+        let entry = c.entries.get(&Uid::from("e1")).unwrap();
+        assert!(entry.versions.len() <= VERSION_WINDOW);
+        // newest version intact
+        assert_eq!(c.get_at(&Uid::from("e1"), 20).unwrap().unwrap().name, "n20");
+        // very old pinned version falls out of cache (caller re-reads DB)
+        assert_eq!(c.get_at(&Uid::from("e1"), 1), None);
+    }
+
+    #[test]
+    fn out_of_order_insert_keeps_versions_sorted() {
+        let mut c = MsCache::new();
+        let stats = CacheStats::default();
+        insert(&mut c, &stats, "e1", "new", 5);
+        // a stale read at version 3 lands late
+        insert(&mut c, &stats, "e1", "old", 3);
+        assert_eq!(c.get_at(&Uid::from("e1"), 5).unwrap().unwrap().name, "new");
+        assert_eq!(c.get_at(&Uid::from("e1"), 3).unwrap().unwrap().name, "old");
+    }
+
+    #[test]
+    fn full_reconcile_clears_everything() {
+        let mut c = MsCache::new();
+        let stats = CacheStats::default();
+        insert(&mut c, &stats, "e1", "a", 1);
+        insert(&mut c, &stats, "e2", "b", 1);
+        c.reconcile_full(9, 99, &stats);
+        assert_eq!(c.entry_count(), 0);
+        assert_eq!(c.version, 9);
+        assert_eq!(c.csn, 99);
+        assert_eq!(stats.full_reconciles.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn selective_reconcile_invalidates_only_touched() {
+        let ms = Uid::from("ms");
+        let mut c = MsCache::new();
+        let stats = CacheStats::default();
+        insert(&mut c, &stats, "e1", "a", 1);
+        insert(&mut c, &stats, "e2", "b", 1);
+        let changes = vec![ChangeRecord {
+            csn: 2,
+            table: T_ENTITY.to_string(),
+            key: "ms/e1".to_string(),
+            kind: uc_txdb::ChangeKind::Put,
+            value: None,
+        }];
+        c.reconcile_selective(&ms, 2, 2, &changes, &stats);
+        assert!(c.get_at(&Uid::from("e1"), 2).is_none(), "touched entry dropped");
+        assert!(c.get_at(&Uid::from("e2"), 1).is_some(), "untouched entry kept");
+        assert!(c.id_by_name("nk/a").is_none());
+        assert!(c.id_by_name("nk/b").is_some());
+        assert_eq!(stats.invalidations.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn selective_reconcile_ignores_other_metastores() {
+        let ms = Uid::from("ms");
+        let mut c = MsCache::new();
+        let stats = CacheStats::default();
+        insert(&mut c, &stats, "e1", "a", 1);
+        let changes = vec![ChangeRecord {
+            csn: 2,
+            table: T_ENTITY.to_string(),
+            key: "other/e1".to_string(),
+            kind: uc_txdb::ChangeKind::Put,
+            value: None,
+        }];
+        c.reconcile_selective(&ms, 2, 2, &changes, &stats);
+        assert!(c.get_at(&Uid::from("e1"), 1).is_some());
+    }
+
+    #[test]
+    fn lru_eviction_respects_cap_and_cleans_indexes() {
+        let mut c = MsCache::new();
+        let stats = CacheStats::default();
+        for i in 0..20 {
+            c.insert(
+                entity(&format!("e{i}"), &format!("n{i}")),
+                1,
+                format!("nk/n{i}"),
+                Some(format!("pk/p{i}")),
+                &stats,
+                10,
+            );
+        }
+        assert!(c.entry_count() <= 11, "cap 10 plus slack, got {}", c.entry_count());
+        assert!(stats.evictions.load(Ordering::Relaxed) > 0);
+        // evicted entries' secondary keys are gone
+        let evicted = (0..20)
+            .filter(|i| c.get_at(&Uid::from(format!("e{i}").as_str()), 1).is_none())
+            .collect::<Vec<_>>();
+        assert!(!evicted.is_empty());
+        for i in evicted {
+            assert!(c.id_by_name(&format!("nk/n{i}")).is_none());
+            assert!(c.id_by_path(&format!("pk/p{i}")).is_none());
+        }
+    }
+
+    #[test]
+    fn node_cache_returns_same_instance_per_metastore() {
+        let nc = NodeCache::new(CacheConfig::default());
+        let a = nc.for_metastore(&Uid::from("m1"));
+        let b = nc.for_metastore(&Uid::from("m1"));
+        let c = nc.for_metastore(&Uid::from("m2"));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+}

@@ -1,0 +1,79 @@
+//! Catalog error type.
+
+use std::fmt;
+
+use uc_cloudstore::StorageError;
+use uc_delta::DeltaError;
+use uc_txdb::TxError;
+
+/// Result alias for catalog operations.
+pub type UcResult<T> = Result<T, UcError>;
+
+/// Errors surfaced by the Unity Catalog API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UcError {
+    /// The named securable does not exist (or is invisible to the caller
+    /// in contexts where existence itself is sensitive).
+    NotFound(String),
+    /// A securable with this name already exists in the namespace.
+    AlreadyExists(String),
+    /// The caller lacks a required privilege.
+    PermissionDenied(String),
+    /// The request violates the one-asset-per-path principle.
+    PathConflict { requested: String, existing: String },
+    /// Input failed the asset type's validation rules.
+    InvalidArgument(String),
+    /// The operation is not defined for this securable kind.
+    UnsupportedOperation(String),
+    /// A commit targeted a stale table version (catalog-owned commits).
+    CommitConflict { expected: i64, actual: i64 },
+    /// The backing database reported an unrecoverable error.
+    Database(String),
+    /// Storage layer error (e.g. during managed-storage provisioning).
+    Storage(String),
+    /// A federation connector failed.
+    Federation(String),
+}
+
+impl fmt::Display for UcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UcError::NotFound(s) => write!(f, "not found: {s}"),
+            UcError::AlreadyExists(s) => write!(f, "already exists: {s}"),
+            UcError::PermissionDenied(s) => write!(f, "permission denied: {s}"),
+            UcError::PathConflict { requested, existing } => write!(
+                f,
+                "path {requested} overlaps existing asset path {existing}"
+            ),
+            UcError::InvalidArgument(s) => write!(f, "invalid argument: {s}"),
+            UcError::UnsupportedOperation(s) => write!(f, "unsupported operation: {s}"),
+            UcError::CommitConflict { expected, actual } => write!(
+                f,
+                "commit conflict: expected version {expected}, table is at {actual}"
+            ),
+            UcError::Database(s) => write!(f, "database error: {s}"),
+            UcError::Storage(s) => write!(f, "storage error: {s}"),
+            UcError::Federation(s) => write!(f, "federation error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for UcError {}
+
+impl From<TxError> for UcError {
+    fn from(e: TxError) -> Self {
+        UcError::Database(e.to_string())
+    }
+}
+
+impl From<StorageError> for UcError {
+    fn from(e: StorageError) -> Self {
+        UcError::Storage(e.to_string())
+    }
+}
+
+impl From<DeltaError> for UcError {
+    fn from(e: DeltaError) -> Self {
+        UcError::Storage(e.to_string())
+    }
+}

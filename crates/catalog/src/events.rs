@@ -1,0 +1,146 @@
+//! The metadata change-event stream (§4.4).
+//!
+//! Whenever metadata changes, the core service publishes an event. Second-
+//! tier services (search, lineage, external discovery catalogs) consume
+//! the stream by offset, staying fresh without polling the operational
+//! APIs. Offsets make consumption restartable and let multiple consumers
+//! progress independently.
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+use crate::ids::Uid;
+use crate::types::SecurableKind;
+
+/// What changed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChangeOp {
+    Create,
+    Update,
+    Delete,
+    GrantChange,
+    TagChange,
+    /// A catalog-owned table commit.
+    Commit,
+    LineageAdd,
+}
+
+/// One published change.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetadataChangeEvent {
+    /// Position in the stream (dense, starting at 0).
+    pub seq: u64,
+    pub metastore: Uid,
+    pub entity_id: Uid,
+    pub kind: SecurableKind,
+    /// Entity name at event time (already-deleted entities keep their
+    /// last name so consumers can de-index them).
+    pub name: String,
+    pub op: ChangeOp,
+    /// Metastore version after the change.
+    pub at_version: u64,
+    pub timestamp_ms: u64,
+}
+
+/// In-memory event stream with offset-based consumption.
+#[derive(Default)]
+pub struct EventBus {
+    events: RwLock<Vec<MetadataChangeEvent>>,
+}
+
+impl EventBus {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publish an event; the bus assigns the sequence number.
+    pub fn publish(&self, mut event: MetadataChangeEvent) -> u64 {
+        let mut events = self.events.write();
+        let seq = events.len() as u64;
+        event.seq = seq;
+        events.push(event);
+        seq
+    }
+
+    /// Events at or after `offset`, plus the next offset to poll from.
+    pub fn since(&self, offset: u64) -> (Vec<MetadataChangeEvent>, u64) {
+        let events = self.events.read();
+        let start = (offset as usize).min(events.len());
+        let batch = events[start..].to_vec();
+        let next = events.len() as u64;
+        (batch, next)
+    }
+
+    /// Current end-of-stream offset.
+    pub fn head(&self) -> u64 {
+        self.events.read().len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &str, op: ChangeOp) -> MetadataChangeEvent {
+        MetadataChangeEvent {
+            seq: 0,
+            metastore: Uid::from("ms"),
+            entity_id: Uid::from("e"),
+            kind: SecurableKind::Table,
+            name: name.to_string(),
+            op,
+            at_version: 1,
+            timestamp_ms: 0,
+        }
+    }
+
+    #[test]
+    fn publish_assigns_dense_sequence() {
+        let bus = EventBus::new();
+        assert_eq!(bus.publish(ev("a", ChangeOp::Create)), 0);
+        assert_eq!(bus.publish(ev("b", ChangeOp::Update)), 1);
+        assert_eq!(bus.head(), 2);
+    }
+
+    #[test]
+    fn consumption_by_offset() {
+        let bus = EventBus::new();
+        bus.publish(ev("a", ChangeOp::Create));
+        bus.publish(ev("b", ChangeOp::Create));
+        let (batch, next) = bus.since(0);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(next, 2);
+        // nothing new
+        let (batch, next) = bus.since(next);
+        assert!(batch.is_empty());
+        assert_eq!(next, 2);
+        // new event arrives
+        bus.publish(ev("c", ChangeOp::Delete));
+        let (batch, next) = bus.since(next);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].name, "c");
+        assert_eq!(next, 3);
+    }
+
+    #[test]
+    fn independent_consumers_progress_separately() {
+        let bus = EventBus::new();
+        for i in 0..5 {
+            bus.publish(ev(&format!("e{i}"), ChangeOp::Create));
+        }
+        let (fast, _) = bus.since(0);
+        let (slow, _) = bus.since(3);
+        assert_eq!(fast.len(), 5);
+        assert_eq!(slow.len(), 2);
+        assert_eq!(slow[0].name, "e3");
+    }
+
+    #[test]
+    fn offset_beyond_head_is_safe() {
+        let bus = EventBus::new();
+        bus.publish(ev("a", ChangeOp::Create));
+        let (batch, next) = bus.since(99);
+        assert!(batch.is_empty());
+        assert_eq!(next, 1);
+    }
+}

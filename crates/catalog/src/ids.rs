@@ -1,0 +1,72 @@
+//! Unique identifiers.
+
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A 128-bit random identifier rendered as 32 hex characters.
+///
+/// Used for every entity in the catalog (metastores, catalogs, schemas,
+/// assets). IDs are stable across renames — the namespace maps names to
+/// IDs, and all internal references (ownership, grants, lineage, paths)
+/// are by ID.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Uid(String);
+
+impl Uid {
+    /// Generate a fresh random id.
+    pub fn generate() -> Self {
+        let mut rng = rand::thread_rng();
+        let hi = rng.next_u64();
+        let lo = rng.next_u64();
+        Uid(format!("{hi:016x}{lo:016x}"))
+    }
+
+    /// Construct from an existing string (e.g. decoded from storage).
+    pub fn from_string(s: String) -> Self {
+        Uid(s)
+    }
+
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Uid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Uid {
+    fn from(s: &str) -> Self {
+        Uid(s.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn generated_ids_are_32_hex_chars() {
+        let id = Uid::generate();
+        assert_eq!(id.as_str().len(), 32);
+        assert!(id.as_str().chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn generated_ids_are_unique() {
+        let ids: HashSet<_> = (0..10_000).map(|_| Uid::generate()).collect();
+        assert_eq!(ids.len(), 10_000);
+    }
+
+    #[test]
+    fn serde_roundtrip_is_transparent() {
+        let id = Uid::generate();
+        let json = serde_json::to_string(&id).unwrap();
+        let back: Uid = serde_json::from_str(&json).unwrap();
+        assert_eq!(id, back);
+    }
+}

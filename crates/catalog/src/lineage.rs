@@ -1,0 +1,144 @@
+//! Lineage types (§4.4): edges submitted by compute engines.
+//!
+//! The catalog stores lineage doubly indexed — by downstream and by
+//! upstream entity — so both impact analysis ("what breaks if I drop
+//! this?") and provenance ("where did this come from?") are prefix scans.
+//! Storage and the API live in the service; this module defines the edge
+//! type and traversal helpers over collected edges.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use crate::error::{UcError, UcResult};
+use crate::ids::Uid;
+
+/// One lineage edge: `upstream` feeds `downstream`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LineageEdge {
+    pub upstream: Uid,
+    pub downstream: Uid,
+    /// Job/notebook/query that produced the edge, if reported.
+    pub via: Option<String>,
+    /// Optional column-level mappings (upstream column → downstream column).
+    pub columns: Vec<(String, String)>,
+    pub created_at_ms: u64,
+}
+
+impl LineageEdge {
+    pub fn encode(&self) -> bytes::Bytes {
+        bytes::Bytes::from(serde_json::to_vec(self).expect("edge serializes"))
+    }
+
+    pub fn decode(data: &[u8]) -> UcResult<Self> {
+        serde_json::from_slice(data)
+            .map_err(|e| UcError::Database(format!("corrupt lineage edge: {e}")))
+    }
+}
+
+/// Direction of a lineage traversal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineageDirection {
+    /// Towards sources: entities this one was derived from.
+    Upstream,
+    /// Towards consumers: entities derived from this one.
+    Downstream,
+}
+
+/// Breadth-first transitive closure over a set of edges, up to `max_hops`.
+/// Returns reached entity ids (excluding the start).
+pub fn transitive_closure(
+    edges: &[LineageEdge],
+    start: &Uid,
+    direction: LineageDirection,
+    max_hops: usize,
+) -> BTreeSet<Uid> {
+    let mut adjacency: HashMap<&Uid, Vec<&Uid>> = HashMap::new();
+    for e in edges {
+        match direction {
+            LineageDirection::Upstream => {
+                adjacency.entry(&e.downstream).or_default().push(&e.upstream)
+            }
+            LineageDirection::Downstream => {
+                adjacency.entry(&e.upstream).or_default().push(&e.downstream)
+            }
+        }
+    }
+    let mut seen = BTreeSet::new();
+    let mut queue = VecDeque::from([(start, 0usize)]);
+    while let Some((node, depth)) = queue.pop_front() {
+        if depth >= max_hops {
+            continue;
+        }
+        for next in adjacency.get(node).into_iter().flatten() {
+            if seen.insert((*next).clone()) {
+                queue.push_back((next, depth + 1));
+            }
+        }
+    }
+    seen.remove(start);
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge(up: &str, down: &str) -> LineageEdge {
+        LineageEdge {
+            upstream: Uid::from(up),
+            downstream: Uid::from(down),
+            via: None,
+            columns: vec![],
+            created_at_ms: 0,
+        }
+    }
+
+    #[test]
+    fn edge_roundtrip() {
+        let mut e = edge("a", "b");
+        e.via = Some("job-42".into());
+        e.columns = vec![("src".into(), "dst".into())];
+        assert_eq!(LineageEdge::decode(&e.encode()).unwrap(), e);
+    }
+
+    //      a → b → c
+    //      a → d
+    fn sample() -> Vec<LineageEdge> {
+        vec![edge("a", "b"), edge("b", "c"), edge("a", "d")]
+    }
+
+    #[test]
+    fn downstream_closure() {
+        let reached = transitive_closure(&sample(), &Uid::from("a"), LineageDirection::Downstream, 10);
+        let names: Vec<_> = reached.iter().map(|u| u.as_str()).collect();
+        assert_eq!(names, vec!["b", "c", "d"]);
+    }
+
+    #[test]
+    fn upstream_closure() {
+        let reached = transitive_closure(&sample(), &Uid::from("c"), LineageDirection::Upstream, 10);
+        let names: Vec<_> = reached.iter().map(|u| u.as_str()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn hop_limit_bounds_traversal() {
+        let reached = transitive_closure(&sample(), &Uid::from("a"), LineageDirection::Downstream, 1);
+        let names: Vec<_> = reached.iter().map(|u| u.as_str()).collect();
+        assert_eq!(names, vec!["b", "d"]);
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        let mut edges = sample();
+        edges.push(edge("c", "a")); // cycle
+        let reached = transitive_closure(&edges, &Uid::from("a"), LineageDirection::Downstream, 100);
+        assert_eq!(reached.len(), 3, "a reaches b, c, d and stops");
+    }
+
+    #[test]
+    fn leaf_has_empty_closure() {
+        let reached = transitive_closure(&sample(), &Uid::from("c"), LineageDirection::Downstream, 10);
+        assert!(reached.is_empty());
+    }
+}

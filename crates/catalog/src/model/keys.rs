@@ -1,0 +1,179 @@
+//! Database table names and key construction.
+//!
+//! Every key is prefixed by the metastore id, so (a) all operations are
+//! naturally metastore-scoped, and (b) the cache can filter the database
+//! change log down to one metastore by key prefix during reconciliation.
+
+use crate::ids::Uid;
+
+/// Entities by id: `{ms}/{id}` → Entity JSON.
+pub const T_ENTITY: &str = "ent";
+/// Name index: `{ms}/{parent}/{group}/{name}` → entity id.
+pub const T_NAME: &str = "name";
+/// Path index: `{ms}|{canonical path}` → entity id.
+pub const T_PATH: &str = "path";
+/// Metastore version: `{ms}` → decimal version.
+pub const T_MSVER: &str = "msver";
+/// Grants: `{ms}/{securable}/{principal}|{privilege}` → "1".
+pub const T_GRANT: &str = "grant";
+/// Entity tags: `{ms}/{entity}/{key}` → value.
+pub const T_TAG: &str = "tag";
+/// Column tags: `{ms}/{table}/{column}/{key}` → value.
+pub const T_COLTAG: &str = "coltag";
+/// FGAC policies: `{ms}/{table}/filter` and `{ms}/{table}/mask/{column}`.
+pub const T_FGAC: &str = "fgac";
+/// ABAC policies: `{ms}/{scope}/{policy name}` → policy JSON.
+pub const T_ABAC: &str = "abac";
+/// Principals: `{name}` → principal record JSON (account-level).
+pub const T_PRINCIPAL: &str = "prin";
+/// Lineage edges: `{ms}/d/{downstream}/{upstream}` and `{ms}/u/{upstream}/{downstream}`.
+pub const T_LINEAGE: &str = "lineage";
+/// Catalog-owned commit log: `{ms}/{table}/{version:020}` → payload.
+pub const T_COMMIT: &str = "commit";
+/// Share membership: `{ms}/{share}/{entity}` → alias.
+pub const T_SHAREMEM: &str = "sharemem";
+
+/// Sentinel parent for metastore-level objects in the name index.
+pub const ROOT_PARENT: &str = "root";
+
+pub fn ent_key(ms: &Uid, id: &Uid) -> String {
+    format!("{ms}/{id}")
+}
+
+pub fn name_key(ms: &Uid, parent: Option<&Uid>, group: &str, name: &str) -> String {
+    let parent = parent.map(|p| p.as_str()).unwrap_or(ROOT_PARENT);
+    // Names are case-insensitive in SQL identifiers; normalize to lowercase.
+    format!("{ms}/{parent}/{group}/{}", name.to_ascii_lowercase())
+}
+
+/// Prefix listing all children of a parent (across groups).
+pub fn children_prefix(ms: &Uid, parent: Option<&Uid>) -> String {
+    let parent = parent.map(|p| p.as_str()).unwrap_or(ROOT_PARENT);
+    format!("{ms}/{parent}/")
+}
+
+/// Prefix listing children of a parent within one name group.
+pub fn children_group_prefix(ms: &Uid, parent: Option<&Uid>, group: &str) -> String {
+    let parent = parent.map(|p| p.as_str()).unwrap_or(ROOT_PARENT);
+    format!("{ms}/{parent}/{group}/")
+}
+
+pub fn path_key(ms: &Uid, canonical_path: &str) -> String {
+    format!("{ms}|{canonical_path}")
+}
+
+pub fn grant_key(ms: &Uid, securable: &Uid, principal: &str, privilege: &str) -> String {
+    format!("{ms}/{securable}/{principal}|{privilege}")
+}
+
+pub fn grants_prefix(ms: &Uid, securable: &Uid) -> String {
+    format!("{ms}/{securable}/")
+}
+
+pub fn tag_key(ms: &Uid, entity: &Uid, key: &str) -> String {
+    format!("{ms}/{entity}/{key}")
+}
+
+pub fn tags_prefix(ms: &Uid, entity: &Uid) -> String {
+    format!("{ms}/{entity}/")
+}
+
+pub fn coltag_key(ms: &Uid, table: &Uid, column: &str, key: &str) -> String {
+    format!("{ms}/{table}/{column}/{key}")
+}
+
+pub fn coltags_prefix(ms: &Uid, table: &Uid) -> String {
+    format!("{ms}/{table}/")
+}
+
+pub fn fgac_filter_key(ms: &Uid, table: &Uid) -> String {
+    format!("{ms}/{table}/filter")
+}
+
+pub fn fgac_mask_key(ms: &Uid, table: &Uid, column: &str) -> String {
+    format!("{ms}/{table}/mask/{column}")
+}
+
+pub fn fgac_mask_prefix(ms: &Uid, table: &Uid) -> String {
+    format!("{ms}/{table}/mask/")
+}
+
+pub fn abac_key(ms: &Uid, scope: &Uid, name: &str) -> String {
+    format!("{ms}/{scope}/{name}")
+}
+
+pub fn abac_prefix(ms: &Uid, scope: &Uid) -> String {
+    format!("{ms}/{scope}/")
+}
+
+pub fn lineage_down_key(ms: &Uid, downstream: &Uid, upstream: &Uid) -> String {
+    format!("{ms}/d/{downstream}/{upstream}")
+}
+
+pub fn lineage_up_key(ms: &Uid, upstream: &Uid, downstream: &Uid) -> String {
+    format!("{ms}/u/{upstream}/{downstream}")
+}
+
+pub fn commit_key(ms: &Uid, table: &Uid, version: i64) -> String {
+    format!("{ms}/{table}/{version:020}")
+}
+
+pub fn commit_prefix(ms: &Uid, table: &Uid) -> String {
+    format!("{ms}/{table}/")
+}
+
+pub fn share_member_key(ms: &Uid, share: &Uid, entity: &Uid) -> String {
+    format!("{ms}/{share}/{entity}")
+}
+
+pub fn share_members_prefix(ms: &Uid, share: &Uid) -> String {
+    format!("{ms}/{share}/")
+}
+
+/// Extract the metastore id from an entity-table key (`{ms}/{id}`).
+pub fn ms_of_ent_key(key: &str) -> Option<&str> {
+    key.split('/').next()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uid(s: &str) -> Uid {
+        Uid::from(s)
+    }
+
+    #[test]
+    fn name_keys_are_lowercased() {
+        let k = name_key(&uid("ms"), Some(&uid("p")), "relation", "Orders");
+        assert_eq!(k, "ms/p/relation/orders");
+    }
+
+    #[test]
+    fn root_parent_sentinel() {
+        let k = name_key(&uid("ms"), None, "catalog", "main");
+        assert_eq!(k, "ms/root/catalog/main");
+        assert!(k.starts_with(&children_prefix(&uid("ms"), None)));
+    }
+
+    #[test]
+    fn children_prefix_covers_group_prefix() {
+        let ms = uid("ms");
+        let p = uid("parent");
+        let group = children_group_prefix(&ms, Some(&p), "relation");
+        assert!(group.starts_with(&children_prefix(&ms, Some(&p))));
+    }
+
+    #[test]
+    fn commit_keys_sort_numerically() {
+        let ms = uid("ms");
+        let t = uid("t");
+        assert!(commit_key(&ms, &t, 9) < commit_key(&ms, &t, 10));
+        assert!(commit_key(&ms, &t, 99) < commit_key(&ms, &t, 100));
+    }
+
+    #[test]
+    fn ms_extraction() {
+        assert_eq!(ms_of_ent_key("msid/entid"), Some("msid"));
+    }
+}

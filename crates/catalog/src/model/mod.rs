@@ -1,0 +1,14 @@
+//! The generic entity–relationship data model (§4.2.2).
+//!
+//! Every securable is an [`entity::Entity`] persisted in the backing
+//! database together with index rows maintained in the same transaction:
+//! a name index (namespace uniqueness + child listing), and a path index
+//! (the one-asset-per-path invariant). [`manifest`] is the declarative
+//! asset-type registry: per-kind privileges, hierarchy position, storage
+//! behaviour, and validation hooks — the extension point through which
+//! registered models were added (§4.2.3).
+
+pub mod entity;
+pub mod keys;
+pub mod manifest;
+pub mod paths;

@@ -1,0 +1,221 @@
+//! The one-asset-per-path principle (§4.2.1), enforced transactionally.
+//!
+//! Every asset with storage registers its canonical path in the path index
+//! inside the same database transaction that creates the asset. The
+//! invariant — no two assets in a metastore have overlapping (ancestor/
+//! descendant or equal) paths — is checked under the transaction's
+//! serializable isolation, so two concurrent creations of overlapping
+//! paths cannot both commit: the prefix scan and ancestor point-reads are
+//! in the loser's validated read set.
+//!
+//! Resolution maps an arbitrary storage path to the unique asset whose
+//! registered path covers it — the primitive behind path-based credential
+//! vending.
+
+use uc_cloudstore::StoragePath;
+use uc_txdb::{ReadTxn, WriteTxn};
+
+use crate::error::{UcError, UcResult};
+use crate::ids::Uid;
+use crate::model::keys::{self, T_PATH};
+
+/// Check the one-asset-per-path invariant for `path` and register it for
+/// `entity`. Must run inside the entity's creation transaction.
+pub fn register_path(
+    tx: &mut WriteTxn,
+    ms: &Uid,
+    path: &StoragePath,
+    entity: &Uid,
+) -> UcResult<()> {
+    let canonical = path.to_string();
+    // Exact duplicate?
+    let exact_key = keys::path_key(ms, &canonical);
+    if tx.get(T_PATH, &exact_key).is_some() {
+        return Err(UcError::PathConflict { requested: canonical.clone(), existing: canonical });
+    }
+    // Descendants: any registered path strictly under `path`. The scan is
+    // recorded in the transaction's read set, giving phantom protection.
+    let descendant_prefix = format!("{}/", keys::path_key(ms, &canonical));
+    if let Some((key, _)) = tx.scan_prefix(T_PATH, &descendant_prefix).into_iter().next() {
+        let existing = key.split_once('|').map(|(_, p)| p.to_string()).unwrap_or(key);
+        return Err(UcError::PathConflict { requested: canonical, existing });
+    }
+    // Ancestors: walk up the directory chain with point reads.
+    let mut ancestor = path.parent();
+    while let Some(a) = ancestor {
+        if tx.get(T_PATH, &keys::path_key(ms, &a.to_string())).is_some() {
+            return Err(UcError::PathConflict {
+                requested: canonical,
+                existing: a.to_string(),
+            });
+        }
+        ancestor = a.parent();
+    }
+    tx.put(T_PATH, &exact_key, bytes::Bytes::from(entity.as_str().to_string()));
+    Ok(())
+}
+
+/// Remove a path registration (asset drop).
+pub fn unregister_path(tx: &mut WriteTxn, ms: &Uid, path: &StoragePath) {
+    tx.delete(T_PATH, &keys::path_key(ms, &path.to_string()));
+}
+
+/// Resolve a storage path to the asset covering it: the path itself or its
+/// nearest registered ancestor. Returns the asset id and its registered
+/// path.
+pub fn resolve_path(
+    rt: &ReadTxn,
+    ms: &Uid,
+    path: &StoragePath,
+) -> Option<(Uid, StoragePath)> {
+    let mut candidate = Some(path.clone());
+    while let Some(p) = candidate {
+        if let Some(id) = rt.get(T_PATH, &keys::path_key(ms, &p.to_string())) {
+            let id = String::from_utf8(id.to_vec()).ok()?;
+            return Some((Uid::from_string(id), p));
+        }
+        candidate = p.parent();
+    }
+    None
+}
+
+/// List all registered paths in a metastore (diagnostics / invariant
+/// checking in tests).
+pub fn all_paths(rt: &ReadTxn, ms: &Uid) -> Vec<(StoragePath, Uid)> {
+    rt.scan_prefix(T_PATH, &format!("{ms}|"))
+        .into_iter()
+        .filter_map(|(key, id)| {
+            let (_, p) = key.split_once('|')?;
+            let path = StoragePath::parse(p).ok()?;
+            let id = String::from_utf8(id.to_vec()).ok()?;
+            Some((path, Uid::from_string(id)))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uc_txdb::Db;
+
+    fn sp(s: &str) -> StoragePath {
+        StoragePath::parse(s).unwrap()
+    }
+
+    fn try_register(db: &Db, ms: &Uid, path: &str, id: &str) -> UcResult<()> {
+        let mut tx = db.begin_write();
+        register_path(&mut tx, ms, &sp(path), &Uid::from(id))?;
+        tx.commit().map_err(UcError::from)?;
+        Ok(())
+    }
+
+    #[test]
+    fn disjoint_paths_register() {
+        let db = Db::in_memory();
+        let ms = Uid::from("ms");
+        try_register(&db, &ms, "s3://b/warehouse/t1", "a").unwrap();
+        try_register(&db, &ms, "s3://b/warehouse/t2", "b").unwrap();
+        try_register(&db, &ms, "gs://other/t1", "c").unwrap();
+        let rt = db.begin_read();
+        assert_eq!(all_paths(&rt, &ms).len(), 3);
+    }
+
+    #[test]
+    fn exact_duplicate_conflicts() {
+        let db = Db::in_memory();
+        let ms = Uid::from("ms");
+        try_register(&db, &ms, "s3://b/t", "a").unwrap();
+        assert!(matches!(
+            try_register(&db, &ms, "s3://b/t", "b"),
+            Err(UcError::PathConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn descendant_of_registered_conflicts() {
+        let db = Db::in_memory();
+        let ms = Uid::from("ms");
+        try_register(&db, &ms, "s3://b/warehouse", "a").unwrap();
+        let err = try_register(&db, &ms, "s3://b/warehouse/nested/t", "b").unwrap_err();
+        match err {
+            UcError::PathConflict { existing, .. } => assert_eq!(existing, "s3://b/warehouse"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ancestor_of_registered_conflicts() {
+        let db = Db::in_memory();
+        let ms = Uid::from("ms");
+        try_register(&db, &ms, "s3://b/warehouse/nested/t", "a").unwrap();
+        let err = try_register(&db, &ms, "s3://b/warehouse", "b").unwrap_err();
+        match err {
+            UcError::PathConflict { existing, .. } => {
+                assert_eq!(existing, "s3://b/warehouse/nested/t")
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn string_prefix_without_segment_boundary_is_fine() {
+        let db = Db::in_memory();
+        let ms = Uid::from("ms");
+        try_register(&db, &ms, "s3://b/ware", "a").unwrap();
+        // 'warehouse' shares the string prefix 'ware' but is a sibling
+        try_register(&db, &ms, "s3://b/warehouse", "b").unwrap();
+    }
+
+    #[test]
+    fn different_metastores_do_not_conflict() {
+        let db = Db::in_memory();
+        try_register(&db, &Uid::from("ms1"), "s3://b/t", "a").unwrap();
+        try_register(&db, &Uid::from("ms2"), "s3://b/t", "b").unwrap();
+    }
+
+    #[test]
+    fn unregister_frees_the_path() {
+        let db = Db::in_memory();
+        let ms = Uid::from("ms");
+        try_register(&db, &ms, "s3://b/t", "a").unwrap();
+        let mut tx = db.begin_write();
+        unregister_path(&mut tx, &ms, &sp("s3://b/t"));
+        tx.commit().unwrap();
+        try_register(&db, &ms, "s3://b/t", "b").unwrap();
+    }
+
+    #[test]
+    fn resolve_exact_and_nearest_ancestor() {
+        let db = Db::in_memory();
+        let ms = Uid::from("ms");
+        try_register(&db, &ms, "s3://b/warehouse/t1", "table1").unwrap();
+        let rt = db.begin_read();
+        // exact
+        let (id, reg) = resolve_path(&rt, &ms, &sp("s3://b/warehouse/t1")).unwrap();
+        assert_eq!(id.as_str(), "table1");
+        assert_eq!(reg, sp("s3://b/warehouse/t1"));
+        // a file inside the table resolves to the table
+        let (id, _) = resolve_path(&rt, &ms, &sp("s3://b/warehouse/t1/part-0.json")).unwrap();
+        assert_eq!(id.as_str(), "table1");
+        // unrelated path resolves to nothing
+        assert!(resolve_path(&rt, &ms, &sp("s3://b/elsewhere")).is_none());
+        // parent of the registered path resolves to nothing
+        assert!(resolve_path(&rt, &ms, &sp("s3://b/warehouse")).is_none());
+    }
+
+    #[test]
+    fn concurrent_overlapping_registrations_cannot_both_commit() {
+        let db = Db::in_memory();
+        let ms = Uid::from("ms");
+        // Two transactions race: one registers a parent, one a child.
+        let mut tx1 = db.begin_write();
+        let mut tx2 = db.begin_write();
+        register_path(&mut tx1, &ms, &sp("s3://b/dir"), &Uid::from("a")).unwrap();
+        register_path(&mut tx2, &ms, &sp("s3://b/dir/child"), &Uid::from("b")).unwrap();
+        assert!(tx1.commit().is_ok());
+        // tx2's ancestor point-read of s3://b/dir is invalidated.
+        assert!(tx2.commit().is_err());
+        let rt = db.begin_read();
+        assert_eq!(all_paths(&rt, &ms).len(), 1);
+    }
+}

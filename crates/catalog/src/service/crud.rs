@@ -1,0 +1,1152 @@
+//! CRUD APIs for all securable kinds — the uniform core the asset-type
+//! manifests plug into (§4.2).
+
+use std::sync::Arc;
+
+use uc_cloudstore::{RootCredential, StoragePath};
+use uc_delta::value::Schema;
+
+use crate::audit::AuditDecision;
+use crate::error::{UcError, UcResult};
+use crate::events::ChangeOp;
+use crate::ids::Uid;
+use crate::model::entity::{props, Entity};
+use crate::model::keys::{self, T_COMMIT, T_ENTITY, T_NAME};
+use crate::model::manifest::manifest;
+use crate::model::paths;
+use crate::service::{Context, UnityCatalog, WriteEffects};
+use crate::types::{
+    validate_object_name, FullName, LifecycleState, SecurableKind, TableFormat, TableType,
+};
+
+/// Everything needed to create a table.
+#[derive(Debug, Clone)]
+pub struct TableSpec {
+    pub name: FullName,
+    pub columns: Schema,
+    pub format: TableFormat,
+    pub table_type: TableType,
+    /// Required for external tables; forbidden for managed ones.
+    pub storage_path: Option<String>,
+    /// Connector type for foreign tables.
+    pub foreign_type: Option<String>,
+}
+
+impl TableSpec {
+    pub fn managed(name: &str, columns: Schema) -> UcResult<Self> {
+        Ok(TableSpec {
+            name: FullName::parse(name)?,
+            columns,
+            format: TableFormat::Delta,
+            table_type: TableType::Managed,
+            storage_path: None,
+            foreign_type: None,
+        })
+    }
+
+    pub fn external(name: &str, columns: Schema, path: &str, format: TableFormat) -> UcResult<Self> {
+        Ok(TableSpec {
+            name: FullName::parse(name)?,
+            columns,
+            format,
+            table_type: TableType::External,
+            storage_path: Some(path.to_string()),
+            foreign_type: None,
+        })
+    }
+}
+
+impl UnityCatalog {
+    // ------------------------------------------------------------------
+    // Metastore lifecycle
+    // ------------------------------------------------------------------
+
+    /// Create a metastore. Account-level: the creator becomes owner and
+    /// first admin.
+    pub fn create_metastore(&self, principal: &str, name: &str, region: &str) -> UcResult<Uid> {
+        self.api_enter();
+        validate_object_name(name)?;
+        let now = self.now_ms();
+        let mut ent = Entity::new(SecurableKind::Metastore, name, None, Uid::from(""), principal, now);
+        ent.properties.insert(props::REGION.to_string(), region.to_string());
+        ent.set_metastore_admins(&[principal.to_string()]);
+        let ms = ent.id.clone();
+        self.write_ms(&ms, |tx, _ver, fx| {
+            fx.upsert(tx, ent.clone(), ChangeOp::Create);
+            Ok(())
+        })?;
+        self.record_audit(principal, "createMetastore", Some(&ms), AuditDecision::Allow, name);
+        Ok(ms)
+    }
+
+    /// Fetch the metastore entity.
+    pub fn get_metastore(&self, ms: &Uid) -> UcResult<Arc<Entity>> {
+        self.api_enter();
+        self.entity_by_id(ms, ms)?
+            .ok_or_else(|| UcError::NotFound(format!("metastore {ms}")))
+    }
+
+    /// Set the managed-storage root for a metastore (admin only).
+    pub fn set_metastore_root(&self, ctx: &Context, ms: &Uid, root_path: &str) -> UcResult<()> {
+        self.api_enter();
+        StoragePath::parse(root_path).map_err(|e| UcError::InvalidArgument(e.to_string()))?;
+        let who = self.authz_context(ms, &ctx.principal)?;
+        if !who.is_metastore_admin {
+            self.record_audit(&ctx.principal, "setMetastoreRoot", Some(ms), AuditDecision::Deny, root_path);
+            return Err(UcError::PermissionDenied("metastore admin required".into()));
+        }
+        self.update_entity_by_id(ms, ms, |e| {
+            e.properties.insert("root_location".to_string(), root_path.to_string());
+            Ok(())
+        })?;
+        self.record_audit(&ctx.principal, "setMetastoreRoot", Some(ms), AuditDecision::Allow, root_path);
+        Ok(())
+    }
+
+    /// Add a metastore admin (admin only).
+    pub fn add_metastore_admin(&self, ctx: &Context, ms: &Uid, principal: &str) -> UcResult<()> {
+        self.api_enter();
+        let who = self.authz_context(ms, &ctx.principal)?;
+        if !who.is_metastore_admin {
+            return Err(UcError::PermissionDenied("metastore admin required".into()));
+        }
+        self.update_entity_by_id(ms, ms, |e| {
+            let mut admins = e.metastore_admins();
+            if !admins.iter().any(|a| a == principal) {
+                admins.push(principal.to_string());
+            }
+            e.set_metastore_admins(&admins);
+            Ok(())
+        })?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Storage configuration assets
+    // ------------------------------------------------------------------
+
+    /// Register a storage credential: the catalog becomes the holder of
+    /// the bucket's root credential (clients never see it).
+    pub fn create_storage_credential(
+        &self,
+        ctx: &Context,
+        ms: &Uid,
+        name: &str,
+        root: &RootCredential,
+    ) -> UcResult<Arc<Entity>> {
+        self.api_enter();
+        validate_object_name(name)?;
+        let who = self.authz_context(ms, &ctx.principal)?;
+        let ms_chain = vec![self.get_metastore(ms)?];
+        let authz = Self::authz_of(&ms_chain);
+        let allowed = who.is_metastore_admin
+            || authz.has_privilege(&who, crate::authz::Privilege::CreateExternalLocation);
+        if !allowed {
+            self.record_audit(&ctx.principal, "createStorageCredential", Some(ms), AuditDecision::Deny, name);
+            return Err(UcError::PermissionDenied(
+                "CREATE_EXTERNAL_LOCATION on metastore required".into(),
+            ));
+        }
+        let now = self.now_ms();
+        let bucket = root.bucket.clone();
+        let secret = root.secret;
+        let created = self.write_ms(&ms.clone(), |tx, _ver, fx| {
+            let nk = keys::name_key(ms, Some(ms), SecurableKind::StorageCredential.name_group(), name);
+            if tx.get(T_NAME, &nk).is_some() {
+                return Err(UcError::AlreadyExists(name.to_string()));
+            }
+            let mut ent = Entity::new(
+                SecurableKind::StorageCredential,
+                name,
+                Some(ms.clone()),
+                ms.clone(),
+                &ctx.principal,
+                now,
+            );
+            ent.properties.insert(props::BUCKET.to_string(), bucket.clone());
+            ent.properties.insert(props::ROOT_SECRET.to_string(), secret.to_string());
+            (manifest(ent.kind).validate)(&ent)?;
+            Ok(fx.upsert(tx, ent, ChangeOp::Create))
+        })?;
+        self.roots.write().insert(root.bucket.clone(), root.clone());
+        self.record_audit(&ctx.principal, "createStorageCredential", Some(&created.id), AuditDecision::Allow, name);
+        Ok(created)
+    }
+
+    /// Create an external location covering a path, backed by a storage
+    /// credential. External locations may not overlap one another.
+    pub fn create_external_location(
+        &self,
+        ctx: &Context,
+        ms: &Uid,
+        name: &str,
+        path: &str,
+        credential_name: &str,
+    ) -> UcResult<Arc<Entity>> {
+        self.api_enter();
+        validate_object_name(name)?;
+        let parsed = StoragePath::parse(path).map_err(|e| UcError::InvalidArgument(e.to_string()))?;
+        let who = self.authz_context(ms, &ctx.principal)?;
+        let ms_chain = vec![self.get_metastore(ms)?];
+        let authz = Self::authz_of(&ms_chain);
+        if !(who.is_metastore_admin
+            || authz.has_privilege(&who, crate::authz::Privilege::CreateExternalLocation))
+        {
+            return Err(UcError::PermissionDenied(
+                "CREATE_EXTERNAL_LOCATION on metastore required".into(),
+            ));
+        }
+        // The credential must exist and cover the bucket.
+        let cred = self
+            .entity_by_name_key(
+                ms,
+                &keys::name_key(ms, Some(ms), SecurableKind::StorageCredential.name_group(), credential_name),
+            )?
+            .ok_or_else(|| UcError::NotFound(format!("storage credential {credential_name}")))?;
+        if cred.properties.get(props::BUCKET).map(|b| b.as_str()) != Some(parsed.bucket()) {
+            return Err(UcError::InvalidArgument(format!(
+                "credential {credential_name} does not cover bucket {}",
+                parsed.bucket()
+            )));
+        }
+        let now = self.now_ms();
+        let created = self.write_ms(ms, |tx, _ver, fx| {
+            let nk = keys::name_key(ms, Some(ms), SecurableKind::ExternalLocation.name_group(), name);
+            if tx.get(T_NAME, &nk).is_some() {
+                return Err(UcError::AlreadyExists(name.to_string()));
+            }
+            // Overlap check against existing external locations (small set;
+            // the scan is in the transaction's validated read set).
+            let prefix = keys::children_group_prefix(ms, Some(ms), SecurableKind::ExternalLocation.name_group());
+            for (_, id_raw) in tx.scan_prefix(T_NAME, &prefix) {
+                let id = Uid::from_string(String::from_utf8(id_raw.to_vec()).unwrap_or_default());
+                if let Some(raw) = tx.get(T_ENTITY, &keys::ent_key(ms, &id)) {
+                    let other = Entity::decode(&raw)?;
+                    if let Some(op) = &other.storage_path {
+                        if let Ok(op) = StoragePath::parse(op) {
+                            if op.overlaps(&parsed) {
+                                return Err(UcError::PathConflict {
+                                    requested: parsed.to_string(),
+                                    existing: op.to_string(),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            let mut ent = Entity::new(
+                SecurableKind::ExternalLocation,
+                name,
+                Some(ms.clone()),
+                ms.clone(),
+                &ctx.principal,
+                now,
+            );
+            ent.storage_path = Some(parsed.to_string());
+            ent.properties.insert("credential".to_string(), credential_name.to_string());
+            (manifest(ent.kind).validate)(&ent)?;
+            Ok(fx.upsert(tx, ent, ChangeOp::Create))
+        })?;
+        self.record_audit(&ctx.principal, "createExternalLocation", Some(&created.id), AuditDecision::Allow, path);
+        Ok(created)
+    }
+
+    // ------------------------------------------------------------------
+    // Containers
+    // ------------------------------------------------------------------
+
+    /// Create a catalog in the metastore.
+    pub fn create_catalog(&self, ctx: &Context, ms: &Uid, name: &str) -> UcResult<Arc<Entity>> {
+        self.api_enter();
+        validate_object_name(name)?;
+        let who = self.authz_context(ms, &ctx.principal)?;
+        let ms_chain = vec![self.get_metastore(ms)?];
+        let authz = Self::authz_of(&ms_chain);
+        if !(who.is_metastore_admin || authz.has_privilege(&who, crate::authz::Privilege::CreateCatalog)) {
+            self.record_audit(&ctx.principal, "createCatalog", Some(ms), AuditDecision::Deny, name);
+            return Err(UcError::PermissionDenied("CREATE_CATALOG on metastore required".into()));
+        }
+        let now = self.now_ms();
+        let created = self.write_ms(ms, |tx, _ver, fx| {
+            let nk = keys::name_key(ms, None, SecurableKind::Catalog.name_group(), name);
+            if tx.get(T_NAME, &nk).is_some() {
+                return Err(UcError::AlreadyExists(name.to_string()));
+            }
+            let ent = Entity::new(SecurableKind::Catalog, name, None, ms.clone(), &ctx.principal, now);
+            Ok(fx.upsert(tx, ent, ChangeOp::Create))
+        })?;
+        self.record_audit(&ctx.principal, "createCatalog", Some(&created.id), AuditDecision::Allow, name);
+        Ok(created)
+    }
+
+    /// Create a schema inside a catalog.
+    pub fn create_schema(&self, ctx: &Context, ms: &Uid, catalog: &str, name: &str) -> UcResult<Arc<Entity>> {
+        self.api_enter();
+        validate_object_name(name)?;
+        let chain = self.lookup_chain(ms, &FullName::of(&[catalog]), "catalog")?;
+        let full = self.chain_from_entity(ms, chain[0].clone())?;
+        let who = self.authz_context(ms, &ctx.principal)?;
+        let authz = Self::authz_of(&full);
+        if !(authz.has_admin_authority(&who)
+            || authz.has_privilege(&who, crate::authz::Privilege::CreateSchema))
+        {
+            self.record_audit(&ctx.principal, "createSchema", Some(&chain[0].id), AuditDecision::Deny, name);
+            return Err(UcError::PermissionDenied("CREATE_SCHEMA on catalog required".into()));
+        }
+        let parent = chain[0].id.clone();
+        let now = self.now_ms();
+        let created = self.write_ms(ms, |tx, _ver, fx| {
+            let nk = keys::name_key(ms, Some(&parent), SecurableKind::Schema.name_group(), name);
+            if tx.get(T_NAME, &nk).is_some() {
+                return Err(UcError::AlreadyExists(format!("{catalog}.{name}")));
+            }
+            let ent = Entity::new(SecurableKind::Schema, name, Some(parent.clone()), ms.clone(), &ctx.principal, now);
+            Ok(fx.upsert(tx, ent, ChangeOp::Create))
+        })?;
+        self.record_audit(&ctx.principal, "createSchema", Some(&created.id), AuditDecision::Allow, name);
+        Ok(created)
+    }
+
+    // ------------------------------------------------------------------
+    // Leaf assets
+    // ------------------------------------------------------------------
+
+    /// Shared pre-flight for creating a leaf asset under a schema:
+    /// resolves the parent chain and checks the create privilege.
+    fn authorize_create_in_schema(
+        &self,
+        ctx: &Context,
+        ms: &Uid,
+        name: &FullName,
+        kind: SecurableKind,
+    ) -> UcResult<Vec<Arc<Entity>>> {
+        if name.len() != 3 {
+            return Err(UcError::InvalidArgument(format!(
+                "expected catalog.schema.name, got {name}"
+            )));
+        }
+        let chain = self.lookup_chain(ms, &FullName::of(&[name.catalog(), name.schema().unwrap()]), "schema")?;
+        let full = self.chain_from_entity(ms, chain[0].clone())?;
+        let who = self.authz_context(ms, &ctx.principal)?;
+        let authz = Self::authz_of(&full);
+        let needed = manifest(kind)
+            .create_privilege
+            .expect("leaf kinds declare a create privilege");
+        if !(authz.has_admin_authority(&who) || authz.has_privilege(&who, needed)) {
+            self.record_audit(&ctx.principal, "create", Some(&chain[0].id), AuditDecision::Deny, &name.to_string());
+            return Err(UcError::PermissionDenied(format!(
+                "{needed} on schema required to create {kind}"
+            )));
+        }
+        Ok(full)
+    }
+
+    /// Allocate a managed storage path under the metastore root.
+    fn managed_path(&self, ms: &Uid, kind: SecurableKind, id: &Uid) -> UcResult<StoragePath> {
+        let ms_ent = self.get_metastore(ms)?;
+        let root = ms_ent
+            .properties
+            .get("root_location")
+            .ok_or_else(|| UcError::InvalidArgument(
+                "metastore has no root location configured for managed storage".into(),
+            ))?;
+        let root = StoragePath::parse(root).map_err(|e| UcError::Storage(e.to_string()))?;
+        let subdir = match kind {
+            SecurableKind::Table => "tables",
+            SecurableKind::Volume => "volumes",
+            SecurableKind::RegisteredModel => "models",
+            _ => "assets",
+        };
+        Ok(root.child(subdir).child(id.as_str()))
+    }
+
+    /// For external assets: find the external location covering `path` and
+    /// require a creation-enabling privilege on it.
+    fn authorize_external_path(
+        &self,
+        ctx: &Context,
+        ms: &Uid,
+        path: &StoragePath,
+    ) -> UcResult<()> {
+        let who = self.authz_context(ms, &ctx.principal)?;
+        if who.is_metastore_admin {
+            return Ok(());
+        }
+        let rt = self.db.begin_read();
+        let prefix = keys::children_group_prefix(ms, Some(ms), SecurableKind::ExternalLocation.name_group());
+        for (_, id_raw) in rt.scan_prefix(T_NAME, &prefix) {
+            let id = Uid::from_string(String::from_utf8(id_raw.to_vec()).unwrap_or_default());
+            let Some(loc) = self.entity_by_id(ms, &id)? else { continue };
+            let Some(loc_path) = loc.storage_path.as_ref().and_then(|p| StoragePath::parse(p).ok())
+            else {
+                continue;
+            };
+            if loc_path.is_prefix_of(path) {
+                let chain = self.chain_from_entity(ms, loc.clone())?;
+                let authz = Self::authz_of(&chain);
+                if authz.has_admin_authority(&who)
+                    || authz.has_privilege(&who, crate::authz::Privilege::CreateTable)
+                    || authz.has_privilege(&who, crate::authz::Privilege::WriteVolume)
+                {
+                    return Ok(());
+                }
+                return Err(UcError::PermissionDenied(format!(
+                    "no create privilege on external location {}",
+                    loc.name
+                )));
+            }
+        }
+        Err(UcError::PermissionDenied(format!(
+            "no external location covers {path}"
+        )))
+    }
+
+    /// Create a table (managed or external or foreign).
+    pub fn create_table(&self, ctx: &Context, ms: &Uid, spec: TableSpec) -> UcResult<Arc<Entity>> {
+        self.api_enter();
+        let full = self.authorize_create_in_schema(ctx, ms, &spec.name, SecurableKind::Table)?;
+        let schema_ent = full[0].clone();
+        match spec.table_type {
+            TableType::Managed if spec.storage_path.is_some() => {
+                return Err(UcError::InvalidArgument(
+                    "managed tables may not specify a storage path".into(),
+                ))
+            }
+            TableType::External | TableType::Foreign if spec.storage_path.is_none()
+                && spec.table_type == TableType::External => {
+                    return Err(UcError::InvalidArgument(
+                        "external tables require a storage path".into(),
+                    ));
+                }
+            _ => {}
+        }
+        if let Some(p) = &spec.storage_path {
+            let parsed = StoragePath::parse(p).map_err(|e| UcError::InvalidArgument(e.to_string()))?;
+            if spec.table_type == TableType::External {
+                self.authorize_external_path(ctx, ms, &parsed)?;
+            }
+        }
+        let now = self.now_ms();
+        let leaf = spec.name.asset().unwrap().to_string();
+        let created = self.write_ms(ms, |tx, _ver, fx| {
+            let nk = keys::name_key(ms, Some(&schema_ent.id), SecurableKind::Table.name_group(), &leaf);
+            if tx.get(T_NAME, &nk).is_some() {
+                return Err(UcError::AlreadyExists(spec.name.to_string()));
+            }
+            let mut ent = Entity::new(
+                SecurableKind::Table,
+                &leaf,
+                Some(schema_ent.id.clone()),
+                ms.clone(),
+                &ctx.principal,
+                now,
+            );
+            ent.set_table_schema(&spec.columns);
+            ent.properties.insert(props::TABLE_TYPE.to_string(), spec.table_type.as_str().to_string());
+            ent.properties.insert(props::FORMAT.to_string(), spec.format.as_str().to_string());
+            if let Some(ft) = &spec.foreign_type {
+                ent.properties.insert(props::FOREIGN_TYPE.to_string(), ft.clone());
+            }
+            let path = match (spec.table_type, &spec.storage_path) {
+                (TableType::Managed, _) => Some(self.managed_path(ms, SecurableKind::Table, &ent.id)?),
+                (_, Some(p)) => Some(StoragePath::parse(p).map_err(|e| UcError::InvalidArgument(e.to_string()))?),
+                _ => None,
+            };
+            if let Some(path) = &path {
+                paths::register_path(tx, ms, path, &ent.id)?;
+                ent.storage_path = Some(path.to_string());
+            }
+            (manifest(ent.kind).validate)(&ent)?;
+            Ok(fx.upsert(tx, ent, ChangeOp::Create))
+        })?;
+        self.record_audit(&ctx.principal, "createTable", Some(&created.id), AuditDecision::Allow, &spec.name.to_string());
+        Ok(created)
+    }
+
+    /// Create a shallow clone of a table: a new relation that shares the
+    /// source's data files at a pinned version (zero-copy). Per §4.3.2,
+    /// SELECT on the clone grants access to its data even without
+    /// privileges on the base table — the same view-style semantics, so
+    /// the base rides along as a resolved dependency.
+    pub fn create_shallow_clone(
+        &self,
+        ctx: &Context,
+        ms: &Uid,
+        name: &FullName,
+        source: &FullName,
+        source_version: i64,
+    ) -> UcResult<Arc<Entity>> {
+        self.api_enter();
+        let full = self.authorize_create_in_schema(ctx, ms, name, SecurableKind::Table)?;
+        let schema_ent = full[0].clone();
+        let src_chain = self.lookup_chain(ms, source, "relation")?;
+        let src = src_chain[0].clone();
+        if src.kind != SecurableKind::Table || src.storage_path.is_none() {
+            return Err(UcError::InvalidArgument(format!(
+                "{source} is not a cloneable storage-backed table"
+            )));
+        }
+        // the cloner must be able to read the source
+        let who = self.authz_context(ms, &ctx.principal)?;
+        let src_full = self.chain_from_entity(ms, src.clone())?;
+        if !Self::authz_of(&src_full).can_read_data(&who, crate::authz::Privilege::Select) {
+            self.record_audit(&ctx.principal, "createShallowClone", Some(&src.id), AuditDecision::Deny, &source.to_string());
+            return Err(UcError::PermissionDenied(format!(
+                "SELECT on {source} required to clone it"
+            )));
+        }
+        let now = self.now_ms();
+        let leaf = name.asset().unwrap().to_string();
+        let created = self.write_ms(ms, |tx, _ver, fx| {
+            let nk = keys::name_key(ms, Some(&schema_ent.id), SecurableKind::Table.name_group(), &leaf);
+            if tx.get(T_NAME, &nk).is_some() {
+                return Err(UcError::AlreadyExists(name.to_string()));
+            }
+            let mut ent = Entity::new(
+                SecurableKind::Table,
+                &leaf,
+                Some(schema_ent.id.clone()),
+                ms.clone(),
+                &ctx.principal,
+                now,
+            );
+            ent.set_table_schema(&src.table_schema()?);
+            ent.properties
+                .insert(props::TABLE_TYPE.to_string(), TableType::ShallowClone.as_str().to_string());
+            if let Some(f) = src.properties.get(props::FORMAT) {
+                ent.properties.insert(props::FORMAT.to_string(), f.clone());
+            }
+            ent.properties.insert(props::CLONE_BASE.to_string(), src.id.to_string());
+            ent.properties
+                .insert("clone_version".to_string(), source_version.to_string());
+            // The clone has no storage of its own: data access flows
+            // through the resolved base dependency.
+            ent.set_dependencies(std::slice::from_ref(&src.id));
+            (manifest(ent.kind).validate)(&ent)?;
+            Ok(fx.upsert(tx, ent, ChangeOp::Create))
+        })?;
+        self.record_audit(&ctx.principal, "createShallowClone", Some(&created.id), AuditDecision::Allow, &format!("{source} -> {name}"));
+        Ok(created)
+    }
+
+    /// Create a view over other relations. The creator must be able to
+    /// read every base relation; afterwards, SELECT on the view suffices
+    /// for readers (view-based access control, §4.3.2).
+    pub fn create_view(
+        &self,
+        ctx: &Context,
+        ms: &Uid,
+        name: &FullName,
+        view_sql: &str,
+        columns: Schema,
+        dependencies: &[FullName],
+    ) -> UcResult<Arc<Entity>> {
+        self.api_enter();
+        let full = self.authorize_create_in_schema(ctx, ms, name, SecurableKind::View)?;
+        let schema_ent = full[0].clone();
+        let who = self.authz_context(ms, &ctx.principal)?;
+        let mut dep_ids = Vec::new();
+        for dep in dependencies {
+            let dep_chain = self.lookup_chain(ms, dep, "relation")?;
+            let dep_full = self.chain_from_entity(ms, dep_chain[0].clone())?;
+            let authz = Self::authz_of(&dep_full);
+            if !authz.can_read_data(&who, crate::authz::Privilege::Select) {
+                return Err(UcError::PermissionDenied(format!(
+                    "view creator needs SELECT on {dep}"
+                )));
+            }
+            dep_ids.push(dep_chain[0].id.clone());
+        }
+        let now = self.now_ms();
+        let leaf = name.asset().unwrap().to_string();
+        let created = self.write_ms(ms, |tx, _ver, fx| {
+            let nk = keys::name_key(ms, Some(&schema_ent.id), SecurableKind::View.name_group(), &leaf);
+            if tx.get(T_NAME, &nk).is_some() {
+                return Err(UcError::AlreadyExists(name.to_string()));
+            }
+            let mut ent = Entity::new(
+                SecurableKind::View,
+                &leaf,
+                Some(schema_ent.id.clone()),
+                ms.clone(),
+                &ctx.principal,
+                now,
+            );
+            ent.set_table_schema(&columns);
+            ent.properties.insert(props::TABLE_TYPE.to_string(), TableType::View.as_str().to_string());
+            ent.properties.insert(props::VIEW_SQL.to_string(), view_sql.to_string());
+            ent.set_dependencies(&dep_ids);
+            (manifest(ent.kind).validate)(&ent)?;
+            Ok(fx.upsert(tx, ent, ChangeOp::Create))
+        })?;
+        self.record_audit(&ctx.principal, "createView", Some(&created.id), AuditDecision::Allow, &name.to_string());
+        Ok(created)
+    }
+
+    /// Create a volume (managed unless an external path is given).
+    pub fn create_volume(
+        &self,
+        ctx: &Context,
+        ms: &Uid,
+        name: &FullName,
+        external_path: Option<&str>,
+    ) -> UcResult<Arc<Entity>> {
+        self.api_enter();
+        let full = self.authorize_create_in_schema(ctx, ms, name, SecurableKind::Volume)?;
+        let schema_ent = full[0].clone();
+        if let Some(p) = external_path {
+            let parsed = StoragePath::parse(p).map_err(|e| UcError::InvalidArgument(e.to_string()))?;
+            self.authorize_external_path(ctx, ms, &parsed)?;
+        }
+        let now = self.now_ms();
+        let leaf = name.asset().unwrap().to_string();
+        let created = self.write_ms(ms, |tx, _ver, fx| {
+            let nk = keys::name_key(ms, Some(&schema_ent.id), SecurableKind::Volume.name_group(), &leaf);
+            if tx.get(T_NAME, &nk).is_some() {
+                return Err(UcError::AlreadyExists(name.to_string()));
+            }
+            let mut ent = Entity::new(
+                SecurableKind::Volume,
+                &leaf,
+                Some(schema_ent.id.clone()),
+                ms.clone(),
+                &ctx.principal,
+                now,
+            );
+            let path = match external_path {
+                Some(p) => StoragePath::parse(p).map_err(|e| UcError::InvalidArgument(e.to_string()))?,
+                None => self.managed_path(ms, SecurableKind::Volume, &ent.id)?,
+            };
+            paths::register_path(tx, ms, &path, &ent.id)?;
+            ent.storage_path = Some(path.to_string());
+            ent.properties.insert(
+                props::TABLE_TYPE.to_string(),
+                if external_path.is_some() { "EXTERNAL" } else { "MANAGED" }.to_string(),
+            );
+            (manifest(ent.kind).validate)(&ent)?;
+            Ok(fx.upsert(tx, ent, ChangeOp::Create))
+        })?;
+        self.record_audit(&ctx.principal, "createVolume", Some(&created.id), AuditDecision::Allow, &name.to_string());
+        Ok(created)
+    }
+
+    /// Create a SQL function.
+    pub fn create_function(
+        &self,
+        ctx: &Context,
+        ms: &Uid,
+        name: &FullName,
+        body: &str,
+    ) -> UcResult<Arc<Entity>> {
+        self.api_enter();
+        let full = self.authorize_create_in_schema(ctx, ms, name, SecurableKind::Function)?;
+        let schema_ent = full[0].clone();
+        let now = self.now_ms();
+        let leaf = name.asset().unwrap().to_string();
+        let created = self.write_ms(ms, |tx, _ver, fx| {
+            let nk = keys::name_key(ms, Some(&schema_ent.id), SecurableKind::Function.name_group(), &leaf);
+            if tx.get(T_NAME, &nk).is_some() {
+                return Err(UcError::AlreadyExists(name.to_string()));
+            }
+            let mut ent = Entity::new(
+                SecurableKind::Function,
+                &leaf,
+                Some(schema_ent.id.clone()),
+                ms.clone(),
+                &ctx.principal,
+                now,
+            );
+            ent.properties.insert("body".to_string(), body.to_string());
+            Ok(fx.upsert(tx, ent, ChangeOp::Create))
+        })?;
+        self.record_audit(&ctx.principal, "createFunction", Some(&created.id), AuditDecision::Allow, &name.to_string());
+        Ok(created)
+    }
+
+    /// Create a registered model (the MLflow registry asset type, §4.2.3).
+    pub fn create_registered_model(
+        &self,
+        ctx: &Context,
+        ms: &Uid,
+        name: &FullName,
+    ) -> UcResult<Arc<Entity>> {
+        self.api_enter();
+        let full = self.authorize_create_in_schema(ctx, ms, name, SecurableKind::RegisteredModel)?;
+        let schema_ent = full[0].clone();
+        let now = self.now_ms();
+        let leaf = name.asset().unwrap().to_string();
+        let created = self.write_ms(ms, |tx, _ver, fx| {
+            let nk = keys::name_key(ms, Some(&schema_ent.id), SecurableKind::RegisteredModel.name_group(), &leaf);
+            if tx.get(T_NAME, &nk).is_some() {
+                return Err(UcError::AlreadyExists(name.to_string()));
+            }
+            let mut ent = Entity::new(
+                SecurableKind::RegisteredModel,
+                &leaf,
+                Some(schema_ent.id.clone()),
+                ms.clone(),
+                &ctx.principal,
+                now,
+            );
+            ent.properties.insert("next_version".to_string(), "1".to_string());
+            let path = self.managed_path(ms, SecurableKind::RegisteredModel, &ent.id)?;
+            paths::register_path(tx, ms, &path, &ent.id)?;
+            ent.storage_path = Some(path.to_string());
+            Ok(fx.upsert(tx, ent, ChangeOp::Create))
+        })?;
+        self.record_audit(&ctx.principal, "createRegisteredModel", Some(&created.id), AuditDecision::Allow, &name.to_string());
+        Ok(created)
+    }
+
+    /// Create the next version of a registered model. Returns the version
+    /// entity and its number. The version's artifacts live under the
+    /// model's managed path (governed by the model's chain, so the path is
+    /// deliberately not separately registered in the path index).
+    pub fn create_model_version(
+        &self,
+        ctx: &Context,
+        ms: &Uid,
+        model_name: &FullName,
+    ) -> UcResult<(Arc<Entity>, u64)> {
+        self.api_enter();
+        let chain = self.lookup_chain(ms, model_name, SecurableKind::RegisteredModel.name_group())?;
+        let model = chain[0].clone();
+        if model.kind != SecurableKind::RegisteredModel {
+            return Err(UcError::InvalidArgument(format!("{model_name} is not a model")));
+        }
+        let full = self.chain_from_entity(ms, model.clone())?;
+        let who = self.authz_context(ms, &ctx.principal)?;
+        let authz = Self::authz_of(&full);
+        if !(authz.has_admin_authority(&who) || authz.has_privilege(&who, crate::authz::Privilege::Modify)) {
+            self.record_audit(&ctx.principal, "createModelVersion", Some(&model.id), AuditDecision::Deny, &model_name.to_string());
+            return Err(UcError::PermissionDenied("MODIFY on model required".into()));
+        }
+        let now = self.now_ms();
+        let result = self.write_ms(ms, |tx, _ver, fx| {
+            // Re-read the model inside the transaction for a race-free
+            // version counter.
+            let raw = tx
+                .get(T_ENTITY, &keys::ent_key(ms, &model.id))
+                .ok_or_else(|| UcError::NotFound(model_name.to_string()))?;
+            let mut model_now = Entity::decode(&raw)?;
+            if !model_now.is_active() {
+                return Err(UcError::NotFound(model_name.to_string()));
+            }
+            let version: u64 = model_now
+                .properties
+                .get("next_version")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(1);
+            model_now
+                .properties
+                .insert("next_version".to_string(), (version + 1).to_string());
+            model_now.updated_at_ms = now;
+
+            let mut ver_ent = Entity::new(
+                SecurableKind::ModelVersion,
+                &format!("v{version}"),
+                Some(model.id.clone()),
+                ms.clone(),
+                &ctx.principal,
+                now,
+            );
+            ver_ent.properties.insert(props::MODEL_VERSION.to_string(), version.to_string());
+            ver_ent.properties.insert(props::MODEL_STAGE.to_string(), "None".to_string());
+            if let Some(base) = &model_now.storage_path {
+                ver_ent.storage_path = Some(format!("{base}/v{version}"));
+            }
+            (manifest(ver_ent.kind).validate)(&ver_ent)?;
+            fx.upsert(tx, model_now, ChangeOp::Update);
+            let arc = fx.upsert(tx, ver_ent, ChangeOp::Create);
+            Ok((arc, version))
+        })?;
+        self.record_audit(&ctx.principal, "createModelVersion", Some(&result.0.id), AuditDecision::Allow, &model_name.to_string());
+        Ok(result)
+    }
+
+    // ------------------------------------------------------------------
+    // Reads
+    // ------------------------------------------------------------------
+
+    /// Fetch a securable by qualified name, enforcing visibility.
+    pub fn get_securable(
+        &self,
+        ctx: &Context,
+        ms: &Uid,
+        name: &FullName,
+        leaf_group: &str,
+    ) -> UcResult<Arc<Entity>> {
+        self.api_enter();
+        let chain = self.lookup_chain(ms, name, leaf_group)?;
+        let full = self.chain_from_entity(ms, chain[0].clone())?;
+        self.enforce_workspace_binding(ctx, &full)?;
+        let who = self.authz_context(ms, &ctx.principal)?;
+        let authz = Self::authz_of(&full);
+        if !authz.can_see(&who) {
+            self.record_audit(&ctx.principal, "getSecurable", Some(&chain[0].id), AuditDecision::Deny, &name.to_string());
+            // existence is hidden from unprivileged callers
+            return Err(UcError::NotFound(name.to_string()));
+        }
+        self.record_audit(&ctx.principal, "getSecurable", Some(&chain[0].id), AuditDecision::Allow, &name.to_string());
+        Ok(chain[0].clone())
+    }
+
+    /// Fetch a table or view by name.
+    pub fn get_table(&self, ctx: &Context, ms: &Uid, name: &str) -> UcResult<Arc<Entity>> {
+        self.get_securable(ctx, ms, &FullName::parse(name)?, "relation")
+    }
+
+    /// List catalogs visible to the caller.
+    pub fn list_catalogs(&self, ctx: &Context, ms: &Uid) -> UcResult<Vec<Arc<Entity>>> {
+        self.api_enter();
+        let who = self.authz_context(ms, &ctx.principal)?;
+        let rt = self.db.begin_read();
+        let prefix = keys::children_group_prefix(ms, None, SecurableKind::Catalog.name_group());
+        let mut out = Vec::new();
+        for (_, id_raw) in rt.scan_prefix(T_NAME, &prefix) {
+            let id = Uid::from_string(String::from_utf8(id_raw.to_vec()).unwrap_or_default());
+            if let Some(ent) = self.entity_by_id(ms, &id)? {
+                let full = self.chain_from_entity(ms, ent.clone())?;
+                if Self::authz_of(&full).can_see(&who) {
+                    out.push(ent);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// List the children of a container (catalog → schemas, schema →
+    /// assets), optionally restricted to one namespace group.
+    pub fn list_children(
+        &self,
+        ctx: &Context,
+        ms: &Uid,
+        parent: &FullName,
+        group: Option<&str>,
+    ) -> UcResult<Vec<Arc<Entity>>> {
+        self.api_enter();
+        let parent_group = if parent.len() == 1 { "catalog" } else { "schema" };
+        let chain = self.lookup_chain(ms, parent, parent_group)?;
+        let parent_ent = chain[0].clone();
+        let parent_full = self.chain_from_entity(ms, parent_ent.clone())?;
+        self.enforce_workspace_binding(ctx, &parent_full)?;
+        let who = self.authz_context(ms, &ctx.principal)?;
+        let rt = self.db.begin_read();
+        let prefix = match group {
+            Some(g) => keys::children_group_prefix(ms, Some(&parent_ent.id), g),
+            None => keys::children_prefix(ms, Some(&parent_ent.id)),
+        };
+        let mut out = Vec::new();
+        for (_, id_raw) in rt.scan_prefix(T_NAME, &prefix) {
+            let id = Uid::from_string(String::from_utf8(id_raw.to_vec()).unwrap_or_default());
+            if let Some(ent) = self.entity_by_id(ms, &id)? {
+                let full = self.chain_from_entity(ms, ent.clone())?;
+                if Self::authz_of(&full).can_see(&who) {
+                    out.push(ent);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Updates
+    // ------------------------------------------------------------------
+
+    /// Internal: rewrite an entity by id through the write protocol.
+    pub(crate) fn update_entity_by_id(
+        &self,
+        ms: &Uid,
+        id: &Uid,
+        f: impl Fn(&mut Entity) -> UcResult<()>,
+    ) -> UcResult<Arc<Entity>> {
+        let now = self.now_ms();
+        self.write_ms(ms, |tx, _ver, fx| {
+            let raw = tx
+                .get(T_ENTITY, &keys::ent_key(ms, id))
+                .ok_or_else(|| UcError::NotFound(id.to_string()))?;
+            let mut ent = Entity::decode(&raw)?;
+            // A soft-deleted row must never be updated: its name may have
+            // been re-assigned to a successor entity, and re-upserting
+            // would resurrect the tombstoned name-index entry (a caller
+            // can reach this via a stale cached name mapping; the
+            // serializable write is where staleness gets caught).
+            if !ent.is_active() {
+                return Err(UcError::NotFound(id.to_string()));
+            }
+            f(&mut ent)?;
+            ent.updated_at_ms = now;
+            (manifest(ent.kind).validate)(&ent)?;
+            Ok(fx.upsert(tx, ent, ChangeOp::Update))
+        })
+    }
+
+    /// Update a securable's comment (MODIFY or admin authority).
+    pub fn update_comment(
+        &self,
+        ctx: &Context,
+        ms: &Uid,
+        name: &FullName,
+        leaf_group: &str,
+        comment: &str,
+    ) -> UcResult<Arc<Entity>> {
+        self.api_enter();
+        let chain = self.lookup_chain(ms, name, leaf_group)?;
+        let target = chain[0].clone();
+        if !manifest(target.kind).updatable_fields.contains(&"comment") {
+            return Err(UcError::UnsupportedOperation(format!(
+                "{} does not support comment updates",
+                target.kind
+            )));
+        }
+        let full = self.chain_from_entity(ms, target.clone())?;
+        let who = self.authz_context(ms, &ctx.principal)?;
+        let authz = Self::authz_of(&full);
+        if !(authz.has_admin_authority(&who) || authz.has_privilege(&who, crate::authz::Privilege::Modify)) {
+            self.record_audit(&ctx.principal, "updateComment", Some(&target.id), AuditDecision::Deny, &name.to_string());
+            return Err(UcError::PermissionDenied("MODIFY required".into()));
+        }
+        let updated = self.update_entity_by_id(ms, &target.id, |e| {
+            e.comment = Some(comment.to_string());
+            Ok(())
+        })?;
+        self.record_audit(&ctx.principal, "updateComment", Some(&target.id), AuditDecision::Allow, &name.to_string());
+        Ok(updated)
+    }
+
+    /// Transfer ownership (admin authority required).
+    pub fn transfer_ownership(
+        &self,
+        ctx: &Context,
+        ms: &Uid,
+        name: &FullName,
+        leaf_group: &str,
+        new_owner: &str,
+    ) -> UcResult<Arc<Entity>> {
+        self.api_enter();
+        let chain = self.lookup_chain(ms, name, leaf_group)?;
+        let target = chain[0].clone();
+        let full = self.chain_from_entity(ms, target.clone())?;
+        let who = self.authz_context(ms, &ctx.principal)?;
+        if !Self::authz_of(&full).has_admin_authority(&who) {
+            self.record_audit(&ctx.principal, "transferOwnership", Some(&target.id), AuditDecision::Deny, new_owner);
+            return Err(UcError::PermissionDenied("admin authority required".into()));
+        }
+        let updated = self.update_entity_by_id(ms, &target.id, |e| {
+            e.owner = new_owner.to_string();
+            Ok(())
+        })?;
+        self.record_audit(&ctx.principal, "transferOwnership", Some(&target.id), AuditDecision::Allow, new_owner);
+        Ok(updated)
+    }
+
+    /// Rename a securable in place (admin authority). IDs are stable, so
+    /// grants, lineage, shares, and view dependencies survive the rename;
+    /// only the name index moves.
+    pub fn rename_securable(
+        &self,
+        ctx: &Context,
+        ms: &Uid,
+        name: &FullName,
+        leaf_group: &str,
+        new_name: &str,
+    ) -> UcResult<Arc<Entity>> {
+        self.api_enter();
+        validate_object_name(new_name)?;
+        let chain = self.lookup_chain(ms, name, leaf_group)?;
+        let target = chain[0].clone();
+        if target.kind.is_container() && target.kind != SecurableKind::Schema {
+            // renaming catalogs would silently break external references;
+            // UC likewise restricts it
+            return Err(UcError::UnsupportedOperation(format!(
+                "{} cannot be renamed",
+                target.kind
+            )));
+        }
+        let full = self.chain_from_entity(ms, target.clone())?;
+        let who = self.authz_context(ms, &ctx.principal)?;
+        if !Self::authz_of(&full).has_admin_authority(&who) {
+            self.record_audit(&ctx.principal, "renameSecurable", Some(&target.id), AuditDecision::Deny, new_name);
+            return Err(UcError::PermissionDenied("admin authority required to rename".into()));
+        }
+        let now = self.now_ms();
+        let renamed = self.write_ms(ms, |tx, _ver, fx| {
+            let raw = tx
+                .get(T_ENTITY, &keys::ent_key(ms, &target.id))
+                .ok_or_else(|| UcError::NotFound(name.to_string()))?;
+            let mut ent = Entity::decode(&raw)?;
+            if !ent.is_active() {
+                return Err(UcError::NotFound(name.to_string()));
+            }
+            let old_key =
+                keys::name_key(ms, ent.parent.as_ref(), ent.kind.name_group(), &ent.name);
+            let new_key = keys::name_key(ms, ent.parent.as_ref(), ent.kind.name_group(), new_name);
+            if new_key != old_key && tx.get(T_NAME, &new_key).is_some() {
+                return Err(UcError::AlreadyExists(new_name.to_string()));
+            }
+            tx.delete(T_NAME, &old_key);
+            fx.dropped_names.push(old_key);
+            ent.name = new_name.to_string();
+            ent.updated_at_ms = now;
+            Ok(fx.upsert(tx, ent, ChangeOp::Update))
+        })?;
+        self.record_audit(&ctx.principal, "renameSecurable", Some(&renamed.id), AuditDecision::Allow, &format!("{name} -> {new_name}"));
+        Ok(renamed)
+    }
+
+    /// Bind a catalog to a set of workspaces; an empty list clears the
+    /// binding. Admin authority on the catalog required.
+    pub fn set_catalog_bindings(
+        &self,
+        ctx: &Context,
+        ms: &Uid,
+        catalog: &str,
+        workspaces: &[&str],
+    ) -> UcResult<()> {
+        self.api_enter();
+        let chain = self.lookup_chain(ms, &FullName::of(&[catalog]), "catalog")?;
+        let target = chain[0].clone();
+        let full = self.chain_from_entity(ms, target.clone())?;
+        let who = self.authz_context(ms, &ctx.principal)?;
+        if !Self::authz_of(&full).has_admin_authority(&who) {
+            return Err(UcError::PermissionDenied("admin authority required for bindings".into()));
+        }
+        let list: Vec<String> = workspaces.iter().map(|w| w.to_string()).collect();
+        self.update_entity_by_id(ms, &target.id, |e| {
+            e.set_workspace_bindings(&list);
+            Ok(())
+        })?;
+        self.record_audit(&ctx.principal, "setCatalogBindings", Some(&target.id), AuditDecision::Allow, &format!("{list:?}"));
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Deletion and garbage collection
+    // ------------------------------------------------------------------
+
+    /// Soft-delete a securable (admin authority). Containers cascade to
+    /// all descendants. Returns the number of entities soft-deleted.
+    pub fn drop_securable(
+        &self,
+        ctx: &Context,
+        ms: &Uid,
+        name: &FullName,
+        leaf_group: &str,
+    ) -> UcResult<usize> {
+        self.api_enter();
+        let chain = self.lookup_chain(ms, name, leaf_group)?;
+        let target = chain[0].clone();
+        let full = self.chain_from_entity(ms, target.clone())?;
+        let who = self.authz_context(ms, &ctx.principal)?;
+        if !Self::authz_of(&full).has_admin_authority(&who) {
+            self.record_audit(&ctx.principal, "dropSecurable", Some(&target.id), AuditDecision::Deny, &name.to_string());
+            return Err(UcError::PermissionDenied("admin authority required to drop".into()));
+        }
+        let now = self.now_ms();
+        let count = self.write_ms(ms, |tx, _ver, fx| {
+            let mut count = 0;
+            Self::soft_delete_recursive(tx, ms, &target.id, now, fx, &mut count, 0)?;
+            Ok(count)
+        })?;
+        self.record_audit(&ctx.principal, "dropSecurable", Some(&target.id), AuditDecision::Allow, &format!("{name} ({count} entities)"));
+        Ok(count)
+    }
+
+    fn soft_delete_recursive(
+        tx: &mut uc_txdb::WriteTxn,
+        ms: &Uid,
+        id: &Uid,
+        now: u64,
+        fx: &mut WriteEffects,
+        count: &mut usize,
+        depth: usize,
+    ) -> UcResult<()> {
+        if depth > 8 {
+            return Err(UcError::Database("deletion recursion too deep".into()));
+        }
+        let Some(raw) = tx.get(T_ENTITY, &keys::ent_key(ms, id)) else {
+            return Ok(());
+        };
+        let mut ent = Entity::decode(&raw)?;
+        if ent.state == LifecycleState::SoftDeleted {
+            return Ok(());
+        }
+        // Cascade first (children discovered via the name index).
+        let child_ids: Vec<Uid> = tx
+            .scan_prefix(T_NAME, &keys::children_prefix(ms, Some(id)))
+            .into_iter()
+            .filter_map(|(_, raw)| String::from_utf8(raw.to_vec()).ok())
+            .map(Uid::from_string)
+            .collect();
+        for child in child_ids {
+            Self::soft_delete_recursive(tx, ms, &child, now, fx, count, depth + 1)?;
+        }
+        // Free the name immediately; keep the row for GC.
+        tx.delete(
+            T_NAME,
+            &keys::name_key(ms, ent.parent.as_ref(), ent.kind.name_group(), &ent.name),
+        );
+        if let Some(p) = ent.storage_path.as_ref().and_then(|p| StoragePath::parse(p).ok()) {
+            paths::unregister_path(tx, ms, &p);
+        }
+        ent.state = LifecycleState::SoftDeleted;
+        ent.updated_at_ms = now;
+        tx.put(T_ENTITY, &keys::ent_key(ms, &ent.id), ent.encode());
+        fx.events.push((ent.id.clone(), ent.kind, ent.name.clone(), ChangeOp::Delete));
+        fx.tombstones.push(ent.id.clone());
+        *count += 1;
+        Ok(())
+    }
+
+    /// Garbage-collect soft-deleted entities: remove their rows, their
+    /// catalog-owned commit history, and (for managed assets) their cloud
+    /// storage. Returns (entities purged, storage objects deleted).
+    pub fn purge_soft_deleted(&self, ms: &Uid) -> UcResult<(usize, usize)> {
+        self.api_enter();
+        // Collect victims outside the write to keep the transaction small.
+        let rt = self.db.begin_read();
+        let victims: Vec<Entity> = rt
+            .scan_prefix(T_ENTITY, &format!("{ms}/"))
+            .into_iter()
+            .filter_map(|(_, raw)| Entity::decode(&raw).ok())
+            .filter(|e| e.state == LifecycleState::SoftDeleted)
+            .collect();
+        drop(rt);
+        let mut objects_deleted = 0;
+        for victim in &victims {
+            // Managed storage cleanup happens before metadata removal so a
+            // crash leaves the tombstone for a retry.
+            let managed = victim.table_type() == Some(TableType::Managed)
+                || victim.kind == SecurableKind::RegisteredModel;
+            if managed {
+                if let Some(path) = victim.storage_path.as_ref().and_then(|p| StoragePath::parse(p).ok()) {
+                    if let Ok(root) = self.root_for_bucket(ms, path.bucket()) {
+                        let cred = uc_cloudstore::Credential::Root(root);
+                        if let Ok(objs) = self.store.list(&cred, &path) {
+                            for o in objs {
+                                if self.store.delete(&cred, &o.path).is_ok() {
+                                    objects_deleted += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let purged = self.write_ms(ms, |tx, _ver, _fx| {
+            let mut purged = 0;
+            for victim in &victims {
+                if tx.get(T_ENTITY, &keys::ent_key(ms, &victim.id)).is_some() {
+                    tx.delete(T_ENTITY, &keys::ent_key(ms, &victim.id));
+                    // Drop catalog-owned commit history.
+                    for (k, _) in tx.scan_prefix(T_COMMIT, &keys::commit_prefix(ms, &victim.id)) {
+                        tx.delete(T_COMMIT, &k);
+                    }
+                    purged += 1;
+                }
+            }
+            Ok(purged)
+        })?;
+        Ok((purged, objects_deleted))
+    }
+}

@@ -1,0 +1,368 @@
+//! Discovery-facing APIs (§4.4): tags, FGAC/ABAC policy management,
+//! lineage ingestion and traversal, the change-event feed, and the
+//! metadata query API (information schema) with filter pushdown.
+
+use std::collections::{BTreeSet, HashSet, VecDeque};
+use std::sync::Arc;
+
+use crate::audit::AuditDecision;
+use crate::authz::abac::AbacPolicy;
+use crate::authz::fgac::{ColumnMaskPolicy, RowFilterPolicy};
+use crate::error::{UcError, UcResult};
+use crate::events::{ChangeOp, MetadataChangeEvent};
+use crate::ids::Uid;
+use crate::lineage::{LineageDirection, LineageEdge};
+use crate::model::entity::Entity;
+use crate::model::keys::{self, T_ENTITY, T_LINEAGE};
+use crate::service::{Context, UnityCatalog};
+use crate::types::{FullName, SecurableKind};
+
+/// A pushed-down predicate for the metadata query API.
+#[derive(Debug, Clone)]
+pub enum MetaFilter {
+    KindIs(SecurableKind),
+    OwnerIs(String),
+    /// Property equals value (e.g. format = DELTA).
+    PropEquals(String, String),
+    /// Entity carries this tag key (any value).
+    HasTag(String),
+    NameContains(String),
+}
+
+impl MetaFilter {
+    fn matches(&self, e: &Entity) -> bool {
+        match self {
+            MetaFilter::KindIs(k) => e.kind == *k,
+            MetaFilter::OwnerIs(o) => &e.owner == o,
+            MetaFilter::PropEquals(k, v) => e.properties.get(k) == Some(v),
+            MetaFilter::HasTag(k) => e.properties.contains_key(&format!("tag:{k}")),
+            MetaFilter::NameContains(s) => e.name.contains(s.as_str()),
+        }
+    }
+}
+
+impl UnityCatalog {
+    // ------------------------------------------------------------------
+    // Tags
+    // ------------------------------------------------------------------
+
+    /// Set an entity-level tag (MODIFY or admin authority).
+    pub fn set_tag(
+        &self,
+        ctx: &Context,
+        ms: &Uid,
+        name: &FullName,
+        leaf_group: &str,
+        key: &str,
+        value: &str,
+    ) -> UcResult<()> {
+        self.tag_update(ctx, ms, name, leaf_group, |e| {
+            e.set_tag(key, value);
+        })
+    }
+
+    /// Set a column-level tag on a relation.
+    pub fn set_column_tag(
+        &self,
+        ctx: &Context,
+        ms: &Uid,
+        name: &FullName,
+        column: &str,
+        key: &str,
+        value: &str,
+    ) -> UcResult<()> {
+        self.tag_update(ctx, ms, name, "relation", |e| {
+            e.set_column_tag(column, key, value);
+        })
+    }
+
+    fn tag_update(
+        &self,
+        ctx: &Context,
+        ms: &Uid,
+        name: &FullName,
+        leaf_group: &str,
+        f: impl Fn(&mut Entity),
+    ) -> UcResult<()> {
+        self.api_enter();
+        let chain = self.lookup_chain(ms, name, leaf_group)?;
+        let target = chain[0].clone();
+        let full = self.chain_from_entity(ms, target.clone())?;
+        let who = self.authz_context(ms, &ctx.principal)?;
+        let authz = Self::authz_of(&full);
+        if !(authz.has_admin_authority(&who) || authz.has_privilege(&who, crate::authz::Privilege::Modify)) {
+            self.record_audit(&ctx.principal, "setTag", Some(&target.id), AuditDecision::Deny, &name.to_string());
+            return Err(UcError::PermissionDenied("MODIFY required to tag".into()));
+        }
+        self.update_entity_by_id(ms, &target.id, |e| {
+            f(e);
+            Ok(())
+        })?;
+        self.publish_simple(ms, &target, ChangeOp::TagChange);
+        self.record_audit(&ctx.principal, "setTag", Some(&target.id), AuditDecision::Allow, &name.to_string());
+        Ok(())
+    }
+
+    /// Read tags on a securable the caller can see.
+    pub fn get_tags(
+        &self,
+        ctx: &Context,
+        ms: &Uid,
+        name: &FullName,
+        leaf_group: &str,
+    ) -> UcResult<Vec<(String, String)>> {
+        let ent = self.get_securable(ctx, ms, name, leaf_group)?;
+        Ok(ent.tags())
+    }
+
+    // ------------------------------------------------------------------
+    // FGAC / ABAC policy management
+    // ------------------------------------------------------------------
+
+    /// Attach a row filter to a table (admin authority required).
+    pub fn set_row_filter(
+        &self,
+        ctx: &Context,
+        ms: &Uid,
+        table: &FullName,
+        policy: RowFilterPolicy,
+    ) -> UcResult<()> {
+        self.policy_update(ctx, ms, table, "setRowFilter", move |e| {
+            e.set_row_filter(&policy);
+        })
+    }
+
+    /// Attach a column mask to a table (admin authority required).
+    pub fn set_column_mask(
+        &self,
+        ctx: &Context,
+        ms: &Uid,
+        table: &FullName,
+        policy: ColumnMaskPolicy,
+    ) -> UcResult<()> {
+        self.policy_update(ctx, ms, table, "setColumnMask", move |e| {
+            e.set_column_mask(&policy);
+        })
+    }
+
+    /// Remove a table's row filter.
+    pub fn clear_row_filter(&self, ctx: &Context, ms: &Uid, table: &FullName) -> UcResult<()> {
+        self.policy_update(ctx, ms, table, "clearRowFilter", |e| {
+            e.clear_row_filter();
+        })
+    }
+
+    fn policy_update(
+        &self,
+        ctx: &Context,
+        ms: &Uid,
+        table: &FullName,
+        action: &str,
+        f: impl Fn(&mut Entity),
+    ) -> UcResult<()> {
+        self.api_enter();
+        let chain = self.lookup_chain(ms, table, "relation")?;
+        let target = chain[0].clone();
+        let full = self.chain_from_entity(ms, target.clone())?;
+        let who = self.authz_context(ms, &ctx.principal)?;
+        if !Self::authz_of(&full).has_admin_authority(&who) {
+            self.record_audit(&ctx.principal, action, Some(&target.id), AuditDecision::Deny, &table.to_string());
+            return Err(UcError::PermissionDenied("admin authority required for policies".into()));
+        }
+        self.update_entity_by_id(ms, &target.id, |e| {
+            f(e);
+            Ok(())
+        })?;
+        self.record_audit(&ctx.principal, action, Some(&target.id), AuditDecision::Allow, &table.to_string());
+        Ok(())
+    }
+
+    /// Attach an ABAC policy to a container (admin authority on the
+    /// container). The policy covers all current AND future securables in
+    /// scope whose tags match.
+    pub fn create_abac_policy(
+        &self,
+        ctx: &Context,
+        ms: &Uid,
+        scope: &FullName,
+        scope_group: &str,
+        policy: AbacPolicy,
+    ) -> UcResult<()> {
+        self.api_enter();
+        let chain = self.lookup_chain(ms, scope, scope_group)?;
+        let target = chain[0].clone();
+        if !target.kind.is_container() {
+            return Err(UcError::InvalidArgument(
+                "ABAC policies attach to containers".into(),
+            ));
+        }
+        let full = self.chain_from_entity(ms, target.clone())?;
+        let who = self.authz_context(ms, &ctx.principal)?;
+        if !Self::authz_of(&full).has_admin_authority(&who) {
+            self.record_audit(&ctx.principal, "createAbacPolicy", Some(&target.id), AuditDecision::Deny, &policy.name);
+            return Err(UcError::PermissionDenied("admin authority required".into()));
+        }
+        let pname = policy.name.clone();
+        self.update_entity_by_id(ms, &target.id, |e| {
+            e.set_abac_policy(&policy);
+            Ok(())
+        })?;
+        self.record_audit(&ctx.principal, "createAbacPolicy", Some(&target.id), AuditDecision::Allow, &pname);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Lineage
+    // ------------------------------------------------------------------
+
+    /// Record a lineage edge reported by an engine: `upstream` fed
+    /// `downstream` in some job/query. The caller must be able to see both
+    /// endpoints.
+    pub fn add_lineage(
+        &self,
+        ctx: &Context,
+        ms: &Uid,
+        upstream: &FullName,
+        downstream: &FullName,
+        via: Option<&str>,
+    ) -> UcResult<()> {
+        self.api_enter();
+        let up = self.get_securable(ctx, ms, upstream, "relation")?;
+        let down = self.get_securable(ctx, ms, downstream, "relation")?;
+        let edge = LineageEdge {
+            upstream: up.id.clone(),
+            downstream: down.id.clone(),
+            via: via.map(|s| s.to_string()),
+            columns: vec![],
+            created_at_ms: self.now_ms(),
+        };
+        // Lineage is discovery metadata: stored transactionally but outside
+        // the metastore-version protocol (it never affects operational
+        // reads, so cache coherence is not required).
+        let mut tx = self.db.begin_write();
+        tx.put(T_LINEAGE, &keys::lineage_down_key(ms, &down.id, &up.id), edge.encode());
+        tx.put(T_LINEAGE, &keys::lineage_up_key(ms, &up.id, &down.id), edge.encode());
+        tx.commit()?;
+        self.events.publish(MetadataChangeEvent {
+            seq: 0,
+            metastore: ms.clone(),
+            entity_id: down.id.clone(),
+            kind: down.kind,
+            name: down.name.clone(),
+            op: ChangeOp::LineageAdd,
+            at_version: 0,
+            timestamp_ms: self.now_ms(),
+        });
+        self.record_audit(&ctx.principal, "addLineage", Some(&down.id), AuditDecision::Allow, &format!("{upstream} -> {downstream}"));
+        Ok(())
+    }
+
+    /// Transitive lineage from a securable, filtered to entities the
+    /// caller can see. Returns entity ids.
+    pub fn lineage(
+        &self,
+        ctx: &Context,
+        ms: &Uid,
+        start: &FullName,
+        direction: LineageDirection,
+        max_hops: usize,
+    ) -> UcResult<BTreeSet<Uid>> {
+        self.api_enter();
+        let start_ent = self.get_securable(ctx, ms, start, "relation")?;
+        let who = self.authz_context(ms, &ctx.principal)?;
+        let rt = self.db.begin_read();
+        let mut seen: HashSet<Uid> = HashSet::new();
+        let mut queue = VecDeque::from([(start_ent.id.clone(), 0usize)]);
+        while let Some((node, depth)) = queue.pop_front() {
+            if depth >= max_hops {
+                continue;
+            }
+            let prefix = match direction {
+                LineageDirection::Downstream => format!("{ms}/u/{node}/"),
+                LineageDirection::Upstream => format!("{ms}/d/{node}/"),
+            };
+            for (key, _) in rt.scan_prefix(T_LINEAGE, &prefix) {
+                let Some(next) = key.rsplit('/').next() else { continue };
+                let next = Uid::from(next);
+                if seen.insert(next.clone()) {
+                    queue.push_back((next, depth + 1));
+                }
+            }
+        }
+        seen.remove(&start_ent.id);
+        // Authorization filter: hide entities the caller cannot see.
+        let mut visible = BTreeSet::new();
+        for id in seen {
+            if let Some(ent) = self.entity_by_id(ms, &id)? {
+                let full = self.chain_from_entity(ms, ent)?;
+                if Self::authz_of(&full).can_see(&who) {
+                    visible.insert(id);
+                }
+            }
+        }
+        Ok(visible)
+    }
+
+    // ------------------------------------------------------------------
+    // Events
+    // ------------------------------------------------------------------
+
+    /// Consume the change-event stream from an offset. Used by second-tier
+    /// services; returns (events, next offset).
+    pub fn events_since(&self, offset: u64) -> (Vec<MetadataChangeEvent>, u64) {
+        self.events.since(offset)
+    }
+
+    fn publish_simple(&self, ms: &Uid, ent: &Entity, op: ChangeOp) {
+        self.events.publish(MetadataChangeEvent {
+            seq: 0,
+            metastore: ms.clone(),
+            entity_id: ent.id.clone(),
+            kind: ent.kind,
+            name: ent.name.clone(),
+            op,
+            at_version: 0,
+            timestamp_ms: self.now_ms(),
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Metadata query API (information schema)
+    // ------------------------------------------------------------------
+
+    /// Query entities in a metastore with pushed-down filters, returning
+    /// only securables visible to the caller. Powers information_schema
+    /// and discovery backends.
+    pub fn query_entities(
+        &self,
+        ctx: &Context,
+        ms: &Uid,
+        filters: &[MetaFilter],
+        limit: usize,
+    ) -> UcResult<Vec<Arc<Entity>>> {
+        self.api_enter();
+        let who = self.authz_context(ms, &ctx.principal)?;
+        let rt = self.db.begin_read();
+        let mut out = Vec::new();
+        for (_, raw) in rt.scan_prefix(T_ENTITY, &format!("{ms}/")) {
+            if out.len() >= limit {
+                break;
+            }
+            let Ok(ent) = Entity::decode(&raw) else { continue };
+            if !ent.is_active() {
+                continue;
+            }
+            // Pushdown: cheap predicate evaluation before the (costlier)
+            // authorization walk.
+            if !filters.iter().all(|f| f.matches(&ent)) {
+                continue;
+            }
+            let ent = Arc::new(ent);
+            let full = self.chain_from_entity(ms, ent.clone())?;
+            if Self::authz_of(&full).can_see(&who) {
+                out.push(ent);
+            }
+        }
+        Ok(out)
+    }
+}

@@ -1,0 +1,765 @@
+//! The Unity Catalog service: one node of the multi-tenant catalog.
+//!
+//! This module holds the node state and the two protocols everything else
+//! is built on:
+//!
+//! * the **cached read protocol** — serve entity lookups from the
+//!   per-metastore write-through cache when the cached metastore version
+//!   is current; otherwise read the database at one snapshot, reconcile
+//!   the cache if the version moved, and install what was read;
+//! * the **write protocol** — a retry loop running each logical write as
+//!   a serializable database transaction that reads the metastore version
+//!   and commits `version + 1`, then write-through-updates the cache and
+//!   publishes change events.
+//!
+//! The public API surface is split across the sibling modules:
+//! [`crud`], [`grants_api`], [`vending`], [`resolve`], [`commits`],
+//! [`discovery_api`], [`federation`], [`sharing`].
+
+pub mod commits;
+pub mod crud;
+pub mod discovery_api;
+pub mod federation;
+pub mod grants_api;
+pub mod resolve;
+pub mod rest;
+pub mod sharing;
+pub mod vending;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+use uc_cloudstore::latency::{LatencyModel, OpClass};
+use uc_cloudstore::{AccessLevel, Clock, ObjectStore, RootCredential, StoragePath, TempCredential};
+use uc_txdb::{Db, ReadTxn, TxError, WriteTxn};
+
+use crate::audit::{AuditDecision, AuditLog};
+use crate::authz::decision::{AuthzContext, AuthzNode, SecurableAuthz};
+use crate::cache::ttl::TtlCache;
+use crate::cache::{read_ms_version, CacheConfig, NodeCache};
+use crate::error::{UcError, UcResult};
+use crate::events::{ChangeOp, EventBus, MetadataChangeEvent};
+use crate::ids::Uid;
+use crate::model::entity::{Entity, PrincipalRecord};
+use crate::model::keys::{self, T_ENTITY, T_MSVER, T_NAME, T_PRINCIPAL};
+use crate::types::{FullName, SecurableKind};
+
+/// Node configuration.
+#[derive(Clone)]
+pub struct UcConfig {
+    /// Latency injected on every public API call — the network hop between
+    /// an engine and the (remote) catalog service.
+    pub api_latency: LatencyModel,
+    pub cache: CacheConfig,
+    /// Lifetime of vended temporary credentials (paper: tens of minutes).
+    pub cred_ttl_ms: u64,
+    /// Cache unexpired vended tokens and reuse them across requests.
+    pub cred_cache_enabled: bool,
+    /// Audit log retention (records).
+    pub audit_capacity: usize,
+    /// Modelled cost of one cloud STS round trip when minting a token
+    /// (cache hits skip it). Zero in unit tests.
+    pub sts_mint_cost: std::time::Duration,
+}
+
+impl Default for UcConfig {
+    fn default() -> Self {
+        UcConfig {
+            api_latency: LatencyModel::zero(),
+            cache: CacheConfig::default(),
+            cred_ttl_ms: 15 * 60 * 1000,
+            cred_cache_enabled: true,
+            audit_capacity: 100_000,
+            sts_mint_cost: std::time::Duration::ZERO,
+        }
+    }
+}
+
+/// How the calling engine authenticated (§4.3.2): trusted engines are
+/// isolated from user code and may receive + enforce FGAC policies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineIdentity {
+    /// Machine-authenticated, isolated engine (may enforce FGAC).
+    Trusted(String),
+    /// Engine that can run arbitrary user code.
+    Untrusted(String),
+}
+
+/// A calling principal plus engine identity and (optionally) the
+/// workspace the request originates from — catalogs can be *bound* to
+/// specific workspaces (§3.2).
+#[derive(Debug, Clone)]
+pub struct Context {
+    pub principal: String,
+    pub engine: EngineIdentity,
+    /// Originating workspace, when known. Requests without a workspace
+    /// cannot traverse into workspace-bound catalogs.
+    pub workspace: Option<String>,
+}
+
+impl Context {
+    /// A user calling through an untrusted client.
+    pub fn user(principal: &str) -> Self {
+        Context {
+            principal: principal.to_string(),
+            engine: EngineIdentity::Untrusted("client".into()),
+            workspace: None,
+        }
+    }
+
+    /// A user calling through a trusted engine.
+    pub fn trusted(principal: &str, engine: &str) -> Self {
+        Context {
+            principal: principal.to_string(),
+            engine: EngineIdentity::Trusted(engine.to_string()),
+            workspace: None,
+        }
+    }
+
+    /// Attach the originating workspace.
+    pub fn in_workspace(mut self, workspace: &str) -> Self {
+        self.workspace = Some(workspace.to_string());
+        self
+    }
+
+    pub fn is_trusted_engine(&self) -> bool {
+        matches!(self.engine, EngineIdentity::Trusted(_))
+    }
+}
+
+/// Effects a write closure accumulates for write-through caching and event
+/// publication after a successful commit.
+#[derive(Default)]
+pub(crate) struct WriteEffects {
+    pub upserts: Vec<Arc<Entity>>,
+    pub tombstones: Vec<Uid>,
+    /// Name-index keys freed by this write (renames), to be dropped from
+    /// the cache's name map.
+    pub dropped_names: Vec<String>,
+    pub events: Vec<(Uid, SecurableKind, String, ChangeOp)>,
+}
+
+impl WriteEffects {
+    /// Persist an entity (row + name index) and record the effect.
+    pub fn upsert(&mut self, tx: &mut WriteTxn, ent: Entity, op: ChangeOp) -> Arc<Entity> {
+        let ms = &ent.metastore;
+        tx.put(T_ENTITY, &keys::ent_key(ms, &ent.id), ent.encode());
+        tx.put(
+            T_NAME,
+            &keys::name_key(ms, ent.parent.as_ref(), ent.kind.name_group(), &ent.name),
+            Bytes::from(ent.id.as_str().to_string()),
+        );
+        let arc = Arc::new(ent);
+        self.events
+            .push((arc.id.clone(), arc.kind, arc.name.clone(), op));
+        self.upserts.push(arc.clone());
+        arc
+    }
+
+}
+
+/// Node-level counters.
+#[derive(Debug, Default)]
+pub struct ServiceStats {
+    pub api_calls: AtomicU64,
+    pub write_retries: AtomicU64,
+}
+
+/// One Unity Catalog node. Share the same [`Db`] and [`ObjectStore`]
+/// across several nodes to model a fleet (see [`crate::sharding`]).
+pub struct UnityCatalog {
+    pub(crate) node_id: String,
+    pub(crate) db: Db,
+    pub(crate) store: ObjectStore,
+    pub(crate) clock: Clock,
+    pub(crate) config: UcConfig,
+    pub(crate) cache: NodeCache,
+    /// Vended-token cache keyed by (asset id, access level).
+    pub(crate) cred_cache: TtlCache<(Uid, AccessLevel), TempCredential>,
+    /// TTL cache for principal/group records (weak consistency is fine).
+    pub(crate) principal_cache: TtlCache<String, PrincipalRecord>,
+    /// Root credentials by bucket, mirrored from storage-credential
+    /// entities for fast vending.
+    pub(crate) roots: RwLock<std::collections::HashMap<String, RootCredential>>,
+    pub(crate) audit: AuditLog,
+    pub(crate) events: EventBus,
+    pub(crate) stats: ServiceStats,
+}
+
+impl UnityCatalog {
+    pub fn new(db: Db, store: ObjectStore, config: UcConfig, node_id: &str) -> Arc<Self> {
+        let clock = store.sts().clock().clone();
+        Arc::new(UnityCatalog {
+            node_id: node_id.to_string(),
+            db,
+            cache: NodeCache::new(config.cache.clone()),
+            cred_cache: TtlCache::new(clock.clone(), config.cred_ttl_ms),
+            principal_cache: TtlCache::new(clock.clone(), 60_000),
+            roots: RwLock::new(std::collections::HashMap::new()),
+            audit: AuditLog::new(config.audit_capacity),
+            events: EventBus::new(),
+            stats: ServiceStats::default(),
+            clock,
+            store,
+            config,
+        })
+    }
+
+    /// Convenience: a node over fresh in-memory substrates (tests).
+    pub fn in_memory() -> Arc<Self> {
+        UnityCatalog::new(
+            Db::in_memory(),
+            ObjectStore::in_memory(),
+            UcConfig::default(),
+            "node-0",
+        )
+    }
+
+    pub fn node_id(&self) -> &str {
+        &self.node_id
+    }
+
+    pub fn db(&self) -> &Db {
+        &self.db
+    }
+
+    pub fn object_store(&self) -> &ObjectStore {
+        &self.store
+    }
+
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    pub fn audit_log(&self) -> &AuditLog {
+        &self.audit
+    }
+
+    pub fn event_bus(&self) -> &EventBus {
+        &self.events
+    }
+
+    pub fn cache_stats(&self) -> &crate::cache::CacheStats {
+        &self.cache.stats
+    }
+
+    pub fn service_stats(&self) -> &ServiceStats {
+        &self.stats
+    }
+
+    pub fn credential_cache_stats(&self) -> (u64, u64) {
+        self.cred_cache.stats()
+    }
+
+    pub(crate) fn now_ms(&self) -> u64 {
+        self.clock.now_ms()
+    }
+
+    /// Entry hook for every public API: models the engine→catalog network
+    /// hop and counts the call.
+    pub(crate) fn api_enter(&self) {
+        self.stats.api_calls.fetch_add(1, Ordering::Relaxed);
+        self.config.api_latency.apply(OpClass::Control);
+    }
+
+    pub(crate) fn record_audit(
+        &self,
+        principal: &str,
+        action: &str,
+        securable: Option<&Uid>,
+        decision: AuditDecision,
+        detail: &str,
+    ) {
+        self.audit
+            .record(self.now_ms(), principal, action, securable, decision, detail);
+    }
+
+    // ------------------------------------------------------------------
+    // Cached read protocol
+    // ------------------------------------------------------------------
+
+    fn db_entity_by_id(&self, rt: &ReadTxn, ms: &Uid, id: &Uid) -> UcResult<Option<Arc<Entity>>> {
+        match rt.get(T_ENTITY, &keys::ent_key(ms, id)) {
+            Some(raw) => {
+                let ent = Entity::decode(&raw)?;
+                // Soft-deleted rows are invisible to the namespace; only
+                // the garbage collector reads them (by direct scan).
+                Ok(ent.is_active().then(|| Arc::new(ent)))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn db_entity_by_name(
+        &self,
+        rt: &ReadTxn,
+        ms: &Uid,
+        name_key: &str,
+    ) -> UcResult<Option<Arc<Entity>>> {
+        let Some(id_raw) = rt.get(T_NAME, name_key) else {
+            return Ok(None);
+        };
+        let id = Uid::from_string(
+            String::from_utf8(id_raw.to_vec())
+                .map_err(|e| UcError::Database(format!("corrupt name index: {e}")))?,
+        );
+        self.db_entity_by_id(rt, ms, &id)
+    }
+
+    fn install_in_cache(
+        &self,
+        c: &mut crate::cache::MsCache,
+        ms: &Uid,
+        ent: &Arc<Entity>,
+        at_version: u64,
+    ) {
+        let nk = keys::name_key(ms, ent.parent.as_ref(), ent.kind.name_group(), &ent.name);
+        let pk = ent.storage_path.as_ref().map(|p| keys::path_key(ms, p));
+        c.insert(
+            ent.clone(),
+            at_version,
+            nk,
+            pk,
+            &self.cache.stats,
+            self.config.cache.max_entries,
+        );
+    }
+
+    /// Look up an entity by a fully-built name-index key.
+    pub(crate) fn entity_by_name_key(
+        &self,
+        ms: &Uid,
+        name_key: &str,
+    ) -> UcResult<Option<Arc<Entity>>> {
+        if !self.config.cache.enabled {
+            let rt = self.db.begin_read();
+            return self.db_entity_by_name(&rt, ms, name_key);
+        }
+        let cache_arc = self.cache.for_metastore(ms);
+        for _ in 0..8 {
+            {
+                let mut c = cache_arc.lock();
+                if let Some(id) = c.id_by_name(name_key) {
+                    let ver = c.version;
+                    if let Some(hit) = c.get_at(&id, ver) {
+                        self.cache.stats.hits.fetch_add(1, Ordering::Relaxed);
+                        return Ok(hit);
+                    }
+                }
+            }
+            self.cache.stats.misses.fetch_add(1, Ordering::Relaxed);
+            let rt = self.db.begin_read();
+            let db_ver = read_ms_version(&rt, ms);
+            let found = self.db_entity_by_name(&rt, ms, name_key)?;
+            let mut c = cache_arc.lock();
+            match db_ver.cmp(&c.version) {
+                std::cmp::Ordering::Less => continue, // stale snapshot; retry
+                std::cmp::Ordering::Greater => {
+                    self.cache.reconcile(ms, &mut c, &self.db, db_ver, rt.snapshot_csn())
+                }
+                std::cmp::Ordering::Equal => {}
+            }
+            if let Some(ent) = &found {
+                self.install_in_cache(&mut c, ms, ent, db_ver);
+            }
+            return Ok(found);
+        }
+        let rt = self.db.begin_read();
+        self.db_entity_by_name(&rt, ms, name_key)
+    }
+
+    /// Look up an entity by id.
+    pub(crate) fn entity_by_id(&self, ms: &Uid, id: &Uid) -> UcResult<Option<Arc<Entity>>> {
+        if !self.config.cache.enabled {
+            let rt = self.db.begin_read();
+            return self.db_entity_by_id(&rt, ms, id);
+        }
+        let cache_arc = self.cache.for_metastore(ms);
+        for _ in 0..8 {
+            {
+                let mut c = cache_arc.lock();
+                let ver = c.version;
+                if let Some(hit) = c.get_at(id, ver) {
+                    self.cache.stats.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(hit);
+                }
+            }
+            self.cache.stats.misses.fetch_add(1, Ordering::Relaxed);
+            let rt = self.db.begin_read();
+            let db_ver = read_ms_version(&rt, ms);
+            let found = self.db_entity_by_id(&rt, ms, id)?;
+            let mut c = cache_arc.lock();
+            match db_ver.cmp(&c.version) {
+                std::cmp::Ordering::Less => continue,
+                std::cmp::Ordering::Greater => {
+                    self.cache.reconcile(ms, &mut c, &self.db, db_ver, rt.snapshot_csn())
+                }
+                std::cmp::Ordering::Equal => {}
+            }
+            if let Some(ent) = &found {
+                self.install_in_cache(&mut c, ms, ent, db_ver);
+            }
+            return Ok(found);
+        }
+        let rt = self.db.begin_read();
+        self.db_entity_by_id(&rt, ms, id)
+    }
+
+    /// Resolve a storage path to the asset covering it (§4.3.1 path-based
+    /// access). Checks the in-memory path map for the path and each of its
+    /// ancestors before falling back to the database.
+    pub(crate) fn entity_by_path(
+        &self,
+        ms: &Uid,
+        path: &StoragePath,
+    ) -> UcResult<Option<(Arc<Entity>, StoragePath)>> {
+        if self.config.cache.enabled {
+            let cache_arc = self.cache.for_metastore(ms);
+            let mut c = cache_arc.lock();
+            let mut candidate = Some(path.clone());
+            while let Some(p) = candidate {
+                if let Some(id) = c.id_by_path(&keys::path_key(ms, &p.to_string())) {
+                    let ver = c.version;
+                    if let Some(Some(hit)) = c.get_at(&id, ver) {
+                        self.cache.stats.hits.fetch_add(1, Ordering::Relaxed);
+                        return Ok(Some((hit, p)));
+                    }
+                }
+                candidate = p.parent();
+            }
+        }
+        // Database fallback at one snapshot.
+        let rt = self.db.begin_read();
+        let Some((id, registered)) = crate::model::paths::resolve_path(&rt, ms, path) else {
+            return Ok(None);
+        };
+        let found = self.db_entity_by_id(&rt, ms, &id)?;
+        if let Some(ent) = &found {
+            if self.config.cache.enabled {
+                let db_ver = read_ms_version(&rt, ms);
+                let cache_arc = self.cache.for_metastore(ms);
+                let mut c = cache_arc.lock();
+                if db_ver == c.version {
+                    self.install_in_cache(&mut c, ms, ent, db_ver);
+                }
+            }
+            Ok(Some((ent.clone(), registered)))
+        } else {
+            Ok(None)
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Write protocol
+    // ------------------------------------------------------------------
+
+    /// Run a logical write against a metastore: serializable transaction,
+    /// metastore-version bump, write-through cache update, event
+    /// publication. The closure may run multiple times on conflict.
+    pub(crate) fn write_ms<T>(
+        &self,
+        ms: &Uid,
+        mut f: impl FnMut(&mut WriteTxn, u64, &mut WriteEffects) -> UcResult<T>,
+    ) -> UcResult<T> {
+        let cache_arc = self.cache.for_metastore(ms);
+        let mut attempts = 0;
+        loop {
+            let mut tx = self.db.begin_write();
+            let cur: u64 = tx
+                .get(T_MSVER, ms.as_str())
+                .and_then(|b| String::from_utf8(b.to_vec()).ok())
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0);
+            let mut fx = WriteEffects::default();
+            let out = f(&mut tx, cur, &mut fx)?;
+            tx.put(T_MSVER, ms.as_str(), Bytes::from((cur + 1).to_string()));
+            match tx.commit() {
+                Ok(csn) => {
+                    if self.config.cache.enabled {
+                        let mut c = cache_arc.lock();
+                        if c.version != cur {
+                            self.cache.reconcile(ms, &mut c, &self.db, cur + 1, csn);
+                        }
+                        for nk in &fx.dropped_names {
+                            c.remove_name_mapping(nk);
+                        }
+                        for ent in &fx.upserts {
+                            self.install_in_cache(&mut c, ms, ent, cur + 1);
+                        }
+                        for id in &fx.tombstones {
+                            c.insert_tombstone(id, cur + 1);
+                        }
+                        c.advance(cur + 1, csn);
+                    }
+                    let now = self.now_ms();
+                    for (id, kind, name, op) in fx.events {
+                        self.events.publish(MetadataChangeEvent {
+                            seq: 0,
+                            metastore: ms.clone(),
+                            entity_id: id,
+                            kind,
+                            name,
+                            op,
+                            at_version: cur + 1,
+                            timestamp_ms: now,
+                        });
+                    }
+                    return Ok(out);
+                }
+                Err(TxError::Conflict { .. }) => {
+                    self.stats.write_retries.fetch_add(1, Ordering::Relaxed);
+                    attempts += 1;
+                    if attempts > 64 {
+                        return Err(UcError::Database(
+                            "write aborted after repeated serialization conflicts".into(),
+                        ));
+                    }
+                    continue;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Name resolution and authorization assembly
+    // ------------------------------------------------------------------
+
+    /// Resolve a qualified name to the entity chain `[leaf, …, catalog]`.
+    /// `leaf_group` selects the namespace group of the final part. A
+    /// one-part name with a non-catalog group resolves a metastore-level
+    /// securable (share, connection, external location, storage
+    /// credential). Four-part names address model versions
+    /// (`catalog.schema.model.vN`).
+    pub(crate) fn lookup_chain(
+        &self,
+        ms: &Uid,
+        name: &FullName,
+        leaf_group: &str,
+    ) -> UcResult<Vec<Arc<Entity>>> {
+        let not_found = || UcError::NotFound(name.to_string());
+        if name.len() == 1 && leaf_group != "catalog" {
+            let ent = self
+                .entity_by_name_key(ms, &keys::name_key(ms, Some(ms), leaf_group, name.catalog()))?
+                .ok_or_else(not_found)?;
+            return Ok(vec![ent]);
+        }
+        let cat = self
+            .entity_by_name_key(ms, &keys::name_key(ms, None, "catalog", name.catalog()))?
+            .ok_or_else(not_found)?;
+        if name.len() == 1 {
+            return Ok(vec![cat]);
+        }
+        let sch = self
+            .entity_by_name_key(
+                ms,
+                &keys::name_key(ms, Some(&cat.id), "schema", name.schema().unwrap()),
+            )?
+            .ok_or_else(not_found)?;
+        if name.len() == 2 {
+            return Ok(vec![sch, cat]);
+        }
+        // For four-part names the third segment is always the registered
+        // model; `leaf_group` applies to the final segment.
+        let third_group = if name.len() == 4 {
+            SecurableKind::RegisteredModel.name_group()
+        } else {
+            leaf_group
+        };
+        let leaf = self
+            .entity_by_name_key(
+                ms,
+                &keys::name_key(ms, Some(&sch.id), third_group, name.asset().unwrap()),
+            )?
+            .ok_or_else(not_found)?;
+        if name.len() == 3 {
+            return Ok(vec![leaf, sch, cat]);
+        }
+        let version = self
+            .entity_by_name_key(
+                ms,
+                &keys::name_key(
+                    ms,
+                    Some(&leaf.id),
+                    SecurableKind::ModelVersion.name_group(),
+                    &name.parts[3],
+                ),
+            )?
+            .ok_or_else(not_found)?;
+        Ok(vec![version, leaf, sch, cat])
+    }
+
+    /// Force the node to revalidate a metastore's cache against the
+    /// database. Pure cache hits serve the node's last-known metastore
+    /// version; under (rare, best-effort) multi-node ownership another
+    /// node's writes are only observed when a database read occurs. An
+    /// event-driven keeper — or a test — calls this to bound staleness
+    /// explicitly.
+    pub fn reconcile_metastore(&self, ms: &Uid) {
+        if !self.config.cache.enabled {
+            return;
+        }
+        let rt = self.db.begin_read();
+        let db_ver = crate::cache::read_ms_version(&rt, ms);
+        let cache_arc = self.cache.for_metastore(ms);
+        let mut c = cache_arc.lock();
+        if db_ver > c.version {
+            self.cache.reconcile(ms, &mut c, &self.db, db_ver, rt.snapshot_csn());
+        }
+    }
+
+    /// Chain from an entity up to (and including) the metastore entity.
+    pub(crate) fn chain_from_entity(
+        &self,
+        ms: &Uid,
+        ent: Arc<Entity>,
+    ) -> UcResult<Vec<Arc<Entity>>> {
+        let mut chain = vec![ent];
+        let mut guard = 0;
+        while let Some(parent_id) = chain.last().unwrap().parent.clone() {
+            let parent = self
+                .entity_by_id(ms, &parent_id)?
+                .ok_or_else(|| UcError::Database(format!("dangling parent {parent_id}")))?;
+            chain.push(parent);
+            guard += 1;
+            if guard > 16 {
+                return Err(UcError::Database("parent cycle detected".into()));
+            }
+        }
+        // Append the metastore entity if the chain didn't reach it.
+        if chain.last().unwrap().kind != SecurableKind::Metastore {
+            let ms_ent = self
+                .entity_by_id(ms, ms)?
+                .ok_or_else(|| UcError::NotFound(format!("metastore {ms}")))?;
+            chain.push(ms_ent);
+        }
+        Ok(chain)
+    }
+
+    /// The caller's authorization context within a metastore.
+    pub(crate) fn authz_context(&self, ms: &Uid, principal: &str) -> UcResult<AuthzContext> {
+        let record = self.principal_record(principal)?;
+        let groups: std::collections::HashSet<String> = record.groups.into_iter().collect();
+        let ms_ent = self
+            .entity_by_id(ms, ms)?
+            .ok_or_else(|| UcError::NotFound(format!("metastore {ms}")))?;
+        let admins = ms_ent.metastore_admins();
+        let is_admin = ms_ent.owner == principal
+            || admins.iter().any(|a| a == principal || groups.contains(a));
+        Ok(AuthzContext {
+            principal: principal.to_string(),
+            groups,
+            is_metastore_admin: is_admin,
+        })
+    }
+
+    /// Fetch (with TTL caching) a principal's record.
+    pub(crate) fn principal_record(&self, principal: &str) -> UcResult<PrincipalRecord> {
+        if let Some(rec) = self.principal_cache.get(&principal.to_string()) {
+            return Ok(rec);
+        }
+        let rt = self.db.begin_read();
+        let rec = match rt.get(T_PRINCIPAL, principal) {
+            Some(raw) => PrincipalRecord::decode(&raw)?,
+            None => PrincipalRecord::default(),
+        };
+        self.principal_cache.put(principal.to_string(), rec.clone());
+        Ok(rec)
+    }
+
+    /// A principal's group memberships — engines use this to build the
+    /// evaluation context for FGAC expressions referencing
+    /// `is_account_group_member`.
+    pub fn principal_groups(&self, name: &str) -> UcResult<Vec<String>> {
+        Ok(self.principal_record(name)?.groups)
+    }
+
+    /// Register or update a principal and its group memberships. This is
+    /// an account-level identity operation (outside metastore governance).
+    pub fn upsert_principal(&self, name: &str, groups: &[&str]) -> UcResult<()> {
+        let rec = PrincipalRecord { groups: groups.iter().map(|g| g.to_string()).collect() };
+        let mut tx = self.db.begin_write();
+        tx.put(T_PRINCIPAL, name, rec.encode());
+        tx.commit()?;
+        // Identity changes take effect within the TTL window; drop our own
+        // cached copy immediately.
+        self.principal_cache.clear();
+        Ok(())
+    }
+
+    /// Enforce catalog→workspace bindings (§3.2): if any catalog in the
+    /// chain is bound to specific workspaces, the request must originate
+    /// from one of them.
+    pub(crate) fn enforce_workspace_binding(
+        &self,
+        ctx: &Context,
+        chain: &[Arc<Entity>],
+    ) -> UcResult<()> {
+        for node in chain.iter().filter(|e| e.kind == SecurableKind::Catalog) {
+            let bindings = node.workspace_bindings();
+            if bindings.is_empty() {
+                continue;
+            }
+            let ok = ctx
+                .workspace
+                .as_ref()
+                .is_some_and(|w| bindings.iter().any(|b| b == w));
+            if !ok {
+                return Err(UcError::PermissionDenied(format!(
+                    "catalog {} is bound to workspaces {:?}; request came from {:?}",
+                    node.name, bindings, ctx.workspace
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Build the authorization view of a chain.
+    pub(crate) fn authz_of(chain: &[Arc<Entity>]) -> SecurableAuthz {
+        SecurableAuthz::new(
+            chain
+                .iter()
+                .map(|e| AuthzNode {
+                    id: e.id.clone(),
+                    kind: e.kind,
+                    owner: e.owner.clone(),
+                    grants: e.grants.clone(),
+                })
+                .collect(),
+        )
+    }
+
+    /// Locate the root credential for a bucket, consulting the in-memory
+    /// mirror first and rebuilding it from storage-credential entities on
+    /// miss.
+    pub(crate) fn root_for_bucket(&self, ms: &Uid, bucket: &str) -> UcResult<RootCredential> {
+        if let Some(root) = self.roots.read().get(bucket) {
+            return Ok(root.clone());
+        }
+        // Rebuild from entities: scan storage credentials in this metastore.
+        let rt = self.db.begin_read();
+        let prefix = keys::children_group_prefix(ms, Some(ms), SecurableKind::StorageCredential.name_group());
+        for (_, id_raw) in rt.scan_prefix(T_NAME, &prefix) {
+            let id = Uid::from_string(String::from_utf8(id_raw.to_vec()).unwrap_or_default());
+            if let Some(ent) = self.db_entity_by_id(&rt, ms, &id)? {
+                let (Some(b), Some(secret)) = (
+                    ent.properties.get(crate::model::entity::props::BUCKET),
+                    ent.properties.get(crate::model::entity::props::ROOT_SECRET),
+                ) else {
+                    continue;
+                };
+                if let Ok(secret) = secret.parse::<u64>() {
+                    let root = RootCredential { bucket: b.clone(), secret };
+                    self.roots.write().insert(b.clone(), root.clone());
+                }
+            }
+        }
+        self.roots
+            .read()
+            .get(bucket)
+            .cloned()
+            .ok_or_else(|| UcError::Storage(format!("no storage credential for bucket {bucket}")))
+    }
+}

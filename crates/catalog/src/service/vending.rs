@@ -1,0 +1,141 @@
+//! Temporary credential vending (§4.3.1).
+//!
+//! Clients never hold cloud credentials. They request access to an asset —
+//! by name or by raw storage path — and the catalog resolves the asset
+//! (one-asset-per-path makes path resolution unambiguous), authorizes the
+//! caller for the requested access level, and mints a token down-scoped to
+//! the asset's registered path. Unexpired tokens are cached and reused.
+
+use std::sync::Arc;
+
+use uc_cloudstore::{AccessLevel, StoragePath, TempCredential};
+
+use crate::audit::AuditDecision;
+use crate::error::{UcError, UcResult};
+use crate::ids::Uid;
+use crate::model::entity::Entity;
+use crate::model::manifest::manifest;
+use crate::service::{Context, UnityCatalog};
+use crate::types::FullName;
+
+impl UnityCatalog {
+    /// Vend a temporary credential for an asset addressed by name.
+    pub fn temp_credentials(
+        &self,
+        ctx: &Context,
+        ms: &Uid,
+        asset: &FullName,
+        leaf_group: &str,
+        access: AccessLevel,
+    ) -> UcResult<TempCredential> {
+        self.api_enter();
+        let chain = self.lookup_chain(ms, asset, leaf_group)?;
+        self.vend_for_entity(ctx, ms, chain[0].clone(), access, &asset.to_string())
+    }
+
+    /// Vend a temporary credential for a raw storage path: resolve the
+    /// covering asset, enforce *its* policies, and scope the token to the
+    /// asset's registered path — uniform access control regardless of
+    /// whether the table was addressed by name or by path.
+    pub fn temp_credentials_for_path(
+        &self,
+        ctx: &Context,
+        ms: &Uid,
+        path: &str,
+        access: AccessLevel,
+    ) -> UcResult<TempCredential> {
+        self.api_enter();
+        let parsed = StoragePath::parse(path).map_err(|e| UcError::InvalidArgument(e.to_string()))?;
+        let Some((entity, _registered)) = self.entity_by_path(ms, &parsed)? else {
+            self.record_audit(&ctx.principal, "generateTemporaryPathCredentials", None, AuditDecision::Deny, path);
+            return Err(UcError::NotFound(format!("no asset governs path {path}")));
+        };
+        self.vend_for_entity(ctx, ms, entity, access, path)
+    }
+
+    /// Shared vending flow once the asset is known.
+    pub(crate) fn vend_for_entity(
+        &self,
+        ctx: &Context,
+        ms: &Uid,
+        entity: Arc<Entity>,
+        access: AccessLevel,
+        detail: &str,
+    ) -> UcResult<TempCredential> {
+        let m = manifest(entity.kind);
+        let needed = match access {
+            AccessLevel::Read => m.read_data_privilege,
+            AccessLevel::ReadWrite => m.write_data_privilege,
+        }
+        .ok_or_else(|| {
+            UcError::UnsupportedOperation(format!(
+                "{} assets do not support {access:?} data access",
+                entity.kind
+            ))
+        })?;
+        let full = self.chain_from_entity(ms, entity.clone())?;
+        self.enforce_workspace_binding(ctx, &full)?;
+        let who = self.authz_context(ms, &ctx.principal)?;
+        let authz = Self::authz_of(&full);
+        let allowed = match access {
+            AccessLevel::Read => authz.can_read_data(&who, needed),
+            AccessLevel::ReadWrite => authz.can_write_data(&who, needed),
+        };
+        if !allowed {
+            self.record_audit(&ctx.principal, "generateTemporaryCredentials", Some(&entity.id), AuditDecision::Deny, detail);
+            return Err(UcError::PermissionDenied(format!(
+                "{needed} (plus USE on containers) required for {access:?} access"
+            )));
+        }
+        // Tables with FGAC policies must not hand raw storage access to
+        // untrusted engines — the policy would be unenforceable.
+        if entity.has_fgac() && !ctx.is_trusted_engine() {
+            self.record_audit(&ctx.principal, "generateTemporaryCredentials", Some(&entity.id), AuditDecision::Deny, "fgac requires trusted engine");
+            return Err(UcError::PermissionDenied(
+                "asset has fine-grained policies; use a trusted engine or the data filtering service".into(),
+            ));
+        }
+        let token = self.mint_for_entity(ms, &entity, access)?;
+        self.record_audit(&ctx.principal, "generateTemporaryCredentials", Some(&entity.id), AuditDecision::Allow, detail);
+        Ok(token)
+    }
+
+    /// Mint (or reuse from the TTL cache) a token scoped to the entity's
+    /// storage path. Catalog-internal: no authorization.
+    pub(crate) fn mint_for_entity(
+        &self,
+        ms: &Uid,
+        entity: &Entity,
+        access: AccessLevel,
+    ) -> UcResult<TempCredential> {
+        let path_str = entity.storage_path.as_ref().ok_or_else(|| {
+            UcError::UnsupportedOperation(format!("{} has no storage", entity.name))
+        })?;
+        let scope = StoragePath::parse(path_str).map_err(|e| UcError::Storage(e.to_string()))?;
+        let cache_key = (entity.id.clone(), access);
+        if self.config.cred_cache_enabled {
+            if let Some(tok) = self.cred_cache.get(&cache_key) {
+                // Reuse only while a useful fraction of the TTL remains.
+                if tok.remaining_ms(self.now_ms()) > self.config.cred_ttl_ms / 4 {
+                    return Ok(tok);
+                }
+            }
+        }
+        let root = self.root_for_bucket(ms, scope.bucket())?;
+        // Model the cloud provider STS round trip (the cost the token
+        // cache amortizes across queries and executors).
+        if !self.config.sts_mint_cost.is_zero() {
+            uc_cloudstore::LatencyModel::uniform(self.config.sts_mint_cost)
+                .apply(uc_cloudstore::OpClass::Control);
+        }
+        let token = self
+            .store
+            .sts()
+            .mint(&root, &scope, access, self.config.cred_ttl_ms)?;
+        if self.config.cred_cache_enabled {
+            self.cred_cache
+                .put_with_expiry(cache_key, token.clone(), token.expires_at_ms);
+        }
+        Ok(token)
+    }
+}

@@ -1,0 +1,49 @@
+//! Error type for storage operations.
+
+use std::fmt;
+
+/// Result alias used throughout the crate.
+pub type StorageResult<T> = Result<T, StorageError>;
+
+/// Errors surfaced by the object store and STS service.
+///
+/// The variants mirror the failure classes of a real cloud provider:
+/// authentication/authorization failures, missing resources, precondition
+/// failures (for `put_if_absent`), and malformed paths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// The supplied credential's signature did not verify.
+    InvalidCredential(String),
+    /// The credential verified but has expired.
+    ExpiredCredential { expired_at_ms: u64, now_ms: u64 },
+    /// The credential verified but does not cover the requested path or
+    /// access level.
+    AccessDenied(String),
+    /// The referenced bucket does not exist.
+    NoSuchBucket(String),
+    /// The referenced object does not exist.
+    NoSuchObject(String),
+    /// `put_if_absent` found an existing object at the key.
+    AlreadyExists(String),
+    /// A storage path string could not be parsed.
+    InvalidPath(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::InvalidCredential(msg) => write!(f, "invalid credential: {msg}"),
+            StorageError::ExpiredCredential { expired_at_ms, now_ms } => write!(
+                f,
+                "credential expired at {expired_at_ms}ms (now {now_ms}ms)"
+            ),
+            StorageError::AccessDenied(msg) => write!(f, "access denied: {msg}"),
+            StorageError::NoSuchBucket(b) => write!(f, "no such bucket: {b}"),
+            StorageError::NoSuchObject(k) => write!(f, "no such object: {k}"),
+            StorageError::AlreadyExists(k) => write!(f, "object already exists: {k}"),
+            StorageError::InvalidPath(p) => write!(f, "invalid storage path: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}

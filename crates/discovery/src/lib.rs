@@ -1,0 +1,265 @@
+//! Second-tier discovery services (§4.4): search over catalog metadata.
+//!
+//! The discovery service is a *background* consumer of the core catalog:
+//! it ingests the metadata change-event stream to keep an inverted index
+//! over names, comments, and tags, and answers search queries filtered
+//! through the catalog's batched authorization API — so users only ever
+//! see results they could see in the operational catalog.
+//!
+//! Two synchronization strategies are implemented, matching the paper's
+//! discussion of the design space:
+//!
+//! * [`DiscoveryService::sync`] — event-driven: consume only what changed
+//!   since the last offset (cheap, fresh);
+//! * [`DiscoveryService::sync_by_polling`] — rescan the full metadata via
+//!   the query API (what discovery catalogs must do against catalogs
+//!   without change streams; the ablation bench quantifies the cost).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use uc_catalog::events::ChangeOp;
+use uc_catalog::ids::Uid;
+use uc_catalog::service::{Context, UnityCatalog};
+use uc_catalog::types::SecurableKind;
+use uc_catalog::UcResult;
+
+/// An indexed document: the searchable projection of one securable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexedEntity {
+    pub id: Uid,
+    pub kind: SecurableKind,
+    pub name: String,
+    pub comment: Option<String>,
+    pub tags: Vec<(String, String)>,
+}
+
+/// One search hit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchHit {
+    pub id: Uid,
+    pub kind: SecurableKind,
+    pub name: String,
+}
+
+/// Synchronization counters (for the events-vs-polling ablation).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SyncStats {
+    /// Events consumed so far.
+    pub events_consumed: u64,
+    /// Entities (re)indexed.
+    pub entities_indexed: u64,
+    /// Entities removed from the index.
+    pub entities_removed: u64,
+    /// Catalog API calls made during synchronization.
+    pub catalog_calls: u64,
+}
+
+struct IndexState {
+    /// token → entity ids.
+    postings: BTreeMap<String, BTreeSet<Uid>>,
+    /// id → document (for de-indexing and hit rendering).
+    docs: HashMap<Uid, IndexedEntity>,
+    next_offset: u64,
+    stats: SyncStats,
+}
+
+/// The discovery service for one metastore.
+pub struct DiscoveryService {
+    uc: Arc<UnityCatalog>,
+    ms: Uid,
+    /// Platform identity with visibility over the metastore (typically a
+    /// metastore admin service principal).
+    service_ctx: Context,
+    state: RwLock<IndexState>,
+}
+
+impl DiscoveryService {
+    pub fn new(uc: Arc<UnityCatalog>, ms: Uid, service_principal: &str) -> Self {
+        DiscoveryService {
+            uc,
+            ms,
+            service_ctx: Context::user(service_principal),
+            state: RwLock::new(IndexState {
+                postings: BTreeMap::new(),
+                docs: HashMap::new(),
+                next_offset: 0,
+                stats: SyncStats::default(),
+            }),
+        }
+    }
+
+    /// Event-driven incremental sync. Returns how many events were
+    /// processed.
+    pub fn sync(&self) -> UcResult<usize> {
+        let offset = self.state.read().next_offset;
+        let (events, next) = self.uc.events_since(offset);
+        let count = events.len();
+        let mut touched: BTreeMap<Uid, ChangeOp> = BTreeMap::new();
+        for ev in &events {
+            if ev.metastore != self.ms {
+                continue;
+            }
+            // Later events for the same entity supersede earlier ones.
+            touched.insert(ev.entity_id.clone(), ev.op);
+        }
+        let mut state = self.state.write();
+        state.stats.events_consumed += count as u64;
+        for (id, op) in touched {
+            match op {
+                ChangeOp::Delete => {
+                    Self::remove_doc(&mut state, &id);
+                    state.stats.entities_removed += 1;
+                }
+                _ => {
+                    state.stats.catalog_calls += 1;
+                    match self.uc.get_entity_by_id(&self.service_ctx, &self.ms, &id) {
+                        Ok(ent) => {
+                            let doc = IndexedEntity {
+                                id: ent.id.clone(),
+                                kind: ent.kind,
+                                name: ent.name.clone(),
+                                comment: ent.comment.clone(),
+                                tags: ent.tags(),
+                            };
+                            Self::index_doc(&mut state, doc);
+                            state.stats.entities_indexed += 1;
+                        }
+                        // Raced with a delete: drop from the index.
+                        Err(_) => Self::remove_doc(&mut state, &id),
+                    }
+                }
+            }
+        }
+        state.next_offset = next;
+        Ok(count)
+    }
+
+    /// Polling-style full resync: rescan every entity via the metadata
+    /// query API. Much more catalog load for the same freshness.
+    pub fn sync_by_polling(&self) -> UcResult<usize> {
+        let entities = self
+            .uc
+            .query_entities(&self.service_ctx, &self.ms, &[], usize::MAX)?;
+        let mut state = self.state.write();
+        state.stats.catalog_calls += 1;
+        state.postings.clear();
+        let count = entities.len();
+        let live: BTreeSet<Uid> = entities.iter().map(|e| e.id.clone()).collect();
+        state.docs.retain(|id, _| live.contains(id));
+        for ent in entities {
+            let doc = IndexedEntity {
+                id: ent.id.clone(),
+                kind: ent.kind,
+                name: ent.name.clone(),
+                comment: ent.comment.clone(),
+                tags: ent.tags(),
+            };
+            Self::index_doc(&mut state, doc);
+            state.stats.entities_indexed += 1;
+        }
+        Ok(count)
+    }
+
+    fn tokens_of(doc: &IndexedEntity) -> BTreeSet<String> {
+        let mut tokens = BTreeSet::new();
+        for part in doc.name.split(['_', '-', '.']) {
+            if !part.is_empty() {
+                tokens.insert(part.to_ascii_lowercase());
+            }
+        }
+        if let Some(c) = &doc.comment {
+            for word in c.split_whitespace() {
+                tokens.insert(word.trim_matches(|ch: char| !ch.is_alphanumeric()).to_ascii_lowercase());
+            }
+        }
+        for (k, v) in &doc.tags {
+            tokens.insert(k.to_ascii_lowercase());
+            if !v.is_empty() {
+                tokens.insert(v.to_ascii_lowercase());
+            }
+        }
+        tokens.remove("");
+        tokens
+    }
+
+    fn index_doc(state: &mut IndexState, doc: IndexedEntity) {
+        Self::remove_doc(state, &doc.id.clone());
+        for token in Self::tokens_of(&doc) {
+            state.postings.entry(token).or_default().insert(doc.id.clone());
+        }
+        state.docs.insert(doc.id.clone(), doc);
+    }
+
+    fn remove_doc(state: &mut IndexState, id: &Uid) {
+        if let Some(doc) = state.docs.remove(id) {
+            for token in Self::tokens_of(&doc) {
+                if let Some(set) = state.postings.get_mut(&token) {
+                    set.remove(id);
+                    if set.is_empty() {
+                        state.postings.remove(&token);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Search for entities matching all query tokens, visible to
+    /// `principal`. Authorization is enforced through the catalog's batch
+    /// visibility API at query time — the index itself is not an
+    /// authorization boundary.
+    pub fn search(&self, principal: &str, query: &str) -> UcResult<Vec<SearchHit>> {
+        let tokens: Vec<String> = query
+            .split_whitespace()
+            .map(|t| t.to_ascii_lowercase())
+            .collect();
+        if tokens.is_empty() {
+            return Ok(Vec::new());
+        }
+        let state = self.state.read();
+        let mut candidates: Option<BTreeSet<Uid>> = None;
+        for token in &tokens {
+            let matches: BTreeSet<Uid> = state
+                .postings
+                .range(token.clone()..)
+                .take_while(|(t, _)| t.starts_with(token.as_str()))
+                .flat_map(|(_, ids)| ids.iter().cloned())
+                .collect();
+            candidates = Some(match candidates {
+                Some(prev) => prev.intersection(&matches).cloned().collect(),
+                None => matches,
+            });
+        }
+        let ids: Vec<Uid> = candidates.unwrap_or_default().into_iter().collect();
+        let hits: Vec<SearchHit> = ids
+            .iter()
+            .filter_map(|id| state.docs.get(id))
+            .map(|d| SearchHit { id: d.id.clone(), kind: d.kind, name: d.name.clone() })
+            .collect();
+        drop(state);
+        // Authorization filter via the core service.
+        let visible = self.uc.visible_batch(&self.ms, principal, &ids)?;
+        Ok(hits
+            .into_iter()
+            .zip(visible)
+            .filter_map(|(hit, ok)| ok.then_some(hit))
+            .collect())
+    }
+
+    /// How many entities are indexed.
+    pub fn indexed_count(&self) -> usize {
+        self.state.read().docs.len()
+    }
+
+    /// Synchronization counters.
+    pub fn stats(&self) -> SyncStats {
+        self.state.read().stats
+    }
+
+    /// Freshness: events published but not yet consumed.
+    pub fn lag(&self) -> u64 {
+        let head = self.uc.event_bus().head();
+        head.saturating_sub(self.state.read().next_offset)
+    }
+}

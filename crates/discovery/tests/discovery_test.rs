@@ -1,0 +1,198 @@
+//! Discovery pipeline tests: event-driven indexing, search with
+//! authorization, freshness accounting.
+
+use std::sync::Arc;
+
+use uc_catalog::authz::Privilege;
+use uc_catalog::service::crud::TableSpec;
+use uc_catalog::service::{Context, UcConfig, UnityCatalog};
+use uc_catalog::types::FullName;
+use uc_cloudstore::ObjectStore;
+use uc_delta::value::{DataType, Field, Schema};
+use uc_discovery::DiscoveryService;
+use uc_txdb::Db;
+
+const ADMIN: &str = "admin";
+
+fn setup() -> (Arc<UnityCatalog>, uc_catalog::ids::Uid) {
+    let uc = UnityCatalog::new(Db::in_memory(), ObjectStore::in_memory(), UcConfig::default(), "n0");
+    let ms = uc.create_metastore(ADMIN, "prod", "eu-west-1").unwrap();
+    let ctx = Context::user(ADMIN);
+    let root = uc.object_store().create_bucket("lake");
+    uc.create_storage_credential(&ctx, &ms, "cred", &root).unwrap();
+    uc.set_metastore_root(&ctx, &ms, "s3://lake/root").unwrap();
+    uc.create_catalog(&ctx, &ms, "main").unwrap();
+    uc.create_schema(&ctx, &ms, "main", "sales").unwrap();
+    (uc, ms)
+}
+
+fn schema() -> Schema {
+    Schema::new(vec![Field::new("id", DataType::Int)])
+}
+
+#[test]
+fn event_driven_index_tracks_creates_updates_deletes() {
+    let (uc, ms) = setup();
+    let ctx = Context::user(ADMIN);
+    let disco = DiscoveryService::new(uc.clone(), ms.clone(), ADMIN);
+    disco.sync().unwrap();
+    let base = disco.indexed_count();
+
+    uc.create_table(&ctx, &ms, TableSpec::managed("main.sales.customer_orders", schema()).unwrap())
+        .unwrap();
+    assert!(disco.lag() > 0, "event published but not yet consumed");
+    disco.sync().unwrap();
+    assert_eq!(disco.lag(), 0);
+    assert_eq!(disco.indexed_count(), base + 1);
+
+    // searchable by name token
+    let hits = disco.search(ADMIN, "orders").unwrap();
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].name, "customer_orders");
+
+    // comment updates re-index
+    uc.update_comment(&ctx, &ms, &FullName::parse("main.sales.customer_orders").unwrap(), "relation", "contains PII data")
+        .unwrap();
+    disco.sync().unwrap();
+    let hits = disco.search(ADMIN, "pii").unwrap();
+    assert_eq!(hits.len(), 1);
+
+    // deletes de-index
+    uc.drop_securable(&ctx, &ms, &FullName::parse("main.sales.customer_orders").unwrap(), "relation")
+        .unwrap();
+    disco.sync().unwrap();
+    assert!(disco.search(ADMIN, "orders").unwrap().is_empty());
+    assert_eq!(disco.indexed_count(), base);
+}
+
+#[test]
+fn search_by_tag_finds_tagged_assets() {
+    let (uc, ms) = setup();
+    let ctx = Context::user(ADMIN);
+    uc.create_table(&ctx, &ms, TableSpec::managed("main.sales.users", schema()).unwrap()).unwrap();
+    uc.create_table(&ctx, &ms, TableSpec::managed("main.sales.events", schema()).unwrap()).unwrap();
+    uc.set_tag(&ctx, &ms, &FullName::parse("main.sales.users").unwrap(), "relation", "pii", "true")
+        .unwrap();
+    let disco = DiscoveryService::new(uc.clone(), ms, ADMIN);
+    disco.sync().unwrap();
+    // the "find all assets tagged PII" use case from the paper's intro
+    let hits = disco.search(ADMIN, "pii").unwrap();
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].name, "users");
+}
+
+#[test]
+fn search_results_are_authorization_filtered() {
+    let (uc, ms) = setup();
+    let ctx = Context::user(ADMIN);
+    uc.create_table(&ctx, &ms, TableSpec::managed("main.sales.revenue_secret", schema()).unwrap())
+        .unwrap();
+    uc.create_table(&ctx, &ms, TableSpec::managed("main.sales.revenue_public", schema()).unwrap())
+        .unwrap();
+    uc.grant(&ctx, &ms, &FullName::parse("main.sales.revenue_public").unwrap(), "relation", "alice", Privilege::Select)
+        .unwrap();
+    let disco = DiscoveryService::new(uc.clone(), ms, ADMIN);
+    disco.sync().unwrap();
+
+    // admin sees both
+    assert_eq!(disco.search(ADMIN, "revenue").unwrap().len(), 2);
+    // alice sees only what she has any grant on
+    let hits = disco.search("alice", "revenue").unwrap();
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].name, "revenue_public");
+    // a stranger sees nothing
+    assert!(disco.search("mallory", "revenue").unwrap().is_empty());
+}
+
+#[test]
+fn multi_token_queries_intersect() {
+    let (uc, ms) = setup();
+    let ctx = Context::user(ADMIN);
+    uc.create_table(&ctx, &ms, TableSpec::managed("main.sales.orders_gold", schema()).unwrap()).unwrap();
+    uc.create_table(&ctx, &ms, TableSpec::managed("main.sales.orders_raw", schema()).unwrap()).unwrap();
+    uc.create_table(&ctx, &ms, TableSpec::managed("main.sales.users_gold", schema()).unwrap()).unwrap();
+    let disco = DiscoveryService::new(uc.clone(), ms, ADMIN);
+    disco.sync().unwrap();
+    assert_eq!(disco.search(ADMIN, "orders").unwrap().len(), 2);
+    assert_eq!(disco.search(ADMIN, "gold").unwrap().len(), 2);
+    assert_eq!(disco.search(ADMIN, "orders gold").unwrap().len(), 1);
+    assert!(disco.search(ADMIN, "").unwrap().is_empty());
+    assert!(disco.search(ADMIN, "nonexistent").unwrap().is_empty());
+}
+
+#[test]
+fn polling_sync_costs_more_than_event_sync() {
+    let (uc, ms) = setup();
+    let ctx = Context::user(ADMIN);
+    for i in 0..20 {
+        uc.create_table(&ctx, &ms, TableSpec::managed(&format!("main.sales.t{i}"), schema()).unwrap())
+            .unwrap();
+    }
+    let eventful = DiscoveryService::new(uc.clone(), ms.clone(), ADMIN);
+    eventful.sync().unwrap();
+    let poller = DiscoveryService::new(uc.clone(), ms.clone(), ADMIN);
+    poller.sync_by_polling().unwrap();
+    assert_eq!(eventful.indexed_count(), poller.indexed_count() );
+
+    // one more table lands; event sync touches 1 entity, polling rescans all
+    uc.create_table(&ctx, &ms, TableSpec::managed("main.sales.extra", schema()).unwrap()).unwrap();
+    let e_before = eventful.stats().entities_indexed;
+    eventful.sync().unwrap();
+    let p_before = poller.stats().entities_indexed;
+    poller.sync_by_polling().unwrap();
+    assert_eq!(eventful.stats().entities_indexed - e_before, 1);
+    assert!(poller.stats().entities_indexed - p_before > 20);
+    assert_eq!(eventful.search(ADMIN, "extra").unwrap().len(), 1);
+    assert_eq!(poller.search(ADMIN, "extra").unwrap().len(), 1);
+}
+
+#[test]
+fn tokenization_covers_names_comments_and_tag_values() {
+    let (uc, ms) = setup();
+    let ctx = Context::user(ADMIN);
+    uc.create_table(&ctx, &ms, TableSpec::managed("main.sales.customer_churn_scores", schema()).unwrap())
+        .unwrap();
+    uc.update_comment(
+        &ctx,
+        &ms,
+        &FullName::parse("main.sales.customer_churn_scores").unwrap(),
+        "relation",
+        "Weekly churn-model output; contains customer emails!",
+    )
+    .unwrap();
+    uc.set_tag(&ctx, &ms, &FullName::parse("main.sales.customer_churn_scores").unwrap(), "relation", "domain", "retention")
+        .unwrap();
+    let disco = DiscoveryService::new(uc.clone(), ms, ADMIN);
+    disco.sync().unwrap();
+    // name tokens split on separators
+    for q in ["customer", "churn", "scores"] {
+        assert_eq!(disco.search(ADMIN, q).unwrap().len(), 1, "query {q}");
+    }
+    // comment words, punctuation-trimmed, case-insensitive
+    for q in ["weekly", "EMAILS", "output"] {
+        assert_eq!(disco.search(ADMIN, q).unwrap().len(), 1, "query {q}");
+    }
+    // tag key and value both searchable; prefix matching works
+    for q in ["domain", "retention", "reten"] {
+        assert_eq!(disco.search(ADMIN, q).unwrap().len(), 1, "query {q}");
+    }
+    // unrelated tokens miss
+    assert!(disco.search(ADMIN, "unrelated").unwrap().is_empty());
+}
+
+#[test]
+fn reindex_after_update_drops_stale_tokens() {
+    let (uc, ms) = setup();
+    let ctx = Context::user(ADMIN);
+    uc.create_table(&ctx, &ms, TableSpec::managed("main.sales.t", schema()).unwrap()).unwrap();
+    uc.update_comment(&ctx, &ms, &FullName::parse("main.sales.t").unwrap(), "relation", "alpha")
+        .unwrap();
+    let disco = DiscoveryService::new(uc.clone(), ms.clone(), ADMIN);
+    disco.sync().unwrap();
+    assert_eq!(disco.search(ADMIN, "alpha").unwrap().len(), 1);
+    uc.update_comment(&ctx, &ms, &FullName::parse("main.sales.t").unwrap(), "relation", "beta")
+        .unwrap();
+    disco.sync().unwrap();
+    assert!(disco.search(ADMIN, "alpha").unwrap().is_empty(), "stale token must drop");
+    assert_eq!(disco.search(ADMIN, "beta").unwrap().len(), 1);
+}

@@ -1,0 +1,49 @@
+//! Engine errors.
+
+use std::fmt;
+
+use uc_catalog::UcError;
+use uc_delta::DeltaError;
+
+pub type EngineResult<T> = Result<T, EngineError>;
+
+/// Errors surfaced while parsing or executing a statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// SQL text could not be parsed.
+    Parse(String),
+    /// The catalog rejected the operation.
+    Catalog(UcError),
+    /// The table format layer failed.
+    Table(DeltaError),
+    /// The statement is valid SQL but unsupported by this engine.
+    Unsupported(String),
+    /// Transaction misuse (nested BEGIN, COMMIT without BEGIN, …).
+    Transaction(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Parse(m) => write!(f, "parse error: {m}"),
+            EngineError::Catalog(e) => write!(f, "catalog error: {e}"),
+            EngineError::Table(e) => write!(f, "table error: {e}"),
+            EngineError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            EngineError::Transaction(m) => write!(f, "transaction error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<UcError> for EngineError {
+    fn from(e: UcError) -> Self {
+        EngineError::Catalog(e)
+    }
+}
+
+impl From<DeltaError> for EngineError {
+    fn from(e: DeltaError) -> Self {
+        EngineError::Table(e)
+    }
+}

@@ -1,0 +1,124 @@
+//! Ordered change log over committed writes.
+//!
+//! Two consumers depend on this log: the catalog's write-through cache uses
+//! it for *selective* reconciliation (invalidate exactly the entries that
+//! changed between two database versions, §4.5), and the catalog's change
+//! event stream uses it to feed second-tier discovery services (§4.4).
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+
+/// Kind of change a committed write applied to a row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChangeKind {
+    Put,
+    Delete,
+}
+
+/// One committed row change.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChangeRecord {
+    /// Commit sequence number of the transaction that made the change.
+    pub csn: u64,
+    pub table: String,
+    pub key: String,
+    pub kind: ChangeKind,
+    /// New value for puts, `None` for deletes.
+    pub value: Option<Bytes>,
+}
+
+/// Append-only log with offset-based consumption and explicit truncation.
+#[derive(Default)]
+pub struct ChangeLog {
+    records: RwLock<Vec<ChangeRecord>>,
+}
+
+impl ChangeLog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a batch of records (one commit's worth, in order).
+    pub fn append(&self, batch: Vec<ChangeRecord>) {
+        if batch.is_empty() {
+            return;
+        }
+        self.records.write().extend(batch);
+    }
+
+    /// All records with `csn > after_csn`, in commit order.
+    pub fn changes_since(&self, after_csn: u64) -> Vec<ChangeRecord> {
+        let records = self.records.read();
+        // Records are appended in CSN order; binary-search the first > after_csn.
+        let idx = records.partition_point(|r| r.csn <= after_csn);
+        records[idx..].to_vec()
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.read().is_empty()
+    }
+
+    /// Drop records with `csn < before_csn`; consumers that fell behind the
+    /// truncation point must fall back to a full resync.
+    pub fn truncate_before(&self, before_csn: u64) {
+        self.records.write().retain(|r| r.csn >= before_csn);
+    }
+
+    /// Smallest retained CSN, if any — consumers compare against this to
+    /// detect that they missed truncated history.
+    pub fn min_retained_csn(&self) -> Option<u64> {
+        self.records.read().first().map(|r| r.csn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(csn: u64, key: &str) -> ChangeRecord {
+        ChangeRecord {
+            csn,
+            table: "t".into(),
+            key: key.into(),
+            kind: ChangeKind::Put,
+            value: Some(Bytes::from_static(b"v")),
+        }
+    }
+
+    #[test]
+    fn changes_since_filters_by_csn() {
+        let log = ChangeLog::new();
+        log.append(vec![rec(1, "a"), rec(1, "b")]);
+        log.append(vec![rec(2, "c")]);
+        log.append(vec![rec(3, "d")]);
+        let got = log.changes_since(1);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].key, "c");
+        assert_eq!(got[1].key, "d");
+        assert_eq!(log.changes_since(0).len(), 4);
+        assert!(log.changes_since(3).is_empty());
+    }
+
+    #[test]
+    fn truncate_drops_old_records() {
+        let log = ChangeLog::new();
+        log.append(vec![rec(1, "a"), rec(2, "b"), rec(3, "c")]);
+        log.truncate_before(3);
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.min_retained_csn(), Some(3));
+        assert_eq!(log.changes_since(0).len(), 1);
+    }
+
+    #[test]
+    fn empty_append_is_noop() {
+        let log = ChangeLog::new();
+        log.append(vec![]);
+        assert!(log.is_empty());
+        assert_eq!(log.min_retained_csn(), None);
+    }
+}

@@ -1,0 +1,313 @@
+//! The database handle: versioned storage, commit sequencing, GC.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use parking_lot::{Mutex, RwLock};
+use uc_cloudstore::latency::{LatencyModel, OpClass};
+
+use crate::changelog::ChangeLog;
+use crate::pool::ConnectionPool;
+use crate::stats::DbStats;
+use crate::txn::{ReadTxn, WriteTxn};
+
+/// One visible state of a row at a point in commit history.
+#[derive(Debug, Clone)]
+pub(crate) struct Version {
+    pub csn: u64,
+    /// `None` is a tombstone (the row was deleted at this CSN).
+    pub value: Option<Bytes>,
+}
+
+/// Ascending-CSN version chain for a single row.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct VersionChain {
+    pub versions: Vec<Version>,
+}
+
+impl VersionChain {
+    /// The version visible at `snapshot`, if any.
+    pub fn visible_at(&self, snapshot: u64) -> Option<&Version> {
+        self.versions.iter().rev().find(|v| v.csn <= snapshot)
+    }
+
+    /// CSN of the newest version, 0 if the chain is empty.
+    pub fn latest_csn(&self) -> u64 {
+        self.versions.last().map(|v| v.csn).unwrap_or(0)
+    }
+}
+
+pub(crate) type Table = BTreeMap<String, VersionChain>;
+
+/// Tuning knobs for the simulated database.
+#[derive(Debug, Clone)]
+pub struct DbConfig {
+    /// Concurrent connections (Fig 10(b)'s bottleneck resource).
+    pub pool_size: usize,
+    /// Injected latency per operation class.
+    pub latency: LatencyModel,
+}
+
+impl Default for DbConfig {
+    fn default() -> Self {
+        // Unit-test defaults: ample pool, no injected latency.
+        DbConfig { pool_size: 64, latency: LatencyModel::zero() }
+    }
+}
+
+impl DbConfig {
+    /// A configuration resembling a remote OLTP database: a modest pool and
+    /// a uniform per-operation round-trip latency.
+    pub fn remote(pool_size: usize, round_trip: Duration) -> Self {
+        DbConfig { pool_size, latency: LatencyModel::uniform(round_trip) }
+    }
+}
+
+pub(crate) struct DbInner {
+    pub tables: RwLock<BTreeMap<String, Table>>,
+    /// Last committed CSN. Snapshots read this without locking.
+    pub csn: AtomicU64,
+    /// Serializes commit validation + apply.
+    pub commit_lock: Mutex<()>,
+    pub changelog: ChangeLog,
+    pub pool: ConnectionPool,
+    pub latency: LatencyModel,
+    pub stats: DbStats,
+}
+
+/// Shareable database handle. Cloning shares the storage — the model for
+/// multiple catalog nodes over one backend database.
+#[derive(Clone)]
+pub struct Db {
+    pub(crate) inner: Arc<DbInner>,
+}
+
+impl Db {
+    pub fn new(config: DbConfig) -> Self {
+        Db {
+            inner: Arc::new(DbInner {
+                tables: RwLock::new(BTreeMap::new()),
+                csn: AtomicU64::new(0),
+                commit_lock: Mutex::new(()),
+                changelog: ChangeLog::new(),
+                pool: ConnectionPool::new(config.pool_size),
+                latency: config.latency,
+                stats: DbStats::default(),
+            }),
+        }
+    }
+
+    /// Database with default (test) configuration.
+    pub fn in_memory() -> Self {
+        Db::new(DbConfig::default())
+    }
+
+    /// Last committed commit sequence number.
+    pub fn current_csn(&self) -> u64 {
+        self.inner.csn.load(Ordering::Acquire)
+    }
+
+    /// Begin a snapshot-isolated read-only transaction.
+    pub fn begin_read(&self) -> ReadTxn {
+        ReadTxn::new(self.clone(), self.current_csn())
+    }
+
+    /// Begin a read-only transaction pinned at an explicit snapshot. The
+    /// catalog uses this to serve reads at its cached metastore version.
+    pub fn begin_read_at(&self, snapshot: u64) -> ReadTxn {
+        ReadTxn::new(self.clone(), snapshot.min(self.current_csn()))
+    }
+
+    /// Begin a serializable read-write transaction.
+    pub fn begin_write(&self) -> WriteTxn {
+        WriteTxn::new(self.clone(), self.current_csn())
+    }
+
+    /// The committed change log.
+    pub fn changelog(&self) -> &ChangeLog {
+        &self.inner.changelog
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> &DbStats {
+        &self.inner.stats
+    }
+
+    /// Connection pool (exposed for wait diagnostics in benches).
+    pub fn pool(&self) -> &ConnectionPool {
+        &self.inner.pool
+    }
+
+    /// Read one row outside any transaction, at the latest committed state.
+    /// Convenience for tests and tools; normal code uses transactions.
+    pub fn get_latest(&self, table: &str, key: &str) -> Option<Bytes> {
+        let snapshot = self.current_csn();
+        let guard = self.inner.tables.read();
+        guard
+            .get(table)?
+            .get(key)?
+            .visible_at(snapshot)
+            .and_then(|v| v.value.clone())
+    }
+
+    /// Garbage-collect version chains: every chain keeps its newest version
+    /// at or below `horizon_csn` plus everything newer. Chains reduced to a
+    /// single old tombstone are removed entirely.
+    ///
+    /// Correctness contract: callers must ensure no active snapshot is older
+    /// than `horizon_csn`.
+    pub fn gc(&self, horizon_csn: u64) {
+        let mut guard = self.inner.tables.write();
+        for table in guard.values_mut() {
+            table.retain(|_, chain| {
+                let keep_from = chain
+                    .versions
+                    .iter()
+                    .rposition(|v| v.csn <= horizon_csn)
+                    .unwrap_or(0);
+                if keep_from > 0 {
+                    chain.versions.drain(..keep_from);
+                }
+                // Drop rows that are just an old tombstone.
+                !(chain.versions.len() == 1
+                    && chain.versions[0].value.is_none()
+                    && chain.versions[0].csn <= horizon_csn)
+            });
+        }
+    }
+
+    /// Total number of live (non-tombstone latest) rows across all tables.
+    pub fn live_rows(&self) -> usize {
+        let snapshot = self.current_csn();
+        let guard = self.inner.tables.read();
+        guard
+            .values()
+            .flat_map(|t| t.values())
+            .filter(|chain| chain.visible_at(snapshot).is_some_and(|v| v.value.is_some()))
+            .count()
+    }
+
+    /// Apply an operation's pool + latency cost. Internal to the crate.
+    pub(crate) fn charge(&self, class: OpClass) {
+        let _permit = self.inner.pool.acquire();
+        self.inner.latency.apply(class);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_db_reads_nothing() {
+        let db = Db::in_memory();
+        assert_eq!(db.current_csn(), 0);
+        assert_eq!(db.get_latest("t", "k"), None);
+        assert_eq!(db.live_rows(), 0);
+    }
+
+    #[test]
+    fn gc_trims_old_versions_but_keeps_visible_one() {
+        let db = Db::in_memory();
+        for i in 0..5 {
+            let mut tx = db.begin_write();
+            tx.put("t", "k", Bytes::from(format!("v{i}")));
+            tx.commit().unwrap();
+        }
+        assert_eq!(db.current_csn(), 5);
+        db.gc(5);
+        assert_eq!(db.get_latest("t", "k"), Some(Bytes::from_static(b"v4")));
+        let guard = db.inner.tables.read();
+        assert_eq!(guard["t"]["k"].versions.len(), 1);
+    }
+
+    #[test]
+    fn gc_removes_old_tombstones() {
+        let db = Db::in_memory();
+        let mut tx = db.begin_write();
+        tx.put("t", "k", Bytes::from_static(b"v"));
+        tx.commit().unwrap();
+        let mut tx = db.begin_write();
+        tx.delete("t", "k");
+        tx.commit().unwrap();
+        db.gc(db.current_csn());
+        let guard = db.inner.tables.read();
+        assert!(!guard["t"].contains_key("k"));
+    }
+
+    #[test]
+    fn gc_preserves_versions_above_horizon() {
+        let db = Db::in_memory();
+        let mut tx = db.begin_write();
+        tx.put("t", "k", Bytes::from_static(b"old"));
+        tx.commit().unwrap(); // csn 1
+        let mut tx = db.begin_write();
+        tx.put("t", "k", Bytes::from_static(b"new"));
+        tx.commit().unwrap(); // csn 2
+        db.gc(1);
+        // a snapshot at 1 must still see "old"
+        let rt = db.begin_read_at(1);
+        assert_eq!(rt.get("t", "k"), Some(Bytes::from_static(b"old")));
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use bytes::Bytes;
+
+    #[test]
+    fn begin_read_at_clamps_to_current_csn() {
+        let db = Db::in_memory();
+        let mut tx = db.begin_write();
+        tx.put("t", "k", Bytes::from_static(b"v"));
+        tx.commit().unwrap();
+        let rt = db.begin_read_at(9999);
+        assert_eq!(rt.snapshot_csn(), db.current_csn());
+        assert!(rt.get("t", "k").is_some());
+    }
+
+    #[test]
+    fn live_rows_counts_only_visible_rows() {
+        let db = Db::in_memory();
+        for key in ["a", "b", "c"] {
+            let mut tx = db.begin_write();
+            tx.put("t", key, Bytes::from_static(b"v"));
+            tx.commit().unwrap();
+        }
+        assert_eq!(db.live_rows(), 3);
+        let mut tx = db.begin_write();
+        tx.delete("t", "b");
+        tx.commit().unwrap();
+        assert_eq!(db.live_rows(), 2);
+    }
+
+    #[test]
+    fn pool_wait_stats_accumulate_under_contention() {
+        let db = Db::new(DbConfig {
+            pool_size: 1,
+            latency: LatencyModel::uniform(std::time::Duration::from_millis(2)),
+        });
+        let mut tx = db.begin_write();
+        tx.put("t", "k", Bytes::from_static(b"v"));
+        tx.commit().unwrap();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let db = db.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..5 {
+                    let _ = db.begin_read().get("t", "k");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let (total_wait, waits) = db.pool().wait_stats();
+        assert!(waits > 0, "pool of 1 must have queued readers");
+        assert!(total_wait > std::time::Duration::ZERO);
+    }
+}

@@ -1,0 +1,33 @@
+//! An embedded ACID metadata database with MVCC.
+//!
+//! This crate stands in for the "standard relational database" (MySQL in the
+//! paper's evaluation) that backs the Unity Catalog service. It provides the
+//! exact semantics the catalog's §4.5 cache design depends on:
+//!
+//! * **Snapshot-isolated reads**: a read transaction observes the database
+//!   as of its begin point, regardless of concurrent commits.
+//! * **Serializable writes**: read-write transactions validate their full
+//!   read set (including range scans, for phantom protection) at commit and
+//!   abort with [`TxError::Conflict`] if anything they observed changed.
+//! * **A change log**: every commit appends ordered change records, which
+//!   the catalog consumes for selective cache invalidation and for its
+//!   metadata change-event stream.
+//! * **A bounded connection pool with injected latency**: the resource
+//!   model that produces the paper's Fig 10(b) "DB-bottlenecked" regime.
+//!
+//! Data model: named logical tables of `String → Bytes` rows, ordered by
+//! key, with prefix scans. Callers (the catalog) layer typed entities and
+//! secondary indexes on top by writing index rows in the same transaction.
+
+pub mod changelog;
+pub mod db;
+pub mod error;
+pub mod pool;
+pub mod stats;
+pub mod txn;
+
+pub use changelog::{ChangeKind, ChangeRecord};
+pub use db::{Db, DbConfig};
+pub use error::{TxError, TxResult};
+pub use stats::DbStats;
+pub use txn::{ReadTxn, WriteTxn};

@@ -1,0 +1,76 @@
+//! Operation counters, used by benchmarks to attribute latency.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters for database activity. All methods are lock-free.
+#[derive(Debug, Default)]
+pub struct DbStats {
+    reads: AtomicU64,
+    scans: AtomicU64,
+    writes: AtomicU64,
+    commits: AtomicU64,
+    conflicts: AtomicU64,
+}
+
+impl DbStats {
+    pub fn record_read(&self) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_scan(&self) {
+        self.scans.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_write(&self, n: u64) {
+        self.writes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn record_commit(&self) {
+        self.commits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_conflict(&self) {
+        self.conflicts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn reads(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
+    }
+
+    pub fn scans(&self) -> u64 {
+        self.scans.load(Ordering::Relaxed)
+    }
+
+    pub fn writes(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+
+    pub fn commits(&self) -> u64 {
+        self.commits.load(Ordering::Relaxed)
+    }
+
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = DbStats::default();
+        s.record_read();
+        s.record_read();
+        s.record_write(3);
+        s.record_commit();
+        s.record_conflict();
+        s.record_scan();
+        assert_eq!(s.reads(), 2);
+        assert_eq!(s.writes(), 3);
+        assert_eq!(s.commits(), 1);
+        assert_eq!(s.conflicts(), 1);
+        assert_eq!(s.scans(), 1);
+    }
+}

@@ -1,0 +1,468 @@
+//! Read and write transactions.
+//!
+//! `ReadTxn` gives snapshot isolation for free: it pins a CSN and resolves
+//! every lookup against version chains at that CSN.
+//!
+//! `WriteTxn` is serializable via optimistic concurrency control. It tracks
+//! the full read set — point reads *and* scanned prefixes — and validates at
+//! commit that nothing observed has a newer committed version than the
+//! transaction's snapshot. Scanned-prefix validation also catches phantoms:
+//! a row inserted into a scanned range after the snapshot fails validation
+//! because its version chain's latest CSN exceeds the snapshot.
+
+use std::collections::{BTreeMap, HashSet};
+
+use bytes::Bytes;
+use uc_cloudstore::latency::OpClass;
+
+use crate::changelog::{ChangeKind, ChangeRecord};
+use crate::db::Db;
+use crate::error::{TxError, TxResult};
+
+/// Snapshot-isolated read-only transaction.
+pub struct ReadTxn {
+    db: Db,
+    snapshot: u64,
+}
+
+impl ReadTxn {
+    pub(crate) fn new(db: Db, snapshot: u64) -> Self {
+        ReadTxn { db, snapshot }
+    }
+
+    /// CSN this transaction observes.
+    pub fn snapshot_csn(&self) -> u64 {
+        self.snapshot
+    }
+
+    /// Point lookup at the snapshot.
+    pub fn get(&self, table: &str, key: &str) -> Option<Bytes> {
+        self.db.charge(OpClass::Read);
+        self.db.stats().record_read();
+        let guard = self.db.inner.tables.read();
+        guard
+            .get(table)?
+            .get(key)?
+            .visible_at(self.snapshot)
+            .and_then(|v| v.value.clone())
+    }
+
+    /// All live rows whose key starts with `prefix`, in key order.
+    pub fn scan_prefix(&self, table: &str, prefix: &str) -> Vec<(String, Bytes)> {
+        self.db.charge(OpClass::List);
+        self.db.stats().record_scan();
+        let guard = self.db.inner.tables.read();
+        let Some(t) = guard.get(table) else {
+            return Vec::new();
+        };
+        t.range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .filter_map(|(k, chain)| {
+                chain
+                    .visible_at(self.snapshot)
+                    .and_then(|v| v.value.clone())
+                    .map(|val| (k.clone(), val))
+            })
+            .collect()
+    }
+}
+
+/// Serializable read-write transaction.
+pub struct WriteTxn {
+    db: Db,
+    snapshot: u64,
+    finished: bool,
+    /// Point reads performed (table, key).
+    reads: HashSet<(String, String)>,
+    /// Prefix scans performed (table, prefix).
+    scans: Vec<(String, String)>,
+    /// Buffered writes; `None` = delete.
+    writes: BTreeMap<(String, String), Option<Bytes>>,
+}
+
+impl WriteTxn {
+    pub(crate) fn new(db: Db, snapshot: u64) -> Self {
+        WriteTxn {
+            db,
+            snapshot,
+            finished: false,
+            reads: HashSet::new(),
+            scans: Vec::new(),
+            writes: BTreeMap::new(),
+        }
+    }
+
+    /// CSN this transaction reads at.
+    pub fn snapshot_csn(&self) -> u64 {
+        self.snapshot
+    }
+
+    /// Point lookup: sees the transaction's own buffered writes first, then
+    /// the snapshot. The read is recorded for commit-time validation.
+    pub fn get(&mut self, table: &str, key: &str) -> Option<Bytes> {
+        let wkey = (table.to_string(), key.to_string());
+        if let Some(buffered) = self.writes.get(&wkey) {
+            return buffered.clone();
+        }
+        self.reads.insert(wkey);
+        self.db.charge(OpClass::Read);
+        self.db.stats().record_read();
+        let guard = self.db.inner.tables.read();
+        guard
+            .get(table)?
+            .get(key)?
+            .visible_at(self.snapshot)
+            .and_then(|v| v.value.clone())
+    }
+
+    /// Prefix scan merging buffered writes over the snapshot. The prefix is
+    /// recorded for phantom-safe validation.
+    pub fn scan_prefix(&mut self, table: &str, prefix: &str) -> Vec<(String, Bytes)> {
+        self.scans.push((table.to_string(), prefix.to_string()));
+        self.db.charge(OpClass::List);
+        self.db.stats().record_scan();
+        let guard = self.db.inner.tables.read();
+        let mut merged: BTreeMap<String, Option<Bytes>> = BTreeMap::new();
+        if let Some(t) = guard.get(table) {
+            for (k, chain) in t.range(prefix.to_string()..).take_while(|(k, _)| k.starts_with(prefix)) {
+                if let Some(v) = chain.visible_at(self.snapshot).and_then(|v| v.value.clone()) {
+                    merged.insert(k.clone(), Some(v));
+                }
+            }
+        }
+        drop(guard);
+        for ((t, k), v) in &self.writes {
+            if t == table && k.starts_with(prefix) {
+                merged.insert(k.clone(), v.clone());
+            }
+        }
+        merged
+            .into_iter()
+            .filter_map(|(k, v)| v.map(|val| (k, val)))
+            .collect()
+    }
+
+    /// Buffer an upsert.
+    pub fn put(&mut self, table: &str, key: &str, value: Bytes) {
+        self.writes
+            .insert((table.to_string(), key.to_string()), Some(value));
+    }
+
+    /// Buffer a delete.
+    pub fn delete(&mut self, table: &str, key: &str) {
+        self.writes.insert((table.to_string(), key.to_string()), None);
+    }
+
+    /// True if the transaction has buffered any writes.
+    pub fn is_dirty(&self) -> bool {
+        !self.writes.is_empty()
+    }
+
+    /// Validate and commit; returns the new CSN. On [`TxError::Conflict`]
+    /// the transaction is consumed — callers retry from `begin_write`.
+    pub fn commit(mut self) -> TxResult<u64> {
+        if self.finished {
+            return Err(TxError::AlreadyFinished);
+        }
+        self.finished = true;
+        if self.writes.is_empty() {
+            // Read-only write-txn: snapshot reads are already consistent.
+            return Ok(self.snapshot);
+        }
+        self.db.charge(OpClass::Write);
+
+        let inner = &self.db.inner;
+        let _commit_guard = inner.commit_lock.lock();
+
+        // --- Validation phase (under commit lock; no commits can interleave).
+        {
+            let tables = inner.tables.read();
+            let conflicting_key = |table: &str, key: &str| -> bool {
+                tables
+                    .get(table)
+                    .and_then(|t| t.get(key))
+                    .is_some_and(|chain| chain.latest_csn() > self.snapshot)
+            };
+            for (table, key) in self.reads.iter().chain(self.writes.keys()) {
+                if conflicting_key(table, key) {
+                    inner.stats.record_conflict();
+                    return Err(TxError::Conflict {
+                        detail: format!("{table}/{key} changed after snapshot {}", self.snapshot),
+                    });
+                }
+            }
+            for (table, prefix) in &self.scans {
+                if let Some(t) = tables.get(table) {
+                    let phantom = t
+                        .range(prefix.clone()..)
+                        .take_while(|(k, _)| k.starts_with(prefix.as_str()))
+                        .any(|(_, chain)| chain.latest_csn() > self.snapshot);
+                    if phantom {
+                        inner.stats.record_conflict();
+                        return Err(TxError::Conflict {
+                            detail: format!(
+                                "scan {table}/{prefix}* observed a change after snapshot {}",
+                                self.snapshot
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+
+        // --- Apply phase.
+        let new_csn = inner.csn.load(std::sync::atomic::Ordering::Acquire) + 1;
+        let mut records = Vec::with_capacity(self.writes.len());
+        {
+            let mut tables = inner.tables.write();
+            for ((table, key), value) in std::mem::take(&mut self.writes) {
+                let chain = tables
+                    .entry(table.clone())
+                    .or_default()
+                    .entry(key.clone())
+                    .or_default();
+                chain.versions.push(crate::db::Version { csn: new_csn, value: value.clone() });
+                records.push(ChangeRecord {
+                    csn: new_csn,
+                    table,
+                    key,
+                    kind: if value.is_some() { ChangeKind::Put } else { ChangeKind::Delete },
+                    value,
+                });
+            }
+        }
+        inner.stats.record_write(records.len() as u64);
+        inner.changelog.append(records);
+        inner
+            .csn
+            .store(new_csn, std::sync::atomic::Ordering::Release);
+        inner.stats.record_commit();
+        Ok(new_csn)
+    }
+
+    /// Discard buffered writes.
+    pub fn rollback(mut self) {
+        self.finished = true;
+        self.writes.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::Db;
+
+    fn put1(db: &Db, table: &str, key: &str, val: &str) -> u64 {
+        let mut tx = db.begin_write();
+        tx.put(table, key, Bytes::from(val.to_string()));
+        tx.commit().unwrap()
+    }
+
+    #[test]
+    fn write_then_read_back() {
+        let db = Db::in_memory();
+        put1(&db, "t", "a", "1");
+        let rt = db.begin_read();
+        assert_eq!(rt.get("t", "a"), Some(Bytes::from_static(b"1")));
+        assert_eq!(rt.get("t", "missing"), None);
+    }
+
+    #[test]
+    fn snapshot_reads_ignore_later_commits() {
+        let db = Db::in_memory();
+        put1(&db, "t", "a", "old");
+        let rt = db.begin_read();
+        put1(&db, "t", "a", "new");
+        put1(&db, "t", "b", "born-later");
+        assert_eq!(rt.get("t", "a"), Some(Bytes::from_static(b"old")));
+        assert_eq!(rt.get("t", "b"), None);
+        // a fresh snapshot sees the new state
+        let rt2 = db.begin_read();
+        assert_eq!(rt2.get("t", "a"), Some(Bytes::from_static(b"new")));
+    }
+
+    #[test]
+    fn txn_reads_own_writes() {
+        let db = Db::in_memory();
+        let mut tx = db.begin_write();
+        tx.put("t", "a", Bytes::from_static(b"mine"));
+        assert_eq!(tx.get("t", "a"), Some(Bytes::from_static(b"mine")));
+        tx.delete("t", "a");
+        assert_eq!(tx.get("t", "a"), None);
+    }
+
+    #[test]
+    fn uncommitted_writes_are_invisible() {
+        let db = Db::in_memory();
+        let mut tx = db.begin_write();
+        tx.put("t", "a", Bytes::from_static(b"x"));
+        assert_eq!(db.begin_read().get("t", "a"), None);
+        tx.rollback();
+        assert_eq!(db.begin_read().get("t", "a"), None);
+    }
+
+    #[test]
+    fn write_write_conflict_detected() {
+        let db = Db::in_memory();
+        put1(&db, "t", "a", "base");
+        let mut tx1 = db.begin_write();
+        let mut tx2 = db.begin_write();
+        tx1.put("t", "a", Bytes::from_static(b"one"));
+        tx2.put("t", "a", Bytes::from_static(b"two"));
+        tx1.commit().unwrap();
+        assert!(matches!(tx2.commit(), Err(TxError::Conflict { .. })));
+        assert_eq!(db.stats().conflicts(), 1);
+    }
+
+    #[test]
+    fn read_write_conflict_detected() {
+        // tx2 reads a row tx1 writes: serializability requires tx2 to abort
+        // if it commits after tx1 (its read is stale).
+        let db = Db::in_memory();
+        put1(&db, "t", "a", "base");
+        let mut tx1 = db.begin_write();
+        let mut tx2 = db.begin_write();
+        let _ = tx2.get("t", "a");
+        tx2.put("t", "b", Bytes::from_static(b"derived"));
+        tx1.put("t", "a", Bytes::from_static(b"changed"));
+        tx1.commit().unwrap();
+        assert!(matches!(tx2.commit(), Err(TxError::Conflict { .. })));
+    }
+
+    #[test]
+    fn disjoint_writes_both_commit() {
+        let db = Db::in_memory();
+        let mut tx1 = db.begin_write();
+        let mut tx2 = db.begin_write();
+        tx1.put("t", "a", Bytes::from_static(b"1"));
+        tx2.put("t", "b", Bytes::from_static(b"2"));
+        tx1.commit().unwrap();
+        tx2.commit().unwrap();
+        let rt = db.begin_read();
+        assert!(rt.get("t", "a").is_some() && rt.get("t", "b").is_some());
+    }
+
+    #[test]
+    fn phantom_insert_into_scanned_prefix_conflicts() {
+        let db = Db::in_memory();
+        put1(&db, "t", "schema1/t1", "x");
+        let mut scanner = db.begin_write();
+        let rows = scanner.scan_prefix("t", "schema1/");
+        assert_eq!(rows.len(), 1);
+        scanner.put("t", "count", Bytes::from_static(b"1"));
+        // concurrent insert into the scanned range
+        put1(&db, "t", "schema1/t2", "y");
+        assert!(matches!(scanner.commit(), Err(TxError::Conflict { .. })));
+    }
+
+    #[test]
+    fn phantom_delete_from_scanned_prefix_conflicts() {
+        let db = Db::in_memory();
+        put1(&db, "t", "s/t1", "x");
+        put1(&db, "t", "s/t2", "y");
+        let mut scanner = db.begin_write();
+        assert_eq!(scanner.scan_prefix("t", "s/").len(), 2);
+        scanner.put("t", "other", Bytes::from_static(b"z"));
+        let mut deleter = db.begin_write();
+        deleter.delete("t", "s/t2");
+        deleter.commit().unwrap();
+        assert!(matches!(scanner.commit(), Err(TxError::Conflict { .. })));
+    }
+
+    #[test]
+    fn scan_outside_written_range_does_not_conflict() {
+        let db = Db::in_memory();
+        put1(&db, "t", "a/1", "x");
+        let mut scanner = db.begin_write();
+        let _ = scanner.scan_prefix("t", "a/");
+        scanner.put("t", "out", Bytes::from_static(b"v"));
+        put1(&db, "t", "b/1", "y"); // outside scanned prefix
+        scanner.commit().unwrap();
+    }
+
+    #[test]
+    fn scan_merges_buffered_writes() {
+        let db = Db::in_memory();
+        put1(&db, "t", "p/committed", "c");
+        put1(&db, "t", "p/doomed", "d");
+        let mut tx = db.begin_write();
+        tx.put("t", "p/buffered", Bytes::from_static(b"b"));
+        tx.delete("t", "p/doomed");
+        let rows = tx.scan_prefix("t", "p/");
+        let keys: Vec<_> = rows.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["p/buffered", "p/committed"]);
+    }
+
+    #[test]
+    fn read_only_write_txn_commits_without_bumping_csn() {
+        let db = Db::in_memory();
+        put1(&db, "t", "a", "1");
+        let before = db.current_csn();
+        let mut tx = db.begin_write();
+        let _ = tx.get("t", "a");
+        assert_eq!(tx.commit().unwrap(), before);
+        assert_eq!(db.current_csn(), before);
+    }
+
+    #[test]
+    fn delete_writes_tombstone_and_changelog_records_it() {
+        let db = Db::in_memory();
+        put1(&db, "t", "a", "1");
+        let mut tx = db.begin_write();
+        tx.delete("t", "a");
+        let csn = tx.commit().unwrap();
+        assert_eq!(db.begin_read().get("t", "a"), None);
+        let changes = db.changelog().changes_since(csn - 1);
+        assert_eq!(changes.len(), 1);
+        assert_eq!(changes[0].kind, ChangeKind::Delete);
+    }
+
+    #[test]
+    fn changelog_orders_multi_row_commits() {
+        let db = Db::in_memory();
+        let mut tx = db.begin_write();
+        tx.put("t", "a", Bytes::from_static(b"1"));
+        tx.put("t", "b", Bytes::from_static(b"2"));
+        let csn = tx.commit().unwrap();
+        let changes = db.changelog().changes_since(0);
+        assert_eq!(changes.len(), 2);
+        assert!(changes.iter().all(|c| c.csn == csn));
+    }
+
+    #[test]
+    fn concurrent_counter_increments_are_serializable() {
+        // Classic lost-update test: N threads increment a counter with
+        // retry-on-conflict; the final value must be exactly N * iters.
+        let db = Db::in_memory();
+        put1(&db, "t", "ctr", "0");
+        let threads = 8;
+        let iters = 25;
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            let db = db.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..iters {
+                    loop {
+                        let mut tx = db.begin_write();
+                        let cur: i64 = tx
+                            .get("t", "ctr")
+                            .map(|b| String::from_utf8(b.to_vec()).unwrap().parse().unwrap())
+                            .unwrap();
+                        tx.put("t", "ctr", Bytes::from((cur + 1).to_string()));
+                        if tx.commit().is_ok() {
+                            break;
+                        }
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let final_val: i64 = db
+            .get_latest("t", "ctr")
+            .map(|b| String::from_utf8(b.to_vec()).unwrap().parse().unwrap())
+            .unwrap();
+        assert_eq!(final_val, (threads * iters) as i64);
+    }
+}

@@ -1,0 +1,208 @@
+//! External-client diversity model (Fig 9).
+//!
+//! Fig 9 is a bubble grid: external client types (rows) × SQL command
+//! types (columns), with bubble area = query volume, contrasted between
+//! UC (334 client types × 90 command types) and HMS (95 × 30). The model
+//! below generates such a matrix: client types have Zipf-distributed
+//! activity, each supports a Zipf-weighted subset of the command
+//! vocabulary, and per-cell volumes are log-normal. HMS's smaller grid
+//! falls out of its narrower API (tables only, no governance commands).
+
+use crate::randx::{lognormal, rng_for, Zipf};
+
+/// SQL command families UC serves (superset) — governance, assets beyond
+/// tables, sharing, and discovery commands are UC-only.
+pub const UC_COMMANDS: [&str; 30] = [
+    "SELECT", "INSERT", "UPDATE", "DELETE", "MERGE", "CREATE_TABLE", "CREATE_VIEW",
+    "CREATE_SCHEMA", "CREATE_CATALOG", "CREATE_VOLUME", "CREATE_MODEL", "CREATE_FUNCTION",
+    "DROP", "ALTER", "DESCRIBE", "SHOW_TABLES", "SHOW_SCHEMAS", "GRANT", "REVOKE",
+    "SHOW_GRANTS", "SET_TAG", "OPTIMIZE", "VACUUM", "LIST_VOLUMES", "READ_VOLUME",
+    "GET_MODEL", "CREATE_SHARE", "QUERY_SHARE", "GET_LINEAGE", "SEARCH",
+];
+
+/// HMS's narrower command vocabulary (tables only, no governance).
+pub const HMS_COMMANDS: [&str; 10] = [
+    "SELECT", "INSERT", "CREATE_TABLE", "CREATE_SCHEMA", "DROP", "ALTER", "DESCRIBE",
+    "SHOW_TABLES", "SHOW_SCHEMAS", "MSCK_REPAIR",
+];
+
+/// One cell of the bubble grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UsageCell {
+    pub client_type: usize,
+    pub command: String,
+    pub queries: u64,
+}
+
+/// Model parameters, calibrated to Fig 9's reported counts.
+#[derive(Debug, Clone)]
+pub struct ClientDiversityParams {
+    pub seed: u64,
+    /// Distinct external client types (UC: 334; HMS: 95).
+    pub num_client_types: usize,
+    /// Command vocabulary multiplier: each base family fans out into
+    /// variants until this many distinct command types exist
+    /// (UC: 90; HMS: 30).
+    pub num_command_types: usize,
+    /// Base command families.
+    pub commands: &'static [&'static str],
+    /// Zipf exponent of client activity.
+    pub client_zipf: f64,
+    /// Mean commands supported per client type.
+    pub mean_commands_per_client: f64,
+}
+
+impl ClientDiversityParams {
+    /// Unity Catalog's observed diversity.
+    pub fn unity_catalog(seed: u64) -> Self {
+        ClientDiversityParams {
+            seed,
+            num_client_types: 334,
+            num_command_types: 90,
+            commands: &UC_COMMANDS,
+            client_zipf: 1.05,
+            mean_commands_per_client: 9.0,
+        }
+    }
+
+    /// HMS's observed diversity (~3.5× fewer client types, 3× fewer
+    /// command types).
+    pub fn hive_metastore(seed: u64) -> Self {
+        ClientDiversityParams {
+            seed,
+            num_client_types: 95,
+            num_command_types: 30,
+            commands: &HMS_COMMANDS,
+            client_zipf: 1.05,
+            mean_commands_per_client: 6.0,
+        }
+    }
+}
+
+/// The generated usage matrix.
+pub struct UsageMatrix {
+    pub cells: Vec<UsageCell>,
+    pub command_vocabulary: Vec<String>,
+}
+
+impl UsageMatrix {
+    pub fn generate(params: &ClientDiversityParams) -> UsageMatrix {
+        let mut rng = rng_for(params.seed, 400);
+        // Expand base families into the full command vocabulary
+        // (e.g. SELECT, SELECT_v2, …) the way real clients specialize.
+        let mut vocabulary = Vec::with_capacity(params.num_command_types);
+        let mut v = 0usize;
+        'outer: loop {
+            for base in params.commands {
+                let name = if v < params.commands.len() {
+                    base.to_string()
+                } else {
+                    format!("{base}_V{}", v / params.commands.len() + 1)
+                };
+                vocabulary.push(name);
+                v += 1;
+                if v == params.num_command_types {
+                    break 'outer;
+                }
+            }
+        }
+        let command_popularity = Zipf::new(vocabulary.len(), 1.2);
+        let client_activity = Zipf::new(params.num_client_types, params.client_zipf);
+        // Activity per client type: sample many "query batches" and
+        // attribute them to (client, command) cells.
+        let mut matrix: std::collections::BTreeMap<(usize, usize), u64> = Default::default();
+        // Every client type supports a subset of commands; ensure each
+        // client has at least one supported command cell.
+        for client in 0..params.num_client_types {
+            let n_cmds = (lognormal(&mut rng, params.mean_commands_per_client.ln(), 0.7).round()
+                as usize)
+                .clamp(1, vocabulary.len());
+            for _ in 0..n_cmds {
+                let cmd = command_popularity.sample(&mut rng);
+                let volume = lognormal(&mut rng, 4.0, 2.0).round().max(1.0) as u64;
+                *matrix.entry((client, cmd)).or_insert(0) += volume;
+            }
+        }
+        // Heavy hitters: the most active clients issue large extra volume.
+        for _ in 0..params.num_client_types * 20 {
+            let client = client_activity.sample(&mut rng);
+            let cmd = command_popularity.sample(&mut rng);
+            let volume = lognormal(&mut rng, 5.0, 1.5).round().max(1.0) as u64;
+            *matrix.entry((client, cmd)).or_insert(0) += volume;
+        }
+        let cells = matrix
+            .into_iter()
+            .map(|((client_type, cmd), queries)| UsageCell {
+                client_type,
+                command: vocabulary[cmd].clone(),
+                queries,
+            })
+            .collect();
+        UsageMatrix { cells, command_vocabulary: vocabulary }
+    }
+
+    /// Distinct client types present.
+    pub fn distinct_clients(&self) -> usize {
+        let s: std::collections::BTreeSet<usize> =
+            self.cells.iter().map(|c| c.client_type).collect();
+        s.len()
+    }
+
+    /// Distinct command types actually used.
+    pub fn distinct_commands(&self) -> usize {
+        let s: std::collections::BTreeSet<&str> =
+            self.cells.iter().map(|c| c.command.as_str()).collect();
+        s.len()
+    }
+
+    pub fn total_queries(&self) -> u64 {
+        self.cells.iter().map(|c| c.queries).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uc_grid_is_wider_than_hms_grid() {
+        let uc = UsageMatrix::generate(&ClientDiversityParams::unity_catalog(1));
+        let hms = UsageMatrix::generate(&ClientDiversityParams::hive_metastore(1));
+        assert_eq!(uc.distinct_clients(), 334);
+        assert_eq!(hms.distinct_clients(), 95);
+        assert!(uc.distinct_commands() > 70, "uc commands {}", uc.distinct_commands());
+        assert!(hms.distinct_commands() <= 30);
+        // the ~3.5× client diversity gap
+        let ratio = uc.distinct_clients() as f64 / hms.distinct_clients() as f64;
+        assert!((ratio - 3.5).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn vocabulary_sizes_match_paper() {
+        let uc = UsageMatrix::generate(&ClientDiversityParams::unity_catalog(2));
+        let hms = UsageMatrix::generate(&ClientDiversityParams::hive_metastore(2));
+        assert_eq!(uc.command_vocabulary.len(), 90);
+        assert_eq!(hms.command_vocabulary.len(), 30);
+        // governance commands exist only in the UC vocabulary
+        assert!(uc.command_vocabulary.iter().any(|c| c == "GRANT"));
+        assert!(!hms.command_vocabulary.iter().any(|c| c == "GRANT"));
+    }
+
+    #[test]
+    fn volumes_are_heavy_tailed() {
+        let uc = UsageMatrix::generate(&ClientDiversityParams::unity_catalog(3));
+        let mut volumes: Vec<u64> = uc.cells.iter().map(|c| c.queries).collect();
+        volumes.sort_unstable();
+        let median = volumes[volumes.len() / 2];
+        let max = *volumes.last().unwrap();
+        assert!(max > 20 * median, "max {max} median {median}");
+        assert!(uc.total_queries() > 0);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = UsageMatrix::generate(&ClientDiversityParams::unity_catalog(9));
+        let b = UsageMatrix::generate(&ClientDiversityParams::unity_catalog(9));
+        assert_eq!(a.cells, b.cells);
+    }
+}

@@ -1,0 +1,573 @@
+//! Synthetic metastore populations (§6.1, Figs 4, 6, 8a).
+//!
+//! The generator is calibrated to the aggregates the paper publishes:
+//!
+//! * asset ratios — ~100 M tables, 550 K volumes, 400 K models across
+//!   4 M schemas, 200 K catalogs, 100 K metastores;
+//! * schema composition — ~89 % tables-only, ~3 % volumes-only, ~3 %
+//!   tables+volumes, ~5 % other mixes (≈2 % models-only);
+//! * table types — ~53 % managed, ~16 % foreign, the rest external,
+//!   views, shallow clones;
+//! * formats — Delta majority with meaningful Iceberg/Parquet/CSV shares;
+//! * heavy tails — log-normal per-container counts with mode ≈30 tables
+//!   per catalog and a tail reaching hundreds of thousands.
+
+use rand::Rng;
+use uc_catalog::model::entity::Entity;
+use uc_catalog::types::{SecurableKind, TableFormat, TableType};
+
+use crate::randx::{lognormal_count, rng_for, weighted_choice, Zipf};
+
+/// The 26 foreign table connector types the paper mentions; the first
+/// five are the "top 5" of Fig 8(c) (three of them cloud warehouses).
+pub const FOREIGN_TYPES: [&str; 26] = [
+    "hive", "snowflake", "redshift", "bigquery", "mysql", "postgresql", "sqlserver", "oracle",
+    "teradata", "db2", "sap_hana", "synapse", "athena", "presto", "trino", "clickhouse",
+    "mariadb", "mongodb_atlas_sql", "databricks", "glue", "salesforce_dc", "netezza",
+    "vertica", "greenplum", "exasol", "duckdb",
+];
+
+/// One asset in a synthetic schema.
+#[derive(Debug, Clone)]
+pub struct AssetSpec {
+    pub name: String,
+    pub kind: SecurableKind,
+    pub table_type: Option<TableType>,
+    pub format: Option<TableFormat>,
+    pub foreign_type: Option<String>,
+    pub columns: u32,
+}
+
+#[derive(Debug, Clone)]
+pub struct SchemaSpec {
+    pub name: String,
+    pub assets: Vec<AssetSpec>,
+}
+
+#[derive(Debug, Clone)]
+pub struct CatalogSpec {
+    pub name: String,
+    pub schemas: Vec<SchemaSpec>,
+}
+
+#[derive(Debug, Clone)]
+pub struct MetastoreSpec {
+    pub name: String,
+    pub catalogs: Vec<CatalogSpec>,
+}
+
+/// Schema-composition classes (Fig 6a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchemaClass {
+    TablesOnly,
+    VolumesOnly,
+    TablesAndVolumes,
+    Other,
+}
+
+/// Calibration knobs; defaults reproduce the paper's aggregates.
+#[derive(Debug, Clone)]
+pub struct PopulationParams {
+    pub seed: u64,
+    pub num_metastores: usize,
+    /// Log-normal (mu, sigma) for catalogs per metastore.
+    pub catalogs_per_ms: (f64, f64),
+    /// Log-normal (mu, sigma) for schemas per catalog.
+    pub schemas_per_catalog: (f64, f64),
+    /// Log-normal (mu, sigma) for tables per (table-bearing) schema.
+    pub tables_per_schema: (f64, f64),
+    /// Log-normal (mu, sigma) for volumes per (volume-bearing) schema.
+    pub volumes_per_schema: (f64, f64),
+    /// Schema composition probabilities:
+    /// [tables-only, volumes-only, tables+volumes, other].
+    pub schema_class_weights: [f64; 4],
+    /// Table type weights: [managed, external, view, foreign, shallow].
+    pub table_type_weights: [f64; 5],
+    /// Format weights for non-foreign tables: [delta, parquet, iceberg, csv].
+    pub format_weights: [f64; 4],
+    /// Zipf exponent over [`FOREIGN_TYPES`].
+    pub foreign_type_zipf: f64,
+}
+
+impl Default for PopulationParams {
+    fn default() -> Self {
+        PopulationParams {
+            seed: 42,
+            num_metastores: 500,
+            // median ~1.6 catalogs per metastore, heavy tail
+            catalogs_per_ms: (0.5, 0.9),
+            // median ~8 schemas per catalog
+            schemas_per_catalog: (2.05, 1.0),
+            // tables per schema: median ~7, mode of tables-per-catalog
+            // lands near ~30 with the heavy tail reaching into the 10^5s
+            tables_per_schema: (1.9, 1.35),
+            // volumes: "a handful per catalog suffices", mode < 6
+            volumes_per_schema: (0.6, 0.8),
+            // Fig 6a: 89 / 3 / 3 / 5
+            schema_class_weights: [0.89, 0.03, 0.03, 0.05],
+            // Fig 6b: managed 53 %, foreign 16 %, external/view/shallow rest
+            table_type_weights: [0.53, 0.15, 0.14, 0.16, 0.02],
+            // Fig 8a: Delta majority
+            format_weights: [0.78, 0.12, 0.06, 0.04],
+            foreign_type_zipf: 1.3,
+        }
+    }
+}
+
+impl PopulationParams {
+    /// A small population for unit tests.
+    pub fn small(seed: u64) -> Self {
+        PopulationParams { seed, num_metastores: 20, ..Default::default() }
+    }
+}
+
+/// A generated population.
+#[derive(Debug, Clone)]
+pub struct Population {
+    pub metastores: Vec<MetastoreSpec>,
+}
+
+impl Population {
+    pub fn generate(params: &PopulationParams) -> Population {
+        let mut rng = rng_for(params.seed, 100);
+        let foreign_zipf = Zipf::new(FOREIGN_TYPES.len(), params.foreign_type_zipf);
+        let mut metastores = Vec::with_capacity(params.num_metastores);
+        for m in 0..params.num_metastores {
+            let n_catalogs =
+                lognormal_count(&mut rng, params.catalogs_per_ms.0, params.catalogs_per_ms.1, 1);
+            let mut catalogs = Vec::with_capacity(n_catalogs);
+            for c in 0..n_catalogs {
+                let n_schemas = lognormal_count(
+                    &mut rng,
+                    params.schemas_per_catalog.0,
+                    params.schemas_per_catalog.1,
+                    1,
+                );
+                let mut schemas = Vec::with_capacity(n_schemas);
+                for s in 0..n_schemas {
+                    schemas.push(generate_schema(params, &mut rng, &foreign_zipf, s));
+                }
+                catalogs.push(CatalogSpec { name: format!("catalog_{c}"), schemas });
+            }
+            metastores.push(MetastoreSpec { name: format!("metastore_{m}"), catalogs });
+        }
+        Population { metastores }
+    }
+
+    // ------------------------------------------------------------------
+    // Census helpers used by the figure benches
+    // ------------------------------------------------------------------
+
+    pub fn all_schemas(&self) -> impl Iterator<Item = &SchemaSpec> {
+        self.metastores
+            .iter()
+            .flat_map(|m| m.catalogs.iter())
+            .flat_map(|c| c.schemas.iter())
+    }
+
+    pub fn all_assets(&self) -> impl Iterator<Item = &AssetSpec> {
+        self.all_schemas().flat_map(|s| s.assets.iter())
+    }
+
+    /// Fig 6a census: fraction of schemas per composition class.
+    pub fn schema_composition(&self) -> Vec<(SchemaClass, f64)> {
+        let mut counts = [(SchemaClass::TablesOnly, 0usize),
+            (SchemaClass::VolumesOnly, 0),
+            (SchemaClass::TablesAndVolumes, 0),
+            (SchemaClass::Other, 0)];
+        let mut total = 0usize;
+        for schema in self.all_schemas() {
+            total += 1;
+            let has = |k: SecurableKind| schema.assets.iter().any(|a| a.kind == k);
+            let tables = has(SecurableKind::Table) || has(SecurableKind::View);
+            let volumes = has(SecurableKind::Volume);
+            let other = has(SecurableKind::RegisteredModel) || has(SecurableKind::Function);
+            let class = match (tables, volumes, other) {
+                (true, false, false) => SchemaClass::TablesOnly,
+                (false, true, false) => SchemaClass::VolumesOnly,
+                (true, true, false) => SchemaClass::TablesAndVolumes,
+                _ => SchemaClass::Other,
+            };
+            counts.iter_mut().find(|(c, _)| *c == class).unwrap().1 += 1;
+        }
+        counts
+            .into_iter()
+            .map(|(c, n)| (c, n as f64 / total.max(1) as f64))
+            .collect()
+    }
+
+    /// Fig 6b census: fraction of tables per table type.
+    pub fn table_type_histogram(&self) -> Vec<(TableType, f64)> {
+        let mut counts: Vec<(TableType, usize)> = vec![
+            (TableType::Managed, 0),
+            (TableType::External, 0),
+            (TableType::View, 0),
+            (TableType::Foreign, 0),
+            (TableType::ShallowClone, 0),
+        ];
+        let mut total = 0usize;
+        for asset in self.all_assets() {
+            if let Some(tt) = asset.table_type {
+                total += 1;
+                counts.iter_mut().find(|(t, _)| *t == tt).unwrap().1 += 1;
+            }
+        }
+        counts
+            .into_iter()
+            .map(|(t, n)| (t, n as f64 / total.max(1) as f64))
+            .collect()
+    }
+
+    /// Fig 8a census: fraction of (format-bearing) tables per format.
+    pub fn format_histogram(&self) -> Vec<(TableFormat, f64)> {
+        let mut counts: Vec<(TableFormat, usize)> = vec![
+            (TableFormat::Delta, 0),
+            (TableFormat::Parquet, 0),
+            (TableFormat::Iceberg, 0),
+            (TableFormat::Csv, 0),
+        ];
+        let mut total = 0usize;
+        for asset in self.all_assets() {
+            if let Some(f) = asset.format {
+                total += 1;
+                counts.iter_mut().find(|(t, _)| *t == f).unwrap().1 += 1;
+            }
+        }
+        counts
+            .into_iter()
+            .map(|(t, n)| (t, n as f64 / total.max(1) as f64))
+            .collect()
+    }
+
+    /// Foreign-type usage counts, descending.
+    pub fn foreign_type_histogram(&self) -> Vec<(String, usize)> {
+        let mut counts: std::collections::BTreeMap<String, usize> = Default::default();
+        for asset in self.all_assets() {
+            if let Some(ft) = &asset.foreign_type {
+                *counts.entry(ft.clone()).or_default() += 1;
+            }
+        }
+        let mut v: Vec<(String, usize)> = counts.into_iter().collect();
+        v.sort_by_key(|(_, n)| std::cmp::Reverse(*n));
+        v
+    }
+
+    /// Per-catalog asset counts for a kind (heavy-tail checks).
+    pub fn assets_per_catalog(&self, kind: SecurableKind) -> Vec<usize> {
+        self.metastores
+            .iter()
+            .flat_map(|m| m.catalogs.iter())
+            .map(|c| {
+                c.schemas
+                    .iter()
+                    .flat_map(|s| s.assets.iter())
+                    .filter(|a| a.kind == kind)
+                    .count()
+            })
+            .collect()
+    }
+
+    /// Estimated metadata working-set bytes per metastore (Fig 4): the
+    /// serialized size of every entity record, using a representative
+    /// encoding per asset.
+    pub fn working_set_bytes(&self) -> Vec<f64> {
+        // Measure representative entity encodings once.
+        let probe = |kind: SecurableKind, columns: u32| -> usize {
+            let mut e = Entity::new(
+                kind,
+                "representative_asset_name",
+                Some(uc_catalog::ids::Uid::from("a0b1c2d3e4f5a0b1c2d3e4f5a0b1c2d3")),
+                uc_catalog::ids::Uid::from("a0b1c2d3e4f5a0b1c2d3e4f5a0b1c2d3"),
+                "owner@example.com",
+                1_700_000_000_000,
+            );
+            if kind == SecurableKind::Table {
+                let fields = (0..columns)
+                    .map(|i| uc_delta::value::Field::new(&format!("column_name_{i}"), uc_delta::value::DataType::Str))
+                    .collect();
+                e.set_table_schema(&uc_delta::value::Schema::new(fields));
+                e.storage_path = Some("s3://bucket/warehouse/tables/a0b1c2d3e4f5".into());
+            }
+            e.encode().len()
+        };
+        let container_bytes = probe(SecurableKind::Schema, 0);
+        self.metastores
+            .iter()
+            .map(|m| {
+                let mut bytes = container_bytes; // the metastore record
+                for c in &m.catalogs {
+                    bytes += container_bytes;
+                    for s in &c.schemas {
+                        bytes += container_bytes;
+                        for a in &s.assets {
+                            bytes += probe_cached(a, &probe);
+                        }
+                    }
+                }
+                bytes as f64
+            })
+            .collect()
+    }
+
+    /// Total asset count by kind.
+    pub fn kind_counts(&self) -> std::collections::BTreeMap<String, usize> {
+        let mut counts = std::collections::BTreeMap::new();
+        *counts.entry("metastores".to_string()).or_insert(0) += self.metastores.len();
+        for m in &self.metastores {
+            *counts.entry("catalogs".to_string()).or_insert(0) += m.catalogs.len();
+            for c in &m.catalogs {
+                *counts.entry("schemas".to_string()).or_insert(0) += c.schemas.len();
+                for s in &c.schemas {
+                    for a in &s.assets {
+                        let key = match a.kind {
+                            SecurableKind::Table => "tables",
+                            SecurableKind::View => "tables", // views are table-like
+                            SecurableKind::Volume => "volumes",
+                            SecurableKind::RegisteredModel => "models",
+                            SecurableKind::Function => "functions",
+                            _ => "other",
+                        };
+                        *counts.entry(key.to_string()).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        counts
+    }
+}
+
+/// Approximate per-asset entity size without re-encoding each time:
+/// tables scale with column count, others use a fixed representative.
+fn probe_cached(asset: &AssetSpec, probe: &dyn Fn(SecurableKind, u32) -> usize) -> usize {
+    use std::sync::OnceLock;
+    static BASE: OnceLock<(usize, usize)> = OnceLock::new();
+    let (table_base, per_column) = *BASE.get_or_init(|| {
+        let t8 = probe(SecurableKind::Table, 8);
+        let t16 = probe(SecurableKind::Table, 16);
+        let per_col = (t16 - t8) / 8;
+        (t8.saturating_sub(8 * per_col), per_col)
+    });
+    match asset.kind {
+        SecurableKind::Table | SecurableKind::View => {
+            table_base + per_column * asset.columns as usize
+        }
+        _ => table_base,
+    }
+}
+
+fn generate_schema(
+    params: &PopulationParams,
+    rng: &mut rand::rngs::StdRng,
+    foreign_zipf: &Zipf,
+    idx: usize,
+) -> SchemaSpec {
+    let class = match weighted_choice(rng, &params.schema_class_weights) {
+        0 => SchemaClass::TablesOnly,
+        1 => SchemaClass::VolumesOnly,
+        2 => SchemaClass::TablesAndVolumes,
+        _ => SchemaClass::Other,
+    };
+    let mut assets = Vec::new();
+    let push_tables = |assets: &mut Vec<AssetSpec>, rng: &mut rand::rngs::StdRng| {
+        let n = lognormal_count(rng, params.tables_per_schema.0, params.tables_per_schema.1, 1);
+        for i in 0..n {
+            assets.push(generate_table(params, rng, foreign_zipf, i));
+        }
+    };
+    let push_volumes = |assets: &mut Vec<AssetSpec>, rng: &mut rand::rngs::StdRng| {
+        let n = lognormal_count(rng, params.volumes_per_schema.0, params.volumes_per_schema.1, 1);
+        for i in 0..n {
+            assets.push(AssetSpec {
+                name: format!("volume_{i}"),
+                kind: SecurableKind::Volume,
+                table_type: None,
+                format: None,
+                foreign_type: None,
+                columns: 0,
+            });
+        }
+    };
+    match class {
+        SchemaClass::TablesOnly => push_tables(&mut assets, rng),
+        SchemaClass::VolumesOnly => push_volumes(&mut assets, rng),
+        SchemaClass::TablesAndVolumes => {
+            push_tables(&mut assets, rng);
+            push_volumes(&mut assets, rng);
+        }
+        SchemaClass::Other => {
+            // models-only is the common case (~2 % of all schemas); the
+            // rest mix models/functions with tables.
+            let n_models = 1 + rng.gen_range(0..3);
+            for i in 0..n_models {
+                assets.push(AssetSpec {
+                    name: format!("model_{i}"),
+                    kind: SecurableKind::RegisteredModel,
+                    table_type: None,
+                    format: None,
+                    foreign_type: None,
+                    columns: 0,
+                });
+            }
+            if rng.gen_bool(0.4) {
+                push_tables(&mut assets, rng);
+            }
+            if rng.gen_bool(0.3) {
+                assets.push(AssetSpec {
+                    name: "udf_0".into(),
+                    kind: SecurableKind::Function,
+                    table_type: None,
+                    format: None,
+                    foreign_type: None,
+                    columns: 0,
+                });
+            }
+        }
+    }
+    SchemaSpec { name: format!("schema_{idx}"), assets }
+}
+
+fn generate_table(
+    params: &PopulationParams,
+    rng: &mut impl Rng,
+    foreign_zipf: &Zipf,
+    idx: usize,
+) -> AssetSpec {
+    let tt = match weighted_choice(rng, &params.table_type_weights) {
+        0 => TableType::Managed,
+        1 => TableType::External,
+        2 => TableType::View,
+        3 => TableType::Foreign,
+        _ => TableType::ShallowClone,
+    };
+    let kind = if tt == TableType::View { SecurableKind::View } else { SecurableKind::Table };
+    let format = match tt {
+        TableType::Foreign | TableType::View => None,
+        _ => Some(match weighted_choice(rng, &params.format_weights) {
+            0 => TableFormat::Delta,
+            1 => TableFormat::Parquet,
+            2 => TableFormat::Iceberg,
+            _ => TableFormat::Csv,
+        }),
+    };
+    let foreign_type = (tt == TableType::Foreign)
+        .then(|| FOREIGN_TYPES[foreign_zipf.sample(rng)].to_string());
+    AssetSpec {
+        name: format!("table_{idx}"),
+        kind,
+        table_type: Some(tt),
+        format,
+        foreign_type,
+        columns: 4 + rng.gen_range(0..40),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::quantile;
+
+    fn population() -> Population {
+        Population::generate(&PopulationParams { num_metastores: 300, ..Default::default() })
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Population::generate(&PopulationParams::small(7));
+        let b = Population::generate(&PopulationParams::small(7));
+        assert_eq!(a.kind_counts(), b.kind_counts());
+        let c = Population::generate(&PopulationParams::small(8));
+        assert_ne!(a.kind_counts(), c.kind_counts());
+    }
+
+    #[test]
+    fn schema_composition_matches_fig6a() {
+        let pop = population();
+        let comp: std::collections::HashMap<SchemaClass, f64> =
+            pop.schema_composition().into_iter().collect();
+        assert!((comp[&SchemaClass::TablesOnly] - 0.89).abs() < 0.03, "{comp:?}");
+        assert!((comp[&SchemaClass::VolumesOnly] - 0.03).abs() < 0.02, "{comp:?}");
+        assert!((comp[&SchemaClass::TablesAndVolumes] - 0.03).abs() < 0.02, "{comp:?}");
+        assert!((comp[&SchemaClass::Other] - 0.05).abs() < 0.03, "{comp:?}");
+    }
+
+    #[test]
+    fn table_types_match_fig6b() {
+        let pop = population();
+        let hist: std::collections::HashMap<TableType, f64> =
+            pop.table_type_histogram().into_iter().collect();
+        assert!((hist[&TableType::Managed] - 0.53).abs() < 0.03, "{hist:?}");
+        assert!((hist[&TableType::Foreign] - 0.16).abs() < 0.03, "{hist:?}");
+        // HMS-compatible types (managed/external/view) ≈ 82 %
+        let hms_covered =
+            hist[&TableType::Managed] + hist[&TableType::External] + hist[&TableType::View];
+        assert!((hms_covered - 0.82).abs() < 0.04, "hms covers {hms_covered}");
+    }
+
+    #[test]
+    fn formats_are_delta_majority() {
+        let pop = population();
+        let hist: std::collections::HashMap<TableFormat, f64> =
+            pop.format_histogram().into_iter().collect();
+        assert!(hist[&TableFormat::Delta] > 0.6);
+        assert!(hist[&TableFormat::Parquet] > 0.05);
+        assert!(hist[&TableFormat::Iceberg] > 0.01);
+    }
+
+    #[test]
+    fn foreign_types_are_zipf_with_26_kinds() {
+        let pop = population();
+        let hist = pop.foreign_type_histogram();
+        assert!(hist.len() >= 15, "saw {} foreign types", hist.len());
+        // top type clearly dominates the 10th
+        assert!(hist[0].1 > 3 * hist.get(9).map(|x| x.1).unwrap_or(0).max(1) / 2);
+    }
+
+    #[test]
+    fn table_counts_are_heavy_tailed() {
+        let pop = population();
+        let counts: Vec<f64> = pop
+            .assets_per_catalog(SecurableKind::Table)
+            .into_iter()
+            .map(|c| c as f64)
+            .collect();
+        let p50 = quantile(&counts, 0.5);
+        let p99 = quantile(&counts, 0.99);
+        assert!((5.0..=120.0).contains(&p50), "median tables/catalog {p50}");
+        assert!(p99 > 6.0 * p50, "tail p99 {p99} vs p50 {p50}");
+        // volumes: a handful per catalog in the common case
+        let vols: Vec<f64> = pop
+            .assets_per_catalog(SecurableKind::Volume)
+            .into_iter()
+            .filter(|&c| c > 0)
+            .map(|c| c as f64)
+            .collect();
+        assert!(quantile(&vols, 0.5) < 6.0);
+    }
+
+    #[test]
+    fn working_sets_are_small_like_fig4() {
+        let pop = population();
+        let ws = pop.working_set_bytes();
+        let p90 = quantile(&ws, 0.9);
+        let p999 = quantile(&ws, 0.999);
+        // Fig 4: 90 % below ~10 MB, essentially all below 100 MB
+        assert!(p90 < 10.0 * 1024.0 * 1024.0, "p90 working set {p90}");
+        assert!(p999 < 100.0 * 1024.0 * 1024.0, "p99.9 working set {p999}");
+    }
+
+    #[test]
+    fn asset_ratios_match_aggregates() {
+        let pop = population();
+        let counts = pop.kind_counts();
+        let tables = counts["tables"] as f64;
+        let schemas = counts["schemas"] as f64;
+        let catalogs = counts["catalogs"] as f64;
+        // paper: 100 M tables / 4 M schemas = 25; 4 M / 200 K = 20 schemas
+        // per catalog is the *aggregate mean*, heavy tails shift medians.
+        assert!(tables / schemas > 5.0 && tables / schemas < 60.0);
+        assert!(schemas / catalogs > 2.0 && schemas / catalogs < 40.0);
+        assert!(counts["volumes"] > 0 && counts["models"] > 0);
+        // volumes are much rarer than tables (550 K vs 100 M)
+        assert!(tables / counts["volumes"] as f64 > 20.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Distribution samplers built on `rand`'s uniform source.
+//!
+//! The approved dependency set includes `rand` but not `rand_distr`, so
+//! the two shapes the telemetry models need — log-normal (asset counts,
+//! bubble sizes) and Zipf (popularity) — are implemented here.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic RNG for a (seed, stream) pair, so independent generators
+/// don't correlate.
+pub fn rng_for(seed: u64, stream: u64) -> StdRng {
+    StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ stream)
+}
+
+/// Standard normal via Box–Muller.
+pub fn standard_normal(rng: &mut impl Rng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        let u2: f64 = rng.gen::<f64>();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+/// Log-normal sample: `exp(mu + sigma·Z)`.
+pub fn lognormal(rng: &mut impl Rng, mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * standard_normal(rng)).exp()
+}
+
+/// Log-normal, rounded to an integer count with a floor of `min`.
+pub fn lognormal_count(rng: &mut impl Rng, mu: f64, sigma: f64, min: usize) -> usize {
+    (lognormal(rng, mu, sigma).round() as usize).max(min)
+}
+
+/// Exponential with the given rate (events per unit time).
+pub fn exponential(rng: &mut impl Rng, rate: f64) -> f64 {
+    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    -u.ln() / rate
+}
+
+/// Zipf distribution over ranks `0..n` with exponent `s`, sampled by
+/// binary search on the precomputed CDF.
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0);
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += 1.0 / (k as f64).powf(s);
+            cumulative.push(total);
+        }
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        Zipf { cumulative }
+    }
+
+    /// Sample a rank in `0..n` (rank 0 is most popular).
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen();
+        self.cumulative.partition_point(|&c| c < u)
+    }
+
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+}
+
+/// Pick an index from explicit (unnormalized) weights.
+pub fn weighted_choice(rng: &mut impl Rng, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    let mut u: f64 = rng.gen::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        if u < *w {
+            return i;
+        }
+        u -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_seed_and_stream() {
+        let a: f64 = rng_for(7, 1).gen();
+        let b: f64 = rng_for(7, 1).gen();
+        let c: f64 = rng_for(7, 2).gen();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn normal_has_roughly_zero_mean_unit_variance() {
+        let mut rng = rng_for(42, 0);
+        let samples: Vec<f64> = (0..20_000).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+            / samples.len() as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_median_is_exp_mu() {
+        let mut rng = rng_for(42, 1);
+        let mut samples: Vec<f64> = (0..20_000).map(|_| lognormal(&mut rng, 3.0, 1.0)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        assert!((median - 3.0f64.exp()).abs() / 3.0f64.exp() < 0.1, "median {median}");
+    }
+
+    #[test]
+    fn zipf_rank_zero_dominates() {
+        let z = Zipf::new(100, 1.1);
+        let mut rng = rng_for(42, 2);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[50].saturating_sub(30));
+        assert!(counts[0] as f64 / 20_000.0 > 0.1);
+    }
+
+    #[test]
+    fn exponential_mean_is_inverse_rate() {
+        let mut rng = rng_for(42, 3);
+        let samples: Vec<f64> = (0..20_000).map(|_| exponential(&mut rng, 0.5)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn weighted_choice_respects_weights() {
+        let mut rng = rng_for(42, 4);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[weighted_choice(&mut rng, &[1.0, 2.0, 7.0])] += 1;
+        }
+        assert!(counts[2] > counts[1] && counts[1] > counts[0]);
+        assert!((counts[2] as f64 / 30_000.0 - 0.7).abs() < 0.03);
+    }
+}

@@ -1,0 +1,93 @@
+//! Small statistics helpers shared by the figure benches.
+
+/// The `q`-quantile (0..=1) of a sample, by linear interpolation on the
+/// sorted data. Returns 0.0 for an empty sample.
+pub fn quantile(data: &[f64], q: f64) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Empirical CDF evaluated at `points`: fraction of samples ≤ each point.
+pub fn cdf_points(data: &[f64], points: &[f64]) -> Vec<(f64, f64)> {
+    let mut sorted: Vec<f64> = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    points
+        .iter()
+        .map(|&p| {
+            let count = sorted.partition_point(|&x| x <= p);
+            (p, count as f64 / sorted.len().max(1) as f64)
+        })
+        .collect()
+}
+
+/// Arithmetic mean.
+pub fn mean(data: &[f64]) -> f64 {
+    if data.is_empty() {
+        0.0
+    } else {
+        data.iter().sum::<f64>() / data.len() as f64
+    }
+}
+
+/// Logarithmically spaced points between `lo` and `hi` (inclusive).
+pub fn log_space(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(lo > 0.0 && hi > lo && n >= 2);
+    let step = (hi / lo).ln() / (n - 1) as f64;
+    (0..n).map(|i| lo * (step * i as f64).exp()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_of_known_sample() {
+        let data: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert!((quantile(&data, 0.0) - 1.0).abs() < 1e-9);
+        assert!((quantile(&data, 1.0) - 100.0).abs() < 1e-9);
+        assert!((quantile(&data, 0.5) - 50.5).abs() < 1e-9);
+        assert!((quantile(&data, 0.9) - 90.1).abs() < 1e-9);
+        assert_eq!(quantile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded() {
+        let data = vec![1.0, 2.0, 2.0, 5.0, 10.0];
+        let pts = cdf_points(&data, &[0.5, 1.0, 2.0, 6.0, 100.0]);
+        assert_eq!(pts[0].1, 0.0);
+        assert_eq!(pts[1].1, 0.2);
+        assert_eq!(pts[2].1, 0.6);
+        assert_eq!(pts[3].1, 0.8);
+        assert_eq!(pts[4].1, 1.0);
+        for w in pts.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn log_space_endpoints() {
+        let pts = log_space(1.0, 1000.0, 4);
+        assert!((pts[0] - 1.0).abs() < 1e-9);
+        assert!((pts[3] - 1000.0).abs() < 1e-6);
+        assert!((pts[1] - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Asset-creation growth curves (Figs 7, 8b, 8c).
+//!
+//! The paper's growth figures show (a) volume creation *accelerating*
+//! over time — the monthly creation rate itself grows as AI/ML workloads
+//! expand — and (b) all table types and the top foreign types growing.
+//! The model: per-series compound monthly growth of the creation rate,
+//! with multiplicative log-normal noise; cumulative curves follow.
+
+use rand::Rng;
+
+use crate::randx::{lognormal, rng_for};
+
+/// One growth series: monthly creations and the cumulative curve.
+#[derive(Debug, Clone)]
+pub struct GrowthSeries {
+    pub label: String,
+    /// Creations per month.
+    pub monthly: Vec<f64>,
+    /// Running total.
+    pub cumulative: Vec<f64>,
+}
+
+impl GrowthSeries {
+    /// Generate `months` of growth: the creation rate starts at
+    /// `initial_rate` and compounds by `monthly_growth` (e.g. 0.09 = 9 %
+    /// a month), with log-normal noise of `sigma`.
+    pub fn generate(
+        label: &str,
+        seed: u64,
+        months: usize,
+        initial_rate: f64,
+        monthly_growth: f64,
+        sigma: f64,
+    ) -> GrowthSeries {
+        let mut rng = rng_for(seed, 500 + label.len() as u64);
+        let mut monthly = Vec::with_capacity(months);
+        let mut cumulative = Vec::with_capacity(months);
+        let mut rate = initial_rate;
+        let mut total = 0.0;
+        for _ in 0..months {
+            let noise = lognormal(&mut rng, 0.0, sigma);
+            let creations = rate * noise;
+            total += creations;
+            monthly.push(creations);
+            cumulative.push(total);
+            rate *= 1.0 + monthly_growth + rng.gen_range(-0.01..0.01);
+        }
+        GrowthSeries { label: label.to_string(), monthly, cumulative }
+    }
+
+    /// Is the *rate of creation* increasing over time (accelerating
+    /// cumulative growth)? Compares mean monthly creations in the last
+    /// quarter of the window against the first quarter.
+    pub fn is_accelerating(&self) -> bool {
+        let n = self.monthly.len();
+        if n < 8 {
+            return false;
+        }
+        let q = n / 4;
+        let head: f64 = self.monthly[..q].iter().sum::<f64>() / q as f64;
+        let tail: f64 = self.monthly[n - q..].iter().sum::<f64>() / q as f64;
+        tail > 1.5 * head
+    }
+}
+
+/// The growth bundle behind Figs 7, 8b, 8c.
+pub struct GrowthReport {
+    /// Fig 7: volumes created over time.
+    pub volumes: GrowthSeries,
+    /// Fig 8b: growth per table type.
+    pub table_types: Vec<GrowthSeries>,
+    /// Fig 8c: growth of the top-5 foreign table types.
+    pub foreign_types: Vec<GrowthSeries>,
+}
+
+/// Generate all series over `months` months.
+pub fn generate_report(seed: u64, months: usize) -> GrowthReport {
+    // Volumes: newest asset type, fastest growth (accelerating, Fig 7).
+    let volumes = GrowthSeries::generate("volumes", seed, months, 2_000.0, 0.14, 0.10);
+    // Table types (Fig 8b): all grow; managed dominates in level.
+    let table_types = vec![
+        GrowthSeries::generate("managed", seed + 1, months, 900_000.0, 0.07, 0.05),
+        GrowthSeries::generate("external", seed + 2, months, 260_000.0, 0.06, 0.05),
+        GrowthSeries::generate("view", seed + 3, months, 240_000.0, 0.06, 0.05),
+        GrowthSeries::generate("foreign", seed + 4, months, 180_000.0, 0.10, 0.08),
+        GrowthSeries::generate("shallow_clone", seed + 5, months, 30_000.0, 0.08, 0.08),
+    ];
+    // Top-5 foreign types (Fig 8c); three are cloud data warehouses.
+    let foreign_types = vec![
+        GrowthSeries::generate("hive", seed + 10, months, 60_000.0, 0.06, 0.07),
+        GrowthSeries::generate("snowflake", seed + 11, months, 28_000.0, 0.11, 0.08),
+        GrowthSeries::generate("redshift", seed + 12, months, 17_000.0, 0.10, 0.08),
+        GrowthSeries::generate("bigquery", seed + 13, months, 12_000.0, 0.10, 0.08),
+        GrowthSeries::generate("mysql", seed + 14, months, 9_000.0, 0.08, 0.08),
+    ];
+    GrowthReport { volumes, table_types, foreign_types }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_growth_is_accelerating() {
+        let report = generate_report(42, 24);
+        assert!(report.volumes.is_accelerating(), "Fig 7's key claim");
+        assert_eq!(report.volumes.cumulative.len(), 24);
+        // cumulative is monotone
+        for w in report.volumes.cumulative.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn all_table_types_grow() {
+        let report = generate_report(42, 24);
+        assert_eq!(report.table_types.len(), 5);
+        for series in &report.table_types {
+            let first = series.cumulative[3];
+            let last = *series.cumulative.last().unwrap();
+            assert!(last > 2.0 * first, "{} grew {first} → {last}", series.label);
+        }
+        // managed has the largest installed base
+        let managed = report.table_types.iter().find(|s| s.label == "managed").unwrap();
+        for other in report.table_types.iter().filter(|s| s.label != "managed") {
+            assert!(managed.cumulative.last().unwrap() > other.cumulative.last().unwrap());
+        }
+    }
+
+    #[test]
+    fn top_foreign_types_grow_and_warehouses_grow_fast() {
+        let report = generate_report(42, 24);
+        assert_eq!(report.foreign_types.len(), 5);
+        let growth = |s: &GrowthSeries| s.cumulative.last().unwrap() / s.cumulative[3];
+        let hive = report.foreign_types.iter().find(|s| s.label == "hive").unwrap();
+        let snowflake = report.foreign_types.iter().find(|s| s.label == "snowflake").unwrap();
+        assert!(growth(snowflake) > growth(hive), "warehouse federation grows faster");
+    }
+
+    #[test]
+    fn series_are_deterministic() {
+        let a = GrowthSeries::generate("x", 7, 12, 100.0, 0.1, 0.05);
+        let b = GrowthSeries::generate("x", 7, 12, 100.0, 0.1, 0.05);
+        assert_eq!(a.cumulative, b.cumulative);
+    }
+
+    #[test]
+    fn short_series_is_not_judged_accelerating() {
+        let s = GrowthSeries::generate("x", 7, 4, 100.0, 0.5, 0.0);
+        assert!(!s.is_accelerating());
+    }
+}

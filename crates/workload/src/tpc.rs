@@ -1,0 +1,213 @@
+//! TPC-H and TPC-DS *metadata workloads* (Fig 10a).
+//!
+//! The Fig 10(a) experiment measures end-to-end query latency with the
+//! catalog on the critical path; what matters for the catalog comparison
+//! is the metadata traffic each query generates — which tables it
+//! references and therefore which lookups, authorization checks, and
+//! credential requests the engine issues. This module provides the
+//! benchmark schemas and per-query table-reference sets.
+//!
+//! The TPC-H reference sets are the real ones (22 queries over 8 tables).
+//! For TPC-DS, the 99 reference sets are synthesized deterministically
+//! (fact table + date_dim + 1–5 dimensions), preserving the workload's
+//! metadata shape — many queries, wide dimension fan-out — without
+//! transcribing 99 query texts (documented substitution).
+
+use uc_delta::value::{DataType, Field, Schema};
+
+use crate::randx::rng_for;
+use rand::Rng;
+
+/// A benchmark table: name plus a simplified column schema.
+#[derive(Debug, Clone)]
+pub struct BenchTable {
+    pub name: &'static str,
+    pub schema: Schema,
+}
+
+/// One benchmark query's metadata footprint.
+#[derive(Debug, Clone)]
+pub struct BenchQuery {
+    pub id: String,
+    pub tables: Vec<&'static str>,
+}
+
+fn cols(names: &[(&str, DataType)]) -> Schema {
+    Schema::new(names.iter().map(|(n, t)| Field::new(n, *t)).collect())
+}
+
+/// The 8 TPC-H tables (abbreviated column lists).
+pub fn tpch_tables() -> Vec<BenchTable> {
+    use DataType::*;
+    vec![
+        BenchTable { name: "lineitem", schema: cols(&[("l_orderkey", Int), ("l_partkey", Int), ("l_suppkey", Int), ("l_quantity", Float), ("l_extendedprice", Float), ("l_discount", Float), ("l_shipdate", Str)]) },
+        BenchTable { name: "orders", schema: cols(&[("o_orderkey", Int), ("o_custkey", Int), ("o_orderstatus", Str), ("o_totalprice", Float), ("o_orderdate", Str)]) },
+        BenchTable { name: "customer", schema: cols(&[("c_custkey", Int), ("c_name", Str), ("c_nationkey", Int), ("c_acctbal", Float), ("c_mktsegment", Str)]) },
+        BenchTable { name: "part", schema: cols(&[("p_partkey", Int), ("p_name", Str), ("p_brand", Str), ("p_type", Str), ("p_size", Int)]) },
+        BenchTable { name: "supplier", schema: cols(&[("s_suppkey", Int), ("s_name", Str), ("s_nationkey", Int), ("s_acctbal", Float)]) },
+        BenchTable { name: "partsupp", schema: cols(&[("ps_partkey", Int), ("ps_suppkey", Int), ("ps_availqty", Int), ("ps_supplycost", Float)]) },
+        BenchTable { name: "nation", schema: cols(&[("n_nationkey", Int), ("n_name", Str), ("n_regionkey", Int)]) },
+        BenchTable { name: "region", schema: cols(&[("r_regionkey", Int), ("r_name", Str)]) },
+    ]
+}
+
+/// The real table-reference sets of TPC-H Q1–Q22.
+pub fn tpch_queries() -> Vec<BenchQuery> {
+    let refs: [(&str, &[&str]); 22] = [
+        ("Q1", &["lineitem"]),
+        ("Q2", &["part", "supplier", "partsupp", "nation", "region"]),
+        ("Q3", &["customer", "orders", "lineitem"]),
+        ("Q4", &["orders", "lineitem"]),
+        ("Q5", &["customer", "orders", "lineitem", "supplier", "nation", "region"]),
+        ("Q6", &["lineitem"]),
+        ("Q7", &["supplier", "lineitem", "orders", "customer", "nation"]),
+        ("Q8", &["part", "supplier", "lineitem", "orders", "customer", "nation", "region"]),
+        ("Q9", &["part", "supplier", "lineitem", "partsupp", "orders", "nation"]),
+        ("Q10", &["customer", "orders", "lineitem", "nation"]),
+        ("Q11", &["partsupp", "supplier", "nation"]),
+        ("Q12", &["orders", "lineitem"]),
+        ("Q13", &["customer", "orders"]),
+        ("Q14", &["lineitem", "part"]),
+        ("Q15", &["supplier", "lineitem"]),
+        ("Q16", &["partsupp", "part", "supplier"]),
+        ("Q17", &["lineitem", "part"]),
+        ("Q18", &["customer", "orders", "lineitem"]),
+        ("Q19", &["lineitem", "part"]),
+        ("Q20", &["supplier", "nation", "partsupp", "part", "lineitem"]),
+        ("Q21", &["supplier", "lineitem", "orders", "nation"]),
+        ("Q22", &["customer", "orders"]),
+    ];
+    refs.iter()
+        .map(|(id, tables)| BenchQuery { id: id.to_string(), tables: tables.to_vec() })
+        .collect()
+}
+
+const TPCDS_FACTS: [&str; 7] = [
+    "store_sales", "store_returns", "catalog_sales", "catalog_returns", "web_sales",
+    "web_returns", "inventory",
+];
+
+const TPCDS_DIMS: [&str; 17] = [
+    "store", "call_center", "catalog_page", "web_site", "web_page", "warehouse", "customer",
+    "customer_address", "customer_demographics", "date_dim", "household_demographics", "item",
+    "income_band", "promotion", "reason", "ship_mode", "time_dim",
+];
+
+/// The 24 TPC-DS tables (representative column lists).
+pub fn tpcds_tables() -> Vec<BenchTable> {
+    use DataType::*;
+    let mut tables = Vec::new();
+    for fact in TPCDS_FACTS {
+        tables.push(BenchTable {
+            name: fact,
+            schema: cols(&[
+                ("sk", Int),
+                ("date_sk", Int),
+                ("item_sk", Int),
+                ("customer_sk", Int),
+                ("quantity", Int),
+                ("price", Float),
+                ("net_paid", Float),
+            ]),
+        });
+    }
+    for dim in TPCDS_DIMS {
+        tables.push(BenchTable {
+            name: dim,
+            schema: cols(&[("sk", Int), ("id", Str), ("name", Str), ("attr1", Str), ("attr2", Int)]),
+        });
+    }
+    tables
+}
+
+/// 99 synthesized TPC-DS reference sets: one fact table, date_dim, and a
+/// deterministic selection of further dimensions.
+pub fn tpcds_queries() -> Vec<BenchQuery> {
+    let mut rng = rng_for(2006, 600); // TPC-DS's publication year as seed
+    (1..=99)
+        .map(|q| {
+            let fact = TPCDS_FACTS[(q - 1) % TPCDS_FACTS.len()];
+            let mut tables = vec![fact, "date_dim"];
+            let extra = 1 + rng.gen_range(0..5);
+            for _ in 0..extra {
+                let dim = TPCDS_DIMS[rng.gen_range(0..TPCDS_DIMS.len())];
+                if !tables.contains(&dim) {
+                    tables.push(dim);
+                }
+            }
+            // A minority of queries join two fact tables (e.g. sales +
+            // returns), like the real workload.
+            if q % 9 == 0 {
+                let other = TPCDS_FACTS[q % TPCDS_FACTS.len()];
+                if !tables.contains(&other) {
+                    tables.push(other);
+                }
+            }
+            BenchQuery { id: format!("q{q}"), tables }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn tpch_has_8_tables_22_queries() {
+        let tables = tpch_tables();
+        assert_eq!(tables.len(), 8);
+        let queries = tpch_queries();
+        assert_eq!(queries.len(), 22);
+        // every referenced table exists
+        let names: BTreeSet<&str> = tables.iter().map(|t| t.name).collect();
+        for q in &queries {
+            for t in &q.tables {
+                assert!(names.contains(t), "{} references unknown {t}", q.id);
+            }
+            // no duplicate references within a query
+            let set: BTreeSet<&&str> = q.tables.iter().collect();
+            assert_eq!(set.len(), q.tables.len(), "{} has duplicates", q.id);
+        }
+    }
+
+    #[test]
+    fn tpch_reference_counts_are_correct() {
+        let queries = tpch_queries();
+        assert_eq!(queries[0].tables, vec!["lineitem"]); // Q1
+        assert_eq!(queries[7].tables.len(), 7); // Q8 is the widest join
+        let total_refs: usize = queries.iter().map(|q| q.tables.len()).sum();
+        assert_eq!(total_refs, 72);
+    }
+
+    #[test]
+    fn tpcds_has_24_tables_99_queries() {
+        let tables = tpcds_tables();
+        assert_eq!(tables.len(), 24);
+        let queries = tpcds_queries();
+        assert_eq!(queries.len(), 99);
+        let names: BTreeSet<&str> = tables.iter().map(|t| t.name).collect();
+        for q in &queries {
+            assert!(q.tables.len() >= 3, "{} too narrow", q.id);
+            assert!(q.tables.contains(&"date_dim"));
+            for t in &q.tables {
+                assert!(names.contains(t));
+            }
+        }
+        // determinism
+        let again = tpcds_queries();
+        assert_eq!(queries.len(), again.len());
+        assert_eq!(queries[41].tables, again[41].tables);
+    }
+
+    #[test]
+    fn every_tpcds_fact_table_is_exercised() {
+        let queries = tpcds_queries();
+        for fact in TPCDS_FACTS {
+            assert!(
+                queries.iter().any(|q| q.tables.contains(&fact)),
+                "fact {fact} never referenced"
+            );
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Property-based invariants across the stack.
+
+use proptest::prelude::*;
+
+use uc_bench::{World, WorldConfig, ADMIN};
+use uc_catalog::authz::decision::{AuthzContext, AuthzNode, SecurableAuthz};
+use uc_catalog::authz::Privilege;
+use uc_catalog::ids::Uid;
+use uc_catalog::model::paths;
+use uc_catalog::service::crud::TableSpec;
+use uc_catalog::service::Context;
+use uc_catalog::types::{FullName, SecurableKind};
+use uc_cloudstore::{Credential, ObjectStore, StoragePath};
+use uc_delta::value::{DataType, Field, Schema, Value};
+use uc_delta::DeltaTable;
+use uc_txdb::Db;
+
+// ---------------------------------------------------------------------
+// 1. One-asset-per-path invariant under random create/drop sequences
+// ---------------------------------------------------------------------
+
+/// Paths drawn from a small segment alphabet to force collisions.
+fn arb_path() -> impl Strategy<Value = String> {
+    let seg = prop_oneof![Just("a"), Just("b"), Just("c"), Just("d")];
+    proptest::collection::vec(seg, 1..4)
+        .prop_map(|segs| format!("s3://bkt/{}", segs.join("/")))
+}
+
+#[derive(Debug, Clone)]
+enum PathOp {
+    Register(String),
+    Unregister(String),
+}
+
+fn arb_path_ops() -> impl Strategy<Value = Vec<PathOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            arb_path().prop_map(PathOp::Register),
+            arb_path().prop_map(PathOp::Unregister),
+        ],
+        1..40,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn one_asset_per_path_invariant_holds(ops in arb_path_ops()) {
+        let db = Db::in_memory();
+        let ms = Uid::from("ms");
+        for op in ops {
+            match op {
+                PathOp::Register(p) => {
+                    let path = StoragePath::parse(&p).unwrap();
+                    let mut tx = db.begin_write();
+                    if paths::register_path(&mut tx, &ms, &path, &Uid::generate()).is_ok() {
+                        tx.commit().unwrap();
+                    }
+                }
+                PathOp::Unregister(p) => {
+                    let path = StoragePath::parse(&p).unwrap();
+                    let mut tx = db.begin_write();
+                    paths::unregister_path(&mut tx, &ms, &path);
+                    tx.commit().unwrap();
+                }
+            }
+            // Invariant: no two registered paths overlap.
+            let rt = db.begin_read();
+            let all = paths::all_paths(&rt, &ms);
+            for (i, (p1, _)) in all.iter().enumerate() {
+                for (p2, _) in &all[i + 1..] {
+                    prop_assert!(!p1.overlaps(p2), "{p1} overlaps {p2}");
+                }
+            }
+            // And resolution of any registered path returns that asset.
+            for (p, id) in &all {
+                let resolved = paths::resolve_path(&rt, &ms, p);
+                prop_assert_eq!(resolved.map(|(i, _)| i), Some(id.clone()));
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // 2. MVCC: snapshot reads equal a sequential model at commit points
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn mvcc_matches_sequential_model(
+        ops in proptest::collection::vec((0u8..3, 0u8..6, 0u64..100), 1..60)
+    ) {
+        let db = Db::in_memory();
+        let mut model: std::collections::BTreeMap<String, u64> = Default::default();
+        for (op, key, val) in ops {
+            let key = format!("k{key}");
+            match op {
+                0 => {
+                    let mut tx = db.begin_write();
+                    tx.put("t", &key, bytes::Bytes::from(val.to_string()));
+                    tx.commit().unwrap();
+                    model.insert(key, val);
+                }
+                1 => {
+                    let mut tx = db.begin_write();
+                    tx.delete("t", &key);
+                    tx.commit().unwrap();
+                    model.remove(&key);
+                }
+                _ => {
+                    let rt = db.begin_read();
+                    let got = rt.get("t", &key)
+                        .map(|b| String::from_utf8(b.to_vec()).unwrap().parse::<u64>().unwrap());
+                    prop_assert_eq!(got, model.get(&key).copied());
+                    // scans agree with the model too
+                    let scanned: Vec<String> =
+                        rt.scan_prefix("t", "k").into_iter().map(|(k, _)| k).collect();
+                    let expected: Vec<String> = model.keys().cloned().collect();
+                    prop_assert_eq!(scanned, expected);
+                }
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // 3. Delta: replay determinism and record conservation
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn delta_replay_is_deterministic_and_conserves_rows(
+        batches in proptest::collection::vec(1usize..30, 1..8),
+        optimize_at in proptest::option::of(0usize..8),
+    ) {
+        let store = ObjectStore::in_memory();
+        let root = store.create_bucket("b");
+        let cred = Credential::Root(root);
+        let path = StoragePath::parse("s3://b/t").unwrap();
+        let schema = Schema::new(vec![Field::new("x", DataType::Int)]);
+        let table = DeltaTable::create(store, path, &cred, "tid", schema).unwrap();
+        let mut total = 0i64;
+        for (i, n) in batches.iter().enumerate() {
+            let rows: Vec<Vec<Value>> =
+                (0..*n).map(|j| vec![Value::Int(total + j as i64)]).collect();
+            table.append(&cred, &rows).unwrap();
+            total += *n as i64;
+            if optimize_at == Some(i) {
+                table.optimize(&cred, 1000).unwrap();
+            }
+        }
+        let snap1 = table.snapshot(&cred).unwrap();
+        let snap2 = table.snapshot(&cred).unwrap();
+        prop_assert_eq!(snap1.version, snap2.version);
+        prop_assert_eq!(snap1.files.keys().collect::<Vec<_>>(), snap2.files.keys().collect::<Vec<_>>());
+        prop_assert_eq!(snap1.num_records() as i64, total);
+        // every row readable exactly once
+        let (rows, _) = table
+            .scan(&cred, None, &uc_delta::expr::EvalContext::anonymous())
+            .unwrap();
+        prop_assert_eq!(rows.len() as i64, total);
+    }
+
+    // -----------------------------------------------------------------
+    // 4. Authorization monotonicity: adding grants never removes access
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn adding_grants_is_monotone(
+        base_grants in proptest::collection::vec((0usize..3, 0u8..4), 0..6),
+        extra in (0usize..3, 0u8..4),
+        check_priv in 0u8..4,
+    ) {
+        let privs = [Privilege::Select, Privilege::Modify, Privilege::UseSchema, Privilege::UseCatalog];
+        let levels = ["table", "schema", "catalog"];
+        let build = |grants: &[(usize, u8)]| {
+            let node = |idx: usize, kind: SecurableKind| AuthzNode {
+                id: Uid::from(levels[idx]),
+                kind,
+                owner: "owner".to_string(),
+                grants: grants
+                    .iter()
+                    .filter(|(l, _)| *l == idx)
+                    .map(|(_, p)| ("alice".to_string(), privs[*p as usize]))
+                    .collect(),
+            };
+            SecurableAuthz::new(vec![
+                node(0, SecurableKind::Table),
+                node(1, SecurableKind::Schema),
+                node(2, SecurableKind::Catalog),
+            ])
+        };
+        let alice = AuthzContext::new("alice");
+        let before = build(&base_grants);
+        let mut extended = base_grants.clone();
+        extended.push(extra);
+        let after = build(&extended);
+        let p = privs[check_priv as usize];
+        // monotone in every decision dimension
+        prop_assert!(!before.has_privilege(&alice, p) || after.has_privilege(&alice, p));
+        prop_assert!(!before.can_traverse(&alice) || after.can_traverse(&alice));
+        prop_assert!(!before.can_see(&alice) || after.can_see(&alice));
+        prop_assert!(!before.can_read_data(&alice, Privilege::Select)
+            || after.can_read_data(&alice, Privilege::Select));
+    }
+}
+
+// ---------------------------------------------------------------------
+// 5. Cache ≡ database equivalence under random write/read interleavings
+//    (two nodes over one database)
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn cache_agrees_with_database(ops in proptest::collection::vec((0u8..4, 0u8..5), 1..25)) {
+        let world = World::build(&WorldConfig::default());
+        let ctx = Context::user(ADMIN);
+        world.uc.create_catalog(&ctx, &world.ms, "main").unwrap();
+        world.uc.create_schema(&ctx, &world.ms, "main", "s").unwrap();
+        let node_b = uc_catalog::service::UnityCatalog::new(
+            world.db.clone(),
+            world.store.clone(),
+            uc_catalog::service::UcConfig::default(),
+            "node-b",
+        );
+        let schema = Schema::new(vec![Field::new("x", DataType::Int)]);
+        for (op, t) in ops {
+            let name = format!("main.s.t{t}");
+            let node = if op % 2 == 0 { &world.uc } else { &node_b };
+            match op {
+                0 | 1 => {
+                    // upsert-ish: create or comment
+                    let spec = TableSpec::managed(&name, schema.clone()).unwrap();
+                    if node.create_table(&ctx, &world.ms, spec).is_err() {
+                        let _ = node.update_comment(
+                            &ctx,
+                            &world.ms,
+                            &FullName::parse(&name).unwrap(),
+                            "relation",
+                            &format!("c{op}{t}"),
+                        );
+                    }
+                }
+                2 => {
+                    let _ = node.drop_securable(
+                        &ctx,
+                        &world.ms,
+                        &FullName::parse(&name).unwrap(),
+                        "relation",
+                    );
+                }
+                _ => {
+                    let _ = node.get_table(&ctx, &world.ms, &name);
+                }
+            }
+        }
+        // After reconciling, both nodes' cached views equal the database.
+        for node in [&world.uc, &node_b] {
+            node.reconcile_metastore(&world.ms);
+            for t in 0..5 {
+                let name = format!("main.s.t{t}");
+                let via_cache = node.get_table(&ctx, &world.ms, &name).ok();
+                // a fresh node has no cache state: pure DB truth
+                let fresh = uc_catalog::service::UnityCatalog::new(
+                    world.db.clone(),
+                    world.store.clone(),
+                    uc_catalog::service::UcConfig {
+                        cache: uc_catalog::cache::CacheConfig::disabled(),
+                        ..Default::default()
+                    },
+                    "node-fresh",
+                );
+                let via_db = fresh.get_table(&ctx, &world.ms, &name).ok();
+                prop_assert_eq!(
+                    via_cache.as_ref().map(|e| (&e.id, &e.comment)),
+                    via_db.as_ref().map(|e| (&e.id, &e.comment)),
+                    "node {} diverges from DB on {}", node.node_id(), name
+                );
+            }
+        }
+    }
+}
