@@ -50,6 +50,7 @@ fn setup(tables: &[BenchTable], catalog: &str) -> Setup {
     let hms_db = Db::new(DbConfig {
         pool_size: 16,
         latency: uc_cloudstore::LatencyModel::uniform(Duration::from_millis(1)),
+        ..Default::default()
     });
     let hms = HiveMetastore::new(hms_db);
     hms.create_database(&HmsDatabase { name: "bench".into(), description: None, location: None })

@@ -66,6 +66,7 @@ impl World {
         let db = Db::new(DbConfig {
             pool_size: cfg.db_pool,
             latency: LatencyModel::uniform(cfg.db_latency),
+            ..Default::default()
         });
         let store = ObjectStore::new(
             StsService::new(Clock::system()),

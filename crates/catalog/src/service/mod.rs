@@ -31,6 +31,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use parking_lot::RwLock;
+use uc_cloudstore::faults::{points, FaultPlan};
 use uc_cloudstore::latency::{LatencyModel, OpClass};
 use uc_cloudstore::{AccessLevel, Clock, ObjectStore, RootCredential, StoragePath, TempCredential};
 use uc_txdb::{Db, ReadTxn, TxError, WriteTxn};
@@ -62,6 +63,9 @@ pub struct UcConfig {
     /// Modelled cost of one cloud STS round trip when minting a token
     /// (cache hits skip it). Zero in unit tests.
     pub sts_mint_cost: std::time::Duration,
+    /// Fault plan for catalog-level injection points (chaos tests).
+    /// Share the same plan with the store/db for a coherent schedule.
+    pub faults: FaultPlan,
 }
 
 impl Default for UcConfig {
@@ -73,6 +77,7 @@ impl Default for UcConfig {
             cred_cache_enabled: true,
             audit_capacity: 100_000,
             sts_mint_cost: std::time::Duration::ZERO,
+            faults: FaultPlan::disabled(),
         }
     }
 }
@@ -165,6 +170,9 @@ impl WriteEffects {
 pub struct ServiceStats {
     pub api_calls: AtomicU64,
     pub write_retries: AtomicU64,
+    /// Virtual milliseconds of backoff accumulated by the write protocol
+    /// while riding out transient database failures.
+    pub write_backoff_ms: AtomicU64,
 }
 
 /// One Unity Catalog node. Share the same [`Db`] and [`ObjectStore`]
@@ -247,6 +255,11 @@ impl UnityCatalog {
 
     pub fn service_stats(&self) -> &ServiceStats {
         &self.stats
+    }
+
+    /// Fault plan consulted at the catalog's injection points.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.config.faults
     }
 
     pub fn credential_cache_stats(&self) -> (u64, u64) {
@@ -477,7 +490,12 @@ impl UnityCatalog {
             tx.put(T_MSVER, ms.as_str(), Bytes::from((cur + 1).to_string()));
             match tx.commit() {
                 Ok(csn) => {
-                    if self.config.cache.enabled {
+                    // CATALOG_CACHE_SKIP models a node crashing between the
+                    // database commit and its write-through cache update:
+                    // the commit is durable but this node's cache lags until
+                    // a later read or reconcile observes db_ver > version.
+                    let skip_cache = self.config.faults.should_inject(points::CATALOG_CACHE_SKIP);
+                    if self.config.cache.enabled && !skip_cache {
                         let mut c = cache_arc.lock();
                         if c.version != cur {
                             self.cache.reconcile(ms, &mut c, &self.db, cur + 1, csn);
@@ -508,13 +526,23 @@ impl UnityCatalog {
                     }
                     return Ok(out);
                 }
-                Err(TxError::Conflict { .. }) => {
+                Err(err @ (TxError::Conflict { .. } | TxError::Unavailable { .. })) => {
                     self.stats.write_retries.fetch_add(1, Ordering::Relaxed);
                     attempts += 1;
                     if attempts > 64 {
-                        return Err(UcError::Database(
-                            "write aborted after repeated serialization conflicts".into(),
-                        ));
+                        return Err(UcError::Database(format!(
+                            "write aborted after {attempts} transient failures (last: {err})"
+                        )));
+                    }
+                    // Bounded exponential backoff before retrying, driven by
+                    // the virtual clock: on a manual clock we advance time
+                    // instead of sleeping, so chaos tests stay instant and
+                    // deterministic; on a system clock the in-process retry
+                    // is immediate (the injected DB latency already paces it).
+                    let backoff_ms = 1u64 << attempts.min(6);
+                    self.stats.write_backoff_ms.fetch_add(backoff_ms, Ordering::Relaxed);
+                    if self.clock.is_manual() {
+                        self.clock.advance_ms(backoff_ms);
                     }
                     continue;
                 }
@@ -599,6 +627,12 @@ impl UnityCatalog {
     /// explicitly.
     pub fn reconcile_metastore(&self, ms: &Uid) {
         if !self.config.cache.enabled {
+            return;
+        }
+        // A dropped reconciliation pass (keeper lagging, event lost). The
+        // next pass — or any read that observes a newer db version — will
+        // catch the cache up; chaos tests assert exactly that.
+        if self.config.faults.should_inject(points::CATALOG_RECONCILE_SKIP) {
             return;
         }
         let rt = self.db.begin_read();

@@ -8,6 +8,7 @@
 
 use std::sync::Arc;
 
+use uc_cloudstore::faults::points;
 use uc_cloudstore::{AccessLevel, StoragePath, TempCredential};
 
 use crate::audit::AuditDecision;
@@ -100,6 +101,24 @@ impl UnityCatalog {
         Ok(token)
     }
 
+    /// Re-vend a *read* credential for an asset a client already holds an
+    /// (expired or expiring) token for. This is the mid-scan recovery path:
+    /// an engine whose token ages out during a long scan comes back here
+    /// for a fresh one. Full authorization runs again — revocations since
+    /// the original vend are honored.
+    pub fn renew_read_credential(
+        &self,
+        ctx: &Context,
+        ms: &Uid,
+        id: &Uid,
+    ) -> UcResult<TempCredential> {
+        self.api_enter();
+        let entity = self
+            .entity_by_id(ms, id)?
+            .ok_or_else(|| UcError::NotFound(format!("asset {id}")))?;
+        self.vend_for_entity(ctx, ms, entity, AccessLevel::Read, "renew")
+    }
+
     /// Mint (or reuse from the TTL cache) a token scoped to the entity's
     /// storage path. Catalog-internal: no authorization.
     pub(crate) fn mint_for_entity(
@@ -111,6 +130,11 @@ impl UnityCatalog {
         let path_str = entity.storage_path.as_ref().ok_or_else(|| {
             UcError::UnsupportedOperation(format!("{} has no storage", entity.name))
         })?;
+        if self.config.faults.should_inject(points::CATALOG_VEND) {
+            return Err(UcError::Storage(
+                "injected fault: credential vending unavailable".into(),
+            ));
+        }
         let scope = StoragePath::parse(path_str).map_err(|e| UcError::Storage(e.to_string()))?;
         let cache_key = (entity.id.clone(), access);
         if self.config.cred_cache_enabled {

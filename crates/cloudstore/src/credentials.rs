@@ -18,6 +18,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::clock::Clock;
 use crate::error::{StorageError, StorageResult};
+use crate::faults::{points, FaultPlan};
 use crate::path::StoragePath;
 
 /// Access level a credential grants on its scope.
@@ -94,19 +95,32 @@ impl From<TempCredential> for Credential {
 pub struct StsService {
     secret: u64,
     clock: Clock,
+    faults: FaultPlan,
 }
 
 impl StsService {
     /// New service with a random secret and the given clock.
     pub fn new(clock: Clock) -> Self {
         let mut rng = rand::thread_rng();
-        StsService { secret: rng.next_u64(), clock }
+        StsService { secret: rng.next_u64(), clock, faults: FaultPlan::disabled() }
     }
 
     /// New service with a fixed secret — for tests that need two instances
     /// to trust each other's tokens.
     pub fn with_secret(secret: u64, clock: Clock) -> Self {
-        StsService { secret, clock }
+        StsService { secret, clock, faults: FaultPlan::disabled() }
+    }
+
+    /// Attach a fault plan (chaos tests). Consumes and returns the service
+    /// so it composes with the other constructors.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The fault plan consulted by `mint` and `verify`.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// Generate a fresh root credential for `bucket`.
@@ -130,6 +144,9 @@ impl StsService {
                 root.bucket, scope
             )));
         }
+        if self.faults.should_inject(points::STS_MINT) {
+            return Err(StorageError::Unavailable("injected fault: sts mint".into()));
+        }
         let mut rng = rand::thread_rng();
         let nonce = rng.next_u64();
         let expires_at_ms = self.clock.now_ms() + ttl_ms;
@@ -148,6 +165,14 @@ impl StsService {
         if now >= token.expires_at_ms {
             return Err(StorageError::ExpiredCredential {
                 expired_at_ms: token.expires_at_ms,
+                now_ms: now,
+            });
+        }
+        // Injected *expiry*: models the token aging out mid-operation, the
+        // failure engines must recover from by re-vending a credential.
+        if self.faults.should_inject(points::STS_VERIFY) {
+            return Err(StorageError::ExpiredCredential {
+                expired_at_ms: token.expires_at_ms.min(now),
                 now_ms: now,
             });
         }

@@ -27,6 +27,9 @@ pub enum StorageError {
     AlreadyExists(String),
     /// A storage path string could not be parsed.
     InvalidPath(String),
+    /// The service is transiently unavailable (throttling, fault
+    /// injection, network partition). Callers may retry.
+    Unavailable(String),
 }
 
 impl fmt::Display for StorageError {
@@ -42,6 +45,7 @@ impl fmt::Display for StorageError {
             StorageError::NoSuchObject(k) => write!(f, "no such object: {k}"),
             StorageError::AlreadyExists(k) => write!(f, "object already exists: {k}"),
             StorageError::InvalidPath(p) => write!(f, "invalid storage path: {p}"),
+            StorageError::Unavailable(msg) => write!(f, "service unavailable: {msg}"),
         }
     }
 }

@@ -16,6 +16,8 @@
 //! * [`Clock`] — injectable time source so token expiry is testable.
 //! * [`LatencyModel`] — per-operation injected latency so benchmarks can
 //!   model a remote object store.
+//! * [`FaultPlan`] — seeded, deterministic fault injection shared across
+//!   the storage, database, and catalog layers for replayable chaos tests.
 //!
 //! Authorization model: each bucket is registered with a *root credential*
 //! (held only by the catalog service in the full system). Clients never see
@@ -26,6 +28,7 @@
 pub mod clock;
 pub mod credentials;
 pub mod error;
+pub mod faults;
 pub mod latency;
 pub mod path;
 pub mod store;
@@ -33,6 +36,7 @@ pub mod store;
 pub use clock::Clock;
 pub use credentials::{AccessLevel, Credential, RootCredential, StsService, TempCredential};
 pub use error::{StorageError, StorageResult};
+pub use faults::{FaultEvent, FaultMode, FaultPlan};
 pub use latency::{LatencyModel, OpClass};
 pub use path::StoragePath;
 pub use store::{ObjectMeta, ObjectStore};

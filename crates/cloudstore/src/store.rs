@@ -14,6 +14,7 @@ use parking_lot::RwLock;
 
 use crate::credentials::{AccessLevel, Credential, RootCredential, StsService, TempCredential};
 use crate::error::{StorageError, StorageResult};
+use crate::faults::{points, FaultPlan};
 use crate::latency::{LatencyModel, OpClass};
 use crate::path::StoragePath;
 
@@ -48,12 +49,25 @@ pub struct ObjectStore {
     inner: Arc<RwLock<BTreeMap<String, Bucket>>>,
     sts: StsService,
     latency: LatencyModel,
+    faults: FaultPlan,
 }
 
 impl ObjectStore {
     /// New store verifying tokens against `sts`, with injected `latency`.
     pub fn new(sts: StsService, latency: LatencyModel) -> Self {
-        ObjectStore { inner: Arc::new(RwLock::new(BTreeMap::new())), sts, latency }
+        ObjectStore::with_faults(sts, latency, FaultPlan::disabled())
+    }
+
+    /// New store with a fault plan for chaos tests. Storage-operation
+    /// faults fire *after* authorization: they model the backend failing,
+    /// not the credential check.
+    pub fn with_faults(sts: StsService, latency: LatencyModel, faults: FaultPlan) -> Self {
+        ObjectStore { inner: Arc::new(RwLock::new(BTreeMap::new())), sts, latency, faults }
+    }
+
+    /// The fault plan consulted by storage operations.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// Convenience constructor for tests: manual clock at 0, no latency.
@@ -79,6 +93,9 @@ impl ObjectStore {
     pub fn put(&self, cred: &Credential, path: &StoragePath, data: Bytes) -> StorageResult<()> {
         self.latency.apply(OpClass::Write);
         self.authorize(cred, path, AccessLevel::ReadWrite)?;
+        if self.faults.should_inject(points::STORE_PUT) {
+            return Err(StorageError::Unavailable(format!("injected fault: put {path}")));
+        }
         let now = self.sts.clock().now_ms();
         let mut guard = self.inner.write();
         let bucket = guard
@@ -100,6 +117,11 @@ impl ObjectStore {
     ) -> StorageResult<()> {
         self.latency.apply(OpClass::Write);
         self.authorize(cred, path, AccessLevel::ReadWrite)?;
+        if self.faults.should_inject(points::STORE_PUT_IF_ABSENT) {
+            return Err(StorageError::Unavailable(format!(
+                "injected fault: put_if_absent {path}"
+            )));
+        }
         let now = self.sts.clock().now_ms();
         let mut guard = self.inner.write();
         let bucket = guard
@@ -118,6 +140,9 @@ impl ObjectStore {
     pub fn get(&self, cred: &Credential, path: &StoragePath) -> StorageResult<Bytes> {
         self.latency.apply(OpClass::Read);
         self.authorize(cred, path, AccessLevel::Read)?;
+        if self.faults.should_inject(points::STORE_GET) {
+            return Err(StorageError::Unavailable(format!("injected fault: get {path}")));
+        }
         let guard = self.inner.read();
         let bucket = guard
             .get(path.bucket())
@@ -135,6 +160,9 @@ impl ObjectStore {
     pub fn delete(&self, cred: &Credential, path: &StoragePath) -> StorageResult<()> {
         self.latency.apply(OpClass::Write);
         self.authorize(cred, path, AccessLevel::ReadWrite)?;
+        if self.faults.should_inject(points::STORE_DELETE) {
+            return Err(StorageError::Unavailable(format!("injected fault: delete {path}")));
+        }
         let mut guard = self.inner.write();
         let bucket = guard
             .get_mut(path.bucket())
@@ -150,6 +178,9 @@ impl ObjectStore {
     pub fn list(&self, cred: &Credential, prefix: &StoragePath) -> StorageResult<Vec<ObjectMeta>> {
         self.latency.apply(OpClass::List);
         self.authorize(cred, prefix, AccessLevel::Read)?;
+        if self.faults.should_inject(points::STORE_LIST) {
+            return Err(StorageError::Unavailable(format!("injected fault: list {prefix}")));
+        }
         let guard = self.inner.read();
         let bucket = guard
             .get(prefix.bucket())

@@ -625,11 +625,9 @@ impl EngineSession {
                 let token = base.read_credential.clone().ok_or_else(|| {
                     EngineError::Unsupported(format!("no read credential for clone base of {}", entity.name))
                 })?;
-                let cred = Credential::Temp(token);
-                let handle = self.engine.delta_table(ctx, &base.entity)?;
-                let snapshot = handle.snapshot_at(&cred, pinned)?;
-                let (mut rows, files) =
-                    handle.scan_snapshot(&cred, &snapshot, extra_predicate, eval_ctx)?;
+                let (mut rows, files) = self.scan_table(
+                    ctx, &base.entity, token, Some(pinned), extra_predicate, eval_ctx,
+                )?;
                 rows = self.apply_fgac(resolved, &schema, rows, eval_ctx)?;
                 Ok((schema, rows, files))
             }
@@ -641,13 +639,8 @@ impl EngineSession {
                 let token = resolved.read_credential.clone().ok_or_else(|| {
                     EngineError::Unsupported(format!("no read credential for {}", entity.name))
                 })?;
-                let cred = Credential::Temp(token);
-                let handle = self.engine.delta_table(ctx, entity)?;
-                let snapshot = handle.snapshot(&cred)?;
-                // Push the user predicate into the scan (prunes files);
-                // the row filter is evaluated per row afterwards.
                 let (mut rows, files) =
-                    handle.scan_snapshot(&cred, &snapshot, extra_predicate, eval_ctx)?;
+                    self.scan_table(ctx, entity, token, None, extra_predicate, eval_ctx)?;
                 rows = self.apply_fgac(resolved, &schema, rows, eval_ctx)?;
                 Ok((schema, rows, files))
             }
@@ -689,6 +682,49 @@ impl EngineSession {
                 Ok((view_schema, rows, view_result.files_scanned))
             }
             other => Err(EngineError::Unsupported(format!("cannot SELECT from a {other}"))),
+        }
+    }
+
+    /// Snapshot + scan a Delta table with bounded recovery from mid-scan
+    /// credential expiry: a token can age out between resolution and the
+    /// storage reads (long queries, small TTLs). On `ExpiredCredential`
+    /// the engine asks the catalog for a fresh read token — full
+    /// re-authorization, so revocations since resolution are honored —
+    /// and retries. `pinned` selects `snapshot_at` (shallow clones).
+    fn scan_table(
+        &self,
+        ctx: &Context,
+        entity: &Arc<Entity>,
+        token: uc_cloudstore::TempCredential,
+        pinned: Option<i64>,
+        extra_predicate: Option<&Expr>,
+        eval_ctx: &EvalContext,
+    ) -> EngineResult<(Vec<Row>, usize)> {
+        let handle = self.engine.delta_table(ctx, entity)?;
+        let mut token = token;
+        let mut attempts = 0;
+        loop {
+            let cred = Credential::Temp(token.clone());
+            let result = (|| {
+                let snapshot = match pinned {
+                    Some(v) => handle.snapshot_at(&cred, v)?,
+                    None => handle.snapshot(&cred)?,
+                };
+                handle.scan_snapshot(&cred, &snapshot, extra_predicate, eval_ctx)
+            })();
+            match result {
+                Ok(out) => return Ok(out),
+                Err(uc_delta::DeltaError::Storage(
+                    uc_cloudstore::StorageError::ExpiredCredential { .. },
+                )) if attempts < 3 => {
+                    attempts += 1;
+                    token = self
+                        .engine
+                        .uc
+                        .renew_read_credential(ctx, &self.engine.ms, &entity.id)?;
+                }
+                Err(e) => return Err(e.into()),
+            }
         }
     }
 

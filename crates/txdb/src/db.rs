@@ -7,6 +7,7 @@ use std::time::Duration;
 
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
+use uc_cloudstore::faults::FaultPlan;
 use uc_cloudstore::latency::{LatencyModel, OpClass};
 
 use crate::changelog::ChangeLog;
@@ -49,12 +50,14 @@ pub struct DbConfig {
     pub pool_size: usize,
     /// Injected latency per operation class.
     pub latency: LatencyModel,
+    /// Fault plan consulted at the commit boundary (chaos tests).
+    pub faults: FaultPlan,
 }
 
 impl Default for DbConfig {
     fn default() -> Self {
-        // Unit-test defaults: ample pool, no injected latency.
-        DbConfig { pool_size: 64, latency: LatencyModel::zero() }
+        // Unit-test defaults: ample pool, no injected latency, no faults.
+        DbConfig { pool_size: 64, latency: LatencyModel::zero(), faults: FaultPlan::disabled() }
     }
 }
 
@@ -62,7 +65,7 @@ impl DbConfig {
     /// A configuration resembling a remote OLTP database: a modest pool and
     /// a uniform per-operation round-trip latency.
     pub fn remote(pool_size: usize, round_trip: Duration) -> Self {
-        DbConfig { pool_size, latency: LatencyModel::uniform(round_trip) }
+        DbConfig { pool_size, latency: LatencyModel::uniform(round_trip), ..Default::default() }
     }
 }
 
@@ -76,6 +79,7 @@ pub(crate) struct DbInner {
     pub pool: ConnectionPool,
     pub latency: LatencyModel,
     pub stats: DbStats,
+    pub faults: FaultPlan,
 }
 
 /// Shareable database handle. Cloning shares the storage — the model for
@@ -96,6 +100,7 @@ impl Db {
                 pool: ConnectionPool::new(config.pool_size),
                 latency: config.latency,
                 stats: DbStats::default(),
+                faults: config.faults,
             }),
         }
     }
@@ -139,6 +144,11 @@ impl Db {
     /// Connection pool (exposed for wait diagnostics in benches).
     pub fn pool(&self) -> &ConnectionPool {
         &self.inner.pool
+    }
+
+    /// Fault plan consulted at the commit boundary.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.inner.faults
     }
 
     /// Read one row outside any transaction, at the latest committed state.
@@ -290,6 +300,7 @@ mod more_tests {
         let db = Db::new(DbConfig {
             pool_size: 1,
             latency: LatencyModel::uniform(std::time::Duration::from_millis(2)),
+            ..Default::default()
         });
         let mut tx = db.begin_write();
         tx.put("t", "k", Bytes::from_static(b"v"));

@@ -13,6 +13,9 @@ pub enum TxError {
     Conflict { detail: String },
     /// The transaction was already finished (committed or rolled back).
     AlreadyFinished,
+    /// The database was transiently unreachable (connection-pool permit
+    /// timeout, backend outage, fault injection). Retry the transaction.
+    Unavailable { detail: String },
 }
 
 impl fmt::Display for TxError {
@@ -20,6 +23,7 @@ impl fmt::Display for TxError {
         match self {
             TxError::Conflict { detail } => write!(f, "serialization conflict: {detail}"),
             TxError::AlreadyFinished => write!(f, "transaction already finished"),
+            TxError::Unavailable { detail } => write!(f, "database unavailable: {detail}"),
         }
     }
 }

@@ -80,6 +80,19 @@ impl ConnectionPool {
         let state = self.inner.state.lock();
         (state.total_wait, state.waits)
     }
+
+    /// Total time callers spent blocked waiting for a permit.
+    pub fn total_wait(&self) -> Duration {
+        self.inner.state.lock().total_wait
+    }
+
+    /// Number of acquisitions that had to block. Together with
+    /// [`Self::total_wait`] this is the saturation diagnostic: a rising
+    /// waits count with a climbing total wait means the pool is the
+    /// bottleneck (the Fig 10(b) uncached regime).
+    pub fn waits(&self) -> u64 {
+        self.inner.state.lock().waits
+    }
 }
 
 impl Drop for Permit {
@@ -136,5 +149,27 @@ mod tests {
             h.join().unwrap();
         }
         assert!(peak.load(Ordering::SeqCst) <= 4, "peak {} > capacity", peak.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn saturation_diagnostics_report_contention() {
+        let pool = ConnectionPool::new(1);
+        assert_eq!(pool.waits(), 0);
+        assert_eq!(pool.total_wait(), Duration::ZERO);
+        let permit = pool.acquire();
+        let waiter = {
+            let pool = pool.clone();
+            std::thread::spawn(move || {
+                let _p = pool.acquire(); // blocks until the holder releases
+            })
+        };
+        std::thread::sleep(Duration::from_millis(5));
+        drop(permit);
+        waiter.join().unwrap();
+        assert!(pool.waits() >= 1, "blocked acquire must be counted");
+        assert!(pool.total_wait() > Duration::ZERO);
+        let (total, waits) = pool.wait_stats();
+        assert_eq!(total, pool.total_wait());
+        assert_eq!(waits, pool.waits());
     }
 }

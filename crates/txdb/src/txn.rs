@@ -13,6 +13,7 @@
 use std::collections::{BTreeMap, HashSet};
 
 use bytes::Bytes;
+use uc_cloudstore::faults::points;
 use uc_cloudstore::latency::OpClass;
 
 use crate::changelog::{ChangeKind, ChangeRecord};
@@ -172,6 +173,27 @@ impl WriteTxn {
         self.db.charge(OpClass::Write);
 
         let inner = &self.db.inner;
+
+        // Fault injection at the commit boundary: the three transient
+        // failure shapes the paper's DB write protocol must survive. All
+        // consume the transaction, like their organic counterparts.
+        if inner.faults.should_inject(points::TXDB_POOL_TIMEOUT) {
+            return Err(TxError::Unavailable {
+                detail: "injected fault: connection pool permit wait timed out".into(),
+            });
+        }
+        if inner.faults.should_inject(points::TXDB_COMMIT_UNAVAILABLE) {
+            return Err(TxError::Unavailable {
+                detail: "injected fault: database unreachable at commit".into(),
+            });
+        }
+        if inner.faults.should_inject(points::TXDB_COMMIT_CONFLICT) {
+            inner.stats.record_conflict();
+            return Err(TxError::Conflict {
+                detail: format!("injected conflict at snapshot {}", self.snapshot),
+            });
+        }
+
         let _commit_guard = inner.commit_lock.lock();
 
         // --- Validation phase (under commit lock; no commits can interleave).

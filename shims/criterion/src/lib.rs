@@ -1,0 +1,186 @@
+// Vendored offline shim (see shims/README.md): not held to workspace lint
+// standards so the call-site-compatible surface can stay close to upstream.
+#![allow(clippy::all)]
+
+//! Workspace-local stand-in for `criterion`.
+//!
+//! Provides the configuration builder, `bench_function`/`Bencher::iter`,
+//! and the `criterion_group!`/`criterion_main!` macros the workspace's
+//! benchmarks use. Timing is a simple mean over a fixed-duration sample
+//! loop (no statistical analysis, outlier detection, or HTML reports);
+//! it exists so `cargo bench` compiles and produces usable numbers in an
+//! offline container.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-implementation of criterion's `black_box` on top of
+/// `std::hint::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { iters: 0, elapsed: Duration::ZERO };
+
+        // Warm-up: run until the warm-up budget is spent; this also gives
+        // a per-iteration estimate for sizing measurement batches.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up_time {
+            routine(&mut bencher);
+            if bencher.iters == 0 {
+                break; // routine never called iter(); nothing to measure
+            }
+        }
+        let per_iter = if bencher.iters > 0 {
+            bencher.elapsed.as_nanos().max(1) / bencher.iters as u128
+        } else {
+            1
+        };
+
+        bencher.iters = 0;
+        bencher.elapsed = Duration::ZERO;
+        let budget = self.measurement_time.as_nanos() / self.sample_size.max(1) as u128;
+        let mut samples: Vec<u128> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let before_iters = bencher.iters;
+            let before_elapsed = bencher.elapsed;
+            let mut spent: u128 = 0;
+            while spent < budget {
+                routine(&mut bencher);
+                spent = (bencher.elapsed - before_elapsed).as_nanos();
+                if bencher.iters == before_iters {
+                    break;
+                }
+            }
+            let iters = bencher.iters - before_iters;
+            if iters > 0 {
+                samples.push((bencher.elapsed - before_elapsed).as_nanos() / iters as u128);
+            }
+        }
+
+        if samples.is_empty() {
+            println!("{name:<45} (no iterations executed)");
+        } else {
+            samples.sort_unstable();
+            let median = samples[samples.len() / 2];
+            let mean: u128 = samples.iter().sum::<u128>() / samples.len() as u128;
+            println!(
+                "{name:<45} median {} mean {} ({} samples, ~{} est)",
+                fmt_ns(median),
+                fmt_ns(mean),
+                samples.len(),
+                fmt_ns(per_iter),
+            );
+        }
+        self
+    }
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        hint::black_box(routine());
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut count = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                count += 1;
+                black_box(count)
+            })
+        });
+        assert!(count > 0);
+    }
+}

@@ -10,10 +10,11 @@ use uc_catalog::model::paths;
 use uc_catalog::service::crud::TableSpec;
 use uc_catalog::service::Context;
 use uc_catalog::types::{FullName, SecurableKind};
-use uc_cloudstore::{Credential, ObjectStore, StoragePath};
+use uc_cloudstore::faults::{points, FaultMode, FaultPlan};
+use uc_cloudstore::{Clock, Credential, LatencyModel, ObjectStore, StoragePath, StsService};
 use uc_delta::value::{DataType, Field, Schema, Value};
 use uc_delta::DeltaTable;
-use uc_txdb::Db;
+use uc_txdb::{Db, DbConfig};
 
 // ---------------------------------------------------------------------
 // 1. One-asset-per-path invariant under random create/drop sequences
@@ -274,6 +275,170 @@ proptest! {
                     via_cache.as_ref().map(|e| (&e.id, &e.comment)),
                     via_db.as_ref().map(|e| (&e.id, &e.comment)),
                     "node {} diverges from DB on {}", node.node_id(), name
+                );
+            }
+        }
+    }
+}
+
+/// Pinned replay of the shrunk case stored in
+/// `property_invariants.proptest-regressions`
+/// (`ops = [(1, 4), (2, 4), (0, 4), (1, 4)]`): create t4 on node B, drop
+/// it on node A, recreate it on node A, then comment it on node B — the
+/// create/drop/recreate ping-pong that once left node B's name index
+/// pointing at the dropped entity. The harness's generator-only proptest
+/// does not consult regression files, so the case is encoded as an
+/// explicit test to keep it exercised forever.
+#[test]
+fn regression_cache_agrees_after_cross_node_drop_and_recreate() {
+    let world = World::build(&WorldConfig::default());
+    let ctx = Context::user(ADMIN);
+    world.uc.create_catalog(&ctx, &world.ms, "main").unwrap();
+    world.uc.create_schema(&ctx, &world.ms, "main", "s").unwrap();
+    let node_b = uc_catalog::service::UnityCatalog::new(
+        world.db.clone(),
+        world.store.clone(),
+        uc_catalog::service::UcConfig::default(),
+        "node-b",
+    );
+    let schema = Schema::new(vec![Field::new("x", DataType::Int)]);
+    let name = FullName::parse("main.s.t4").unwrap();
+    // (1, 4): create on node B
+    node_b
+        .create_table(&ctx, &world.ms, TableSpec::managed("main.s.t4", schema.clone()).unwrap())
+        .unwrap();
+    // (2, 4): drop on node A
+    world.uc.drop_securable(&ctx, &world.ms, &name, "relation").unwrap();
+    // (0, 4): recreate on node A
+    world
+        .uc
+        .create_table(&ctx, &world.ms, TableSpec::managed("main.s.t4", schema).unwrap())
+        .unwrap();
+    // (1, 4): node B sees the *new* entity and comments it
+    let _ = node_b.update_comment(&ctx, &world.ms, &name, "relation", "c14");
+    for node in [&world.uc, &node_b] {
+        node.reconcile_metastore(&world.ms);
+        let via_cache = node.get_table(&ctx, &world.ms, "main.s.t4").ok();
+        let fresh = uc_catalog::service::UnityCatalog::new(
+            world.db.clone(),
+            world.store.clone(),
+            uc_catalog::service::UcConfig {
+                cache: uc_catalog::cache::CacheConfig::disabled(),
+                ..Default::default()
+            },
+            "node-fresh",
+        );
+        let via_db = fresh.get_table(&ctx, &world.ms, "main.s.t4").ok();
+        assert_eq!(
+            via_cache.as_ref().map(|e| (&e.id, &e.comment)),
+            via_db.as_ref().map(|e| (&e.id, &e.comment)),
+            "node {} diverges from DB on main.s.t4",
+            node.node_id()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// 6. Cache ≡ database and version monotonicity under *injected faults*
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn cache_agrees_with_database_under_faults(
+        seed in 0u64..1_000_000,
+        ops in proptest::collection::vec((0u8..5, 0u8..5), 1..30),
+    ) {
+        // Every layer shares one seeded fault plan: commits randomly hit
+        // injected conflicts, write-through cache updates are randomly
+        // skipped, and reconciliation passes are randomly dropped.
+        let plan = FaultPlan::seeded(seed);
+        let clock = Clock::manual(0);
+        let sts = StsService::new(clock).with_faults(plan.clone());
+        let store = ObjectStore::with_faults(sts, LatencyModel::zero(), plan.clone());
+        let db = Db::new(DbConfig { faults: plan.clone(), ..Default::default() });
+        let mk_node = |id: &str, cache: bool| uc_catalog::service::UnityCatalog::new(
+            db.clone(),
+            store.clone(),
+            uc_catalog::service::UcConfig {
+                cache: if cache {
+                    uc_catalog::cache::CacheConfig::default()
+                } else {
+                    uc_catalog::cache::CacheConfig::disabled()
+                },
+                faults: plan.clone(),
+                ..Default::default()
+            },
+            id,
+        );
+        let node_a = mk_node("node-a", true);
+        let node_b = mk_node("node-b", true);
+        let ctx = Context::user(ADMIN);
+        let ms = node_a.create_metastore(ADMIN, "chaos", "us-west-2").unwrap();
+        let root = store.create_bucket("lake");
+        node_a.create_storage_credential(&ctx, &ms, "lake_cred", &root).unwrap();
+        node_a.set_metastore_root(&ctx, &ms, "s3://lake/managed").unwrap();
+        node_a.create_catalog(&ctx, &ms, "main").unwrap();
+        node_a.create_schema(&ctx, &ms, "main", "s").unwrap();
+
+        plan.arm(points::TXDB_COMMIT_CONFLICT, FaultMode::Probability(0.2));
+        plan.arm(points::CATALOG_CACHE_SKIP, FaultMode::Probability(0.3));
+        plan.arm(points::CATALOG_RECONCILE_SKIP, FaultMode::Probability(0.3));
+
+        let schema = Schema::new(vec![Field::new("x", DataType::Int)]);
+        let ms_version = |db: &Db| {
+            let rt = db.begin_read();
+            uc_catalog::cache::read_ms_version(&rt, &ms)
+        };
+        let mut last_version = ms_version(&db);
+        for (op, t) in ops {
+            let name = format!("main.s.t{t}");
+            let node = if op % 2 == 0 { &node_a } else { &node_b };
+            match op {
+                0 | 1 => {
+                    let spec = TableSpec::managed(&name, schema.clone()).unwrap();
+                    if node.create_table(&ctx, &ms, spec).is_err() {
+                        let _ = node.update_comment(
+                            &ctx,
+                            &ms,
+                            &FullName::parse(&name).unwrap(),
+                            "relation",
+                            &format!("c{op}{t}"),
+                        );
+                    }
+                }
+                2 => {
+                    let _ = node.drop_securable(&ctx, &ms, &FullName::parse(&name).unwrap(), "relation");
+                }
+                3 => {
+                    let _ = node.get_table(&ctx, &ms, &name);
+                }
+                _ => {
+                    node.reconcile_metastore(&ms); // may be dropped by fault
+                }
+            }
+            // Metastore version is monotone no matter what was injected.
+            let v = ms_version(&db);
+            prop_assert!(v >= last_version, "version went backwards: {v} < {last_version}");
+            last_version = v;
+        }
+
+        // Heal; one real reconcile must restore cache ≡ DB on both nodes.
+        plan.disarm(points::TXDB_COMMIT_CONFLICT);
+        plan.disarm(points::CATALOG_CACHE_SKIP);
+        plan.disarm(points::CATALOG_RECONCILE_SKIP);
+        let truth = mk_node("node-truth", false);
+        for node in [&node_a, &node_b] {
+            node.reconcile_metastore(&ms);
+            for t in 0..5 {
+                let name = format!("main.s.t{t}");
+                let via_cache = node.get_table(&ctx, &ms, &name).ok();
+                let via_db = truth.get_table(&ctx, &ms, &name).ok();
+                prop_assert_eq!(
+                    via_cache.as_ref().map(|e| (&e.id, &e.comment)),
+                    via_db.as_ref().map(|e| (&e.id, &e.comment)),
+                    "node {} diverges from DB on {} (seed {})", node.node_id(), name, seed
                 );
             }
         }
