@@ -12,8 +12,10 @@ use std::time::{Duration, Instant};
 use uc_catalog::ids::Uid;
 use uc_catalog::service::{Context, UcConfig, UnityCatalog};
 use uc_cloudstore::{LatencyModel, ObjectStore, StsService, Clock};
+use uc_obs::{Histogram, Obs};
 use uc_txdb::{Db, DbConfig};
 
+pub use uc_obs as obs;
 pub use uc_workload as workload;
 
 /// The administrator principal every harness world uses.
@@ -43,6 +45,10 @@ pub struct WorldConfig {
     pub cred_cache: bool,
     /// STS mint round-trip cost.
     pub sts_mint_cost: Duration,
+    /// Observability handle shared by every layer of the world. The
+    /// default is metrics-only; pass `Obs::with_clock_fn` to also collect
+    /// replayable traces.
+    pub obs: Obs,
 }
 
 impl Default for WorldConfig {
@@ -55,6 +61,7 @@ impl Default for WorldConfig {
             cache: true,
             cred_cache: true,
             sts_mint_cost: Duration::ZERO,
+            obs: Obs::disabled(),
         }
     }
 }
@@ -66,12 +73,14 @@ impl World {
         let db = Db::new(DbConfig {
             pool_size: cfg.db_pool,
             latency: LatencyModel::uniform(cfg.db_latency),
+            obs: cfg.obs.clone(),
             ..Default::default()
         });
         let store = ObjectStore::new(
-            StsService::new(Clock::system()),
+            StsService::new(Clock::system()).with_obs(cfg.obs.clone()),
             LatencyModel::uniform(cfg.storage_latency),
-        );
+        )
+        .with_obs(cfg.obs.clone());
         let uc_config = UcConfig {
             api_latency: LatencyModel::uniform(cfg.api_latency),
             cache: if cfg.cache {
@@ -81,6 +90,7 @@ impl World {
             },
             cred_cache_enabled: cfg.cred_cache,
             sts_mint_cost: cfg.sts_mint_cost,
+            obs: cfg.obs.clone(),
             ..Default::default()
         };
         let uc = UnityCatalog::new(db.clone(), store.clone(), uc_config, "node-0");
@@ -109,7 +119,13 @@ pub struct LoadSummary {
 }
 
 /// Run a closed loop: `threads` workers issue `op` back-to-back for
-/// `duration`, collecting per-request latencies.
+/// `duration`, aggregating per-request latencies into a shared
+/// [`uc_obs::Histogram`] — the same log-bucketed instrument the request
+/// path records into, so bench tables and `/metrics` snapshots report
+/// percentiles from one definition. Workers record concurrently with no
+/// merge step; log₂ buckets keep the relative error of a reported
+/// percentile under 2× at any magnitude, which is ample for the
+/// order-of-magnitude comparisons in §6.
 pub fn closed_loop(
     threads: usize,
     duration: Duration,
@@ -117,46 +133,88 @@ pub fn closed_loop(
 ) -> LoadSummary {
     let op = &op;
     let total = AtomicU64::new(0);
-    let latencies: parking_lot::Mutex<Vec<u64>> = parking_lot::Mutex::new(Vec::new());
+    let total = &total;
+    let latencies = Histogram::new();
     let start = Instant::now();
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| {
-                let mut local = Vec::with_capacity(4096);
+            let latencies = latencies.clone();
+            scope.spawn(move || {
+                let mut n = 0u64;
                 while start.elapsed() < duration {
                     let t0 = Instant::now();
                     op();
-                    local.push(t0.elapsed().as_nanos() as u64);
+                    latencies.record(t0.elapsed().as_nanos() as u64);
+                    n += 1;
                 }
-                total.fetch_add(local.len() as u64, Ordering::Relaxed);
-                latencies.lock().extend(local);
+                total.fetch_add(n, Ordering::Relaxed);
             });
         }
     });
     let wall = start.elapsed();
-    let mut lat = latencies.into_inner();
-    lat.sort_unstable();
     let requests = total.load(Ordering::Relaxed);
-    let pct = |q: f64| -> Duration {
-        if lat.is_empty() {
-            return Duration::ZERO;
-        }
-        let idx = ((lat.len() as f64 - 1.0) * q) as usize;
-        Duration::from_nanos(lat[idx])
-    };
-    let mean = if lat.is_empty() {
+    let mean = if latencies.count() == 0 {
         Duration::ZERO
     } else {
-        Duration::from_nanos(lat.iter().sum::<u64>() / lat.len() as u64)
+        Duration::from_nanos(latencies.sum() / latencies.count())
     };
     LoadSummary {
         requests,
         wall,
         throughput_rps: requests as f64 / wall.as_secs_f64(),
         mean,
-        p50: pct(0.5),
-        p99: pct(0.99),
+        p50: Duration::from_nanos(latencies.percentile(0.5)),
+        p99: Duration::from_nanos(latencies.percentile(0.99)),
     }
+}
+
+/// One parsed instrument from a uc-obs text snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotValue {
+    Counter(u64),
+    Gauge(i64),
+    Histogram { count: u64, sum: u64, p50: u64, p95: u64, p99: u64, max: u64 },
+}
+
+/// Parse a `Registry::text_snapshot` back into name → value pairs.
+///
+/// The consumer side of the snapshot contract: bench binaries and the CI
+/// determinism gate read telemetry through this instead of scraping ad-hoc
+/// stdout. Lines that don't parse are skipped — exporters may grow fields,
+/// and a reader must not panic on a newer snapshot.
+pub fn parse_snapshot(text: &str) -> std::collections::BTreeMap<String, SnapshotValue> {
+    let mut out = std::collections::BTreeMap::new();
+    for line in text.lines() {
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(name), Some(kind)) = (parts.next(), parts.next()) else { continue };
+        let fields: Vec<&str> = parts.collect();
+        let field = |key: &str| -> Option<u64> {
+            fields
+                .iter()
+                .find_map(|f| f.strip_prefix(key).and_then(|v| v.strip_prefix('=')))
+                .and_then(|v| v.parse().ok())
+        };
+        let value = match kind {
+            "counter" => fields.first().and_then(|v| v.parse().ok()).map(SnapshotValue::Counter),
+            "gauge" => fields.first().and_then(|v| v.parse().ok()).map(SnapshotValue::Gauge),
+            "histogram" => Some(SnapshotValue::Histogram {
+                count: field("count").unwrap_or(0),
+                sum: field("sum").unwrap_or(0),
+                p50: field("p50").unwrap_or(0),
+                p95: field("p95").unwrap_or(0),
+                p99: field("p99").unwrap_or(0),
+                max: field("max").unwrap_or(0),
+            }),
+            _ => None,
+        };
+        if let Some(v) = value {
+            out.insert(name.to_string(), v);
+        }
+    }
+    out
 }
 
 /// Time a single closure.
@@ -249,6 +307,49 @@ mod tests {
         assert_eq!(summary.requests, counter.load(Ordering::Relaxed));
         assert!(summary.throughput_rps > 1000.0);
         assert!(summary.p99 >= summary.p50);
+    }
+
+    #[test]
+    fn observed_world_populates_every_layer_metric() {
+        let obs = Obs::enabled();
+        let w = World::build(&WorldConfig { obs: obs.clone(), ..Default::default() });
+        let ctx = w.admin();
+        w.uc.create_catalog(&ctx, &w.ms, "main").unwrap();
+        let root = w.store.create_bucket("aux");
+        w.store
+            .put(
+                &root.clone().into(),
+                &uc_cloudstore::StoragePath::parse("s3://aux/obj").unwrap(),
+                bytes::Bytes::from_static(b"x"),
+            )
+            .unwrap();
+        let parsed = parse_snapshot(&obs.metrics_snapshot());
+        for name in ["catalog.create_catalog.count", "txdb.commit.count", "store.put.count"] {
+            match parsed.get(name) {
+                Some(SnapshotValue::Counter(n)) => assert!(*n > 0, "{name} is zero"),
+                other => panic!("{name} missing or wrong kind: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn parse_snapshot_round_trips_the_text_format() {
+        let r = uc_obs::Registry::new();
+        r.counter("a.op.count").add(7);
+        r.gauge("b.op.depth").set(-3);
+        let h = r.histogram("c.op.latency_ms");
+        for v in [1u64, 2, 100] {
+            h.record(v);
+        }
+        let parsed = parse_snapshot(&r.text_snapshot());
+        assert_eq!(parsed["a.op.count"], SnapshotValue::Counter(7));
+        assert_eq!(parsed["b.op.depth"], SnapshotValue::Gauge(-3));
+        match &parsed["c.op.latency_ms"] {
+            SnapshotValue::Histogram { count, sum, max, .. } => {
+                assert_eq!((*count, *sum, *max), (3, 103, 100));
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
     }
 
     #[test]

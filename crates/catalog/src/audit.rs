@@ -26,6 +26,10 @@ pub struct AuditRecord {
     pub securable: Option<Uid>,
     pub decision: AuditDecision,
     pub detail: String,
+    /// Trace ID of the request span active when the action was audited,
+    /// joining governance events to the observability plane's traces.
+    /// `None` when tracing is disabled or the action ran outside a span.
+    pub trace_id: Option<u64>,
 }
 
 /// Bounded in-memory audit trail. Production systems ship these to a sink;
@@ -47,6 +51,7 @@ impl AuditLog {
     }
 
     /// Append a record; evicts the oldest when at capacity.
+    #[allow(clippy::too_many_arguments)]
     pub fn record(
         &self,
         timestamp_ms: u64,
@@ -55,6 +60,7 @@ impl AuditLog {
         securable: Option<&Uid>,
         decision: AuditDecision,
         detail: &str,
+        trace_id: Option<u64>,
     ) {
         let seq = {
             let mut guard = self.next_seq.lock();
@@ -70,6 +76,7 @@ impl AuditLog {
             securable: securable.cloned(),
             decision,
             detail: detail.to_string(),
+            trace_id,
         };
         let mut records = self.records.write();
         if records.len() == self.capacity {
@@ -109,9 +116,9 @@ mod tests {
     use super::*;
 
     fn log3(log: &AuditLog) {
-        log.record(1, "alice", "getTable", None, AuditDecision::Allow, "t1");
-        log.record(2, "bob", "getTable", None, AuditDecision::Deny, "t1");
-        log.record(3, "alice", "grant", Some(&Uid::from("x")), AuditDecision::Allow, "SELECT");
+        log.record(1, "alice", "getTable", None, AuditDecision::Allow, "t1", None);
+        log.record(2, "bob", "getTable", None, AuditDecision::Deny, "t1", Some(7));
+        log.record(3, "alice", "grant", Some(&Uid::from("x")), AuditDecision::Allow, "SELECT", None);
     }
 
     #[test]
@@ -144,6 +151,15 @@ mod tests {
         assert_eq!(denies[0].principal, "bob");
         let alice = log.query(|r| r.principal == "alice");
         assert_eq!(alice.len(), 2);
+    }
+
+    #[test]
+    fn trace_id_is_preserved() {
+        let log = AuditLog::new(10);
+        log3(&log);
+        let recent = log.recent(10);
+        assert_eq!(recent[0].trace_id, None);
+        assert_eq!(recent[1].trace_id, Some(7));
     }
 
     #[test]

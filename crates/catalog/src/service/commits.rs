@@ -87,7 +87,7 @@ impl UnityCatalog {
         ms: &Uid,
         commits: Vec<TableCommit>,
     ) -> UcResult<()> {
-        self.api_enter();
+        let _api = self.api_enter("commit_tables_atomically");
         if commits.is_empty() {
             return Ok(());
         }
@@ -124,7 +124,7 @@ impl UnityCatalog {
 
     /// Latest catalog-owned version of a table (-1 if none).
     pub fn latest_table_version(&self, ctx: &Context, ms: &Uid, table_id: &Uid) -> UcResult<i64> {
-        self.api_enter();
+        let _api = self.api_enter("latest_table_version");
         let entity = self.authorize_table_read(ctx, ms, table_id)?;
         Ok(entity.commit_version())
     }
@@ -137,7 +137,7 @@ impl UnityCatalog {
         table_id: &Uid,
         version: i64,
     ) -> UcResult<Option<Bytes>> {
-        self.api_enter();
+        let _api = self.api_enter("read_table_commit");
         self.authorize_table_read(ctx, ms, table_id)?;
         Ok(self.commit_read_internal(ms, table_id, version))
     }

@@ -64,7 +64,7 @@ impl UnityCatalog {
     /// Create a metastore. Account-level: the creator becomes owner and
     /// first admin.
     pub fn create_metastore(&self, principal: &str, name: &str, region: &str) -> UcResult<Uid> {
-        self.api_enter();
+        let _api = self.api_enter("create_metastore");
         validate_object_name(name)?;
         let now = self.now_ms();
         let mut ent = Entity::new(SecurableKind::Metastore, name, None, Uid::from(""), principal, now);
@@ -81,14 +81,14 @@ impl UnityCatalog {
 
     /// Fetch the metastore entity.
     pub fn get_metastore(&self, ms: &Uid) -> UcResult<Arc<Entity>> {
-        self.api_enter();
+        let _api = self.api_enter("get_metastore");
         self.entity_by_id(ms, ms)?
             .ok_or_else(|| UcError::NotFound(format!("metastore {ms}")))
     }
 
     /// Set the managed-storage root for a metastore (admin only).
     pub fn set_metastore_root(&self, ctx: &Context, ms: &Uid, root_path: &str) -> UcResult<()> {
-        self.api_enter();
+        let _api = self.api_enter("set_metastore_root");
         StoragePath::parse(root_path).map_err(|e| UcError::InvalidArgument(e.to_string()))?;
         let who = self.authz_context(ms, &ctx.principal)?;
         if !who.is_metastore_admin {
@@ -105,7 +105,7 @@ impl UnityCatalog {
 
     /// Add a metastore admin (admin only).
     pub fn add_metastore_admin(&self, ctx: &Context, ms: &Uid, principal: &str) -> UcResult<()> {
-        self.api_enter();
+        let _api = self.api_enter("add_metastore_admin");
         let who = self.authz_context(ms, &ctx.principal)?;
         if !who.is_metastore_admin {
             return Err(UcError::PermissionDenied("metastore admin required".into()));
@@ -134,7 +134,7 @@ impl UnityCatalog {
         name: &str,
         root: &RootCredential,
     ) -> UcResult<Arc<Entity>> {
-        self.api_enter();
+        let _api = self.api_enter("create_storage_credential");
         validate_object_name(name)?;
         let who = self.authz_context(ms, &ctx.principal)?;
         let ms_chain = vec![self.get_metastore(ms)?];
@@ -183,7 +183,7 @@ impl UnityCatalog {
         path: &str,
         credential_name: &str,
     ) -> UcResult<Arc<Entity>> {
-        self.api_enter();
+        let _api = self.api_enter("create_external_location");
         validate_object_name(name)?;
         let parsed = StoragePath::parse(path).map_err(|e| UcError::InvalidArgument(e.to_string()))?;
         let who = self.authz_context(ms, &ctx.principal)?;
@@ -257,7 +257,7 @@ impl UnityCatalog {
 
     /// Create a catalog in the metastore.
     pub fn create_catalog(&self, ctx: &Context, ms: &Uid, name: &str) -> UcResult<Arc<Entity>> {
-        self.api_enter();
+        let _api = self.api_enter("create_catalog");
         validate_object_name(name)?;
         let who = self.authz_context(ms, &ctx.principal)?;
         let ms_chain = vec![self.get_metastore(ms)?];
@@ -281,7 +281,7 @@ impl UnityCatalog {
 
     /// Create a schema inside a catalog.
     pub fn create_schema(&self, ctx: &Context, ms: &Uid, catalog: &str, name: &str) -> UcResult<Arc<Entity>> {
-        self.api_enter();
+        let _api = self.api_enter("create_schema");
         validate_object_name(name)?;
         let chain = self.lookup_chain(ms, &FullName::of(&[catalog]), "catalog")?;
         let full = self.chain_from_entity(ms, chain[0].clone())?;
@@ -403,7 +403,7 @@ impl UnityCatalog {
 
     /// Create a table (managed or external or foreign).
     pub fn create_table(&self, ctx: &Context, ms: &Uid, spec: TableSpec) -> UcResult<Arc<Entity>> {
-        self.api_enter();
+        let _api = self.api_enter("create_table");
         let full = self.authorize_create_in_schema(ctx, ms, &spec.name, SecurableKind::Table)?;
         let schema_ent = full[0].clone();
         match spec.table_type {
@@ -476,7 +476,7 @@ impl UnityCatalog {
         source: &FullName,
         source_version: i64,
     ) -> UcResult<Arc<Entity>> {
-        self.api_enter();
+        let _api = self.api_enter("create_shallow_clone");
         let full = self.authorize_create_in_schema(ctx, ms, name, SecurableKind::Table)?;
         let schema_ent = full[0].clone();
         let src_chain = self.lookup_chain(ms, source, "relation")?;
@@ -541,7 +541,7 @@ impl UnityCatalog {
         columns: Schema,
         dependencies: &[FullName],
     ) -> UcResult<Arc<Entity>> {
-        self.api_enter();
+        let _api = self.api_enter("create_view");
         let full = self.authorize_create_in_schema(ctx, ms, name, SecurableKind::View)?;
         let schema_ent = full[0].clone();
         let who = self.authz_context(ms, &ctx.principal)?;
@@ -591,7 +591,7 @@ impl UnityCatalog {
         name: &FullName,
         external_path: Option<&str>,
     ) -> UcResult<Arc<Entity>> {
-        self.api_enter();
+        let _api = self.api_enter("create_volume");
         let full = self.authorize_create_in_schema(ctx, ms, name, SecurableKind::Volume)?;
         let schema_ent = full[0].clone();
         if let Some(p) = external_path {
@@ -638,7 +638,7 @@ impl UnityCatalog {
         name: &FullName,
         body: &str,
     ) -> UcResult<Arc<Entity>> {
-        self.api_enter();
+        let _api = self.api_enter("create_function");
         let full = self.authorize_create_in_schema(ctx, ms, name, SecurableKind::Function)?;
         let schema_ent = full[0].clone();
         let now = self.now_ms();
@@ -670,7 +670,7 @@ impl UnityCatalog {
         ms: &Uid,
         name: &FullName,
     ) -> UcResult<Arc<Entity>> {
-        self.api_enter();
+        let _api = self.api_enter("create_registered_model");
         let full = self.authorize_create_in_schema(ctx, ms, name, SecurableKind::RegisteredModel)?;
         let schema_ent = full[0].clone();
         let now = self.now_ms();
@@ -708,7 +708,7 @@ impl UnityCatalog {
         ms: &Uid,
         model_name: &FullName,
     ) -> UcResult<(Arc<Entity>, u64)> {
-        self.api_enter();
+        let _api = self.api_enter("create_model_version");
         let chain = self.lookup_chain(ms, model_name, SecurableKind::RegisteredModel.name_group())?;
         let model = chain[0].clone();
         if model.kind != SecurableKind::RegisteredModel {
@@ -776,7 +776,7 @@ impl UnityCatalog {
         name: &FullName,
         leaf_group: &str,
     ) -> UcResult<Arc<Entity>> {
-        self.api_enter();
+        let _api = self.api_enter("get_securable");
         let chain = self.lookup_chain(ms, name, leaf_group)?;
         let full = self.chain_from_entity(ms, chain[0].clone())?;
         self.enforce_workspace_binding(ctx, &full)?;
@@ -798,7 +798,7 @@ impl UnityCatalog {
 
     /// List catalogs visible to the caller.
     pub fn list_catalogs(&self, ctx: &Context, ms: &Uid) -> UcResult<Vec<Arc<Entity>>> {
-        self.api_enter();
+        let _api = self.api_enter("list_catalogs");
         let who = self.authz_context(ms, &ctx.principal)?;
         let rt = self.db.begin_read();
         let prefix = keys::children_group_prefix(ms, None, SecurableKind::Catalog.name_group());
@@ -824,7 +824,7 @@ impl UnityCatalog {
         parent: &FullName,
         group: Option<&str>,
     ) -> UcResult<Vec<Arc<Entity>>> {
-        self.api_enter();
+        let _api = self.api_enter("list_children");
         let parent_group = if parent.len() == 1 { "catalog" } else { "schema" };
         let chain = self.lookup_chain(ms, parent, parent_group)?;
         let parent_ent = chain[0].clone();
@@ -890,7 +890,7 @@ impl UnityCatalog {
         leaf_group: &str,
         comment: &str,
     ) -> UcResult<Arc<Entity>> {
-        self.api_enter();
+        let _api = self.api_enter("update_comment");
         let chain = self.lookup_chain(ms, name, leaf_group)?;
         let target = chain[0].clone();
         if !manifest(target.kind).updatable_fields.contains(&"comment") {
@@ -923,7 +923,7 @@ impl UnityCatalog {
         leaf_group: &str,
         new_owner: &str,
     ) -> UcResult<Arc<Entity>> {
-        self.api_enter();
+        let _api = self.api_enter("transfer_ownership");
         let chain = self.lookup_chain(ms, name, leaf_group)?;
         let target = chain[0].clone();
         let full = self.chain_from_entity(ms, target.clone())?;
@@ -951,7 +951,7 @@ impl UnityCatalog {
         leaf_group: &str,
         new_name: &str,
     ) -> UcResult<Arc<Entity>> {
-        self.api_enter();
+        let _api = self.api_enter("rename_securable");
         validate_object_name(new_name)?;
         let chain = self.lookup_chain(ms, name, leaf_group)?;
         let target = chain[0].clone();
@@ -1003,7 +1003,7 @@ impl UnityCatalog {
         catalog: &str,
         workspaces: &[&str],
     ) -> UcResult<()> {
-        self.api_enter();
+        let _api = self.api_enter("set_catalog_bindings");
         let chain = self.lookup_chain(ms, &FullName::of(&[catalog]), "catalog")?;
         let target = chain[0].clone();
         let full = self.chain_from_entity(ms, target.clone())?;
@@ -1033,7 +1033,7 @@ impl UnityCatalog {
         name: &FullName,
         leaf_group: &str,
     ) -> UcResult<usize> {
-        self.api_enter();
+        let _api = self.api_enter("drop_securable");
         let chain = self.lookup_chain(ms, name, leaf_group)?;
         let target = chain[0].clone();
         let full = self.chain_from_entity(ms, target.clone())?;
@@ -1102,7 +1102,7 @@ impl UnityCatalog {
     /// catalog-owned commit history, and (for managed assets) their cloud
     /// storage. Returns (entities purged, storage objects deleted).
     pub fn purge_soft_deleted(&self, ms: &Uid) -> UcResult<(usize, usize)> {
-        self.api_enter();
+        let _api = self.api_enter("purge_soft_deleted");
         // Collect victims outside the write to keep the transaction small.
         let rt = self.db.begin_read();
         let victims: Vec<Entity> = rt

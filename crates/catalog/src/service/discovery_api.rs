@@ -84,7 +84,7 @@ impl UnityCatalog {
         leaf_group: &str,
         f: impl Fn(&mut Entity),
     ) -> UcResult<()> {
-        self.api_enter();
+        let _api = self.api_enter("tag_update");
         let chain = self.lookup_chain(ms, name, leaf_group)?;
         let target = chain[0].clone();
         let full = self.chain_from_entity(ms, target.clone())?;
@@ -160,7 +160,7 @@ impl UnityCatalog {
         action: &str,
         f: impl Fn(&mut Entity),
     ) -> UcResult<()> {
-        self.api_enter();
+        let _api = self.api_enter("policy_update");
         let chain = self.lookup_chain(ms, table, "relation")?;
         let target = chain[0].clone();
         let full = self.chain_from_entity(ms, target.clone())?;
@@ -188,7 +188,7 @@ impl UnityCatalog {
         scope_group: &str,
         policy: AbacPolicy,
     ) -> UcResult<()> {
-        self.api_enter();
+        let _api = self.api_enter("create_abac_policy");
         let chain = self.lookup_chain(ms, scope, scope_group)?;
         let target = chain[0].clone();
         if !target.kind.is_container() {
@@ -226,7 +226,7 @@ impl UnityCatalog {
         downstream: &FullName,
         via: Option<&str>,
     ) -> UcResult<()> {
-        self.api_enter();
+        let _api = self.api_enter("add_lineage");
         let up = self.get_securable(ctx, ms, upstream, "relation")?;
         let down = self.get_securable(ctx, ms, downstream, "relation")?;
         let edge = LineageEdge {
@@ -267,7 +267,7 @@ impl UnityCatalog {
         direction: LineageDirection,
         max_hops: usize,
     ) -> UcResult<BTreeSet<Uid>> {
-        self.api_enter();
+        let _api = self.api_enter("lineage");
         let start_ent = self.get_securable(ctx, ms, start, "relation")?;
         let who = self.authz_context(ms, &ctx.principal)?;
         let rt = self.db.begin_read();
@@ -340,7 +340,7 @@ impl UnityCatalog {
         filters: &[MetaFilter],
         limit: usize,
     ) -> UcResult<Vec<Arc<Entity>>> {
-        self.api_enter();
+        let _api = self.api_enter("query_entities");
         let who = self.authz_context(ms, &ctx.principal)?;
         let rt = self.db.begin_read();
         let mut out = Vec::new();

@@ -49,7 +49,7 @@ impl UnityCatalog {
         name: &str,
         endpoint: &str,
     ) -> UcResult<Arc<Entity>> {
-        self.api_enter();
+        let _api = self.api_enter("create_connection");
         crate::types::validate_object_name(name)?;
         let who = self.authz_context(ms, &ctx.principal)?;
         let authz = Self::authz_of(&[self.get_metastore(ms)?]);
@@ -88,7 +88,7 @@ impl UnityCatalog {
         name: &str,
         connection_name: &str,
     ) -> UcResult<Arc<Entity>> {
-        self.api_enter();
+        let _api = self.api_enter("create_federated_catalog");
         let connection = self
             .entity_by_name_key(
                 ms,
@@ -116,7 +116,7 @@ impl UnityCatalog {
         schema_name: &str,
         meta: &ForeignTableMeta,
     ) -> UcResult<Arc<Entity>> {
-        self.api_enter();
+        let _api = self.api_enter("mirror_table");
         let cat = self
             .entity_by_name_key(ms, &keys::name_key(ms, None, "catalog", federated_catalog))?
             .ok_or_else(|| UcError::NotFound(federated_catalog.to_string()))?;

@@ -26,7 +26,7 @@ pub mod rest;
 pub mod sharing;
 pub mod vending;
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -34,6 +34,7 @@ use parking_lot::RwLock;
 use uc_cloudstore::faults::{points, FaultPlan};
 use uc_cloudstore::latency::{LatencyModel, OpClass};
 use uc_cloudstore::{AccessLevel, Clock, ObjectStore, RootCredential, StoragePath, TempCredential};
+use uc_obs::{Counter, Obs, SpanGuard};
 use uc_txdb::{Db, ReadTxn, TxError, WriteTxn};
 
 use crate::audit::{AuditDecision, AuditLog};
@@ -66,6 +67,10 @@ pub struct UcConfig {
     /// Fault plan for catalog-level injection points (chaos tests).
     /// Share the same plan with the store/db for a coherent schedule.
     pub faults: FaultPlan,
+    /// Observability handle. Share the same handle with the store/db so
+    /// every layer's spans land in one trace and every counter in one
+    /// registry (the same sharing pattern as `faults` and the clock).
+    pub obs: Obs,
 }
 
 impl Default for UcConfig {
@@ -78,6 +83,7 @@ impl Default for UcConfig {
             audit_capacity: 100_000,
             sts_mint_cost: std::time::Duration::ZERO,
             faults: FaultPlan::disabled(),
+            obs: Obs::disabled(),
         }
     }
 }
@@ -166,13 +172,28 @@ impl WriteEffects {
 }
 
 /// Node-level counters.
+///
+/// Fields are [`uc_obs::Counter`]s whose `fetch_add`/`load` mirror the
+/// `AtomicU64` API they replaced, so existing callers (and chaos tests)
+/// compile unchanged while the values also surface in the node's metrics
+/// registry under `catalog.*` names.
 #[derive(Debug, Default)]
 pub struct ServiceStats {
-    pub api_calls: AtomicU64,
-    pub write_retries: AtomicU64,
+    pub api_calls: Counter,
+    pub write_retries: Counter,
     /// Virtual milliseconds of backoff accumulated by the write protocol
     /// while riding out transient database failures.
-    pub write_backoff_ms: AtomicU64,
+    pub write_backoff_ms: Counter,
+}
+
+impl ServiceStats {
+    fn wired(registry: &uc_obs::Registry) -> Self {
+        ServiceStats {
+            api_calls: registry.counter("catalog.api.calls"),
+            write_retries: registry.counter("catalog.write.retries"),
+            write_backoff_ms: registry.counter("catalog.write.backoff_ms"),
+        }
+    }
 }
 
 /// One Unity Catalog node. Share the same [`Db`] and [`ObjectStore`]
@@ -208,7 +229,7 @@ impl UnityCatalog {
             roots: RwLock::new(std::collections::HashMap::new()),
             audit: AuditLog::new(config.audit_capacity),
             events: EventBus::new(),
-            stats: ServiceStats::default(),
+            stats: ServiceStats::wired(config.obs.registry()),
             clock,
             store,
             config,
@@ -262,6 +283,17 @@ impl UnityCatalog {
         &self.config.faults
     }
 
+    /// Observability handle: metrics registry + tracer for this node.
+    pub fn obs(&self) -> &Obs {
+        &self.config.obs
+    }
+
+    /// Deterministic text snapshot of every metric this node records —
+    /// the `GET /metrics` payload (see [`rest::RestApi`]).
+    pub fn metrics_snapshot(&self) -> String {
+        self.config.obs.metrics_snapshot()
+    }
+
     pub fn credential_cache_stats(&self) -> (u64, u64) {
         self.cred_cache.stats()
     }
@@ -271,10 +303,14 @@ impl UnityCatalog {
     }
 
     /// Entry hook for every public API: models the engine→catalog network
-    /// hop and counts the call.
-    pub(crate) fn api_enter(&self) {
+    /// hop, counts the call, and opens the request-scoped span every
+    /// deeper layer (txdb, cloudstore) parents under. Callers bind the
+    /// returned guard for the duration of the request.
+    pub(crate) fn api_enter(&self, op: &str) -> SpanGuard {
         self.stats.api_calls.fetch_add(1, Ordering::Relaxed);
+        self.config.obs.counter(&format!("catalog.{op}.count")).inc();
         self.config.api_latency.apply(OpClass::Control);
+        self.config.obs.span_timed("catalog", op)
     }
 
     pub(crate) fn record_audit(
@@ -285,8 +321,15 @@ impl UnityCatalog {
         decision: AuditDecision,
         detail: &str,
     ) {
-        self.audit
-            .record(self.now_ms(), principal, action, securable, decision, detail);
+        self.audit.record(
+            self.now_ms(),
+            principal,
+            action,
+            securable,
+            decision,
+            detail,
+            uc_obs::current_trace_id(),
+        );
     }
 
     // ------------------------------------------------------------------
@@ -540,6 +583,14 @@ impl UnityCatalog {
                     // deterministic; on a system clock the in-process retry
                     // is immediate (the injected DB latency already paces it).
                     let backoff_ms = 1u64 << attempts.min(6);
+                    let cause = match &err {
+                        TxError::Conflict { .. } => "conflict",
+                        _ => "unavailable",
+                    };
+                    uc_obs::span_event(
+                        "write.retry",
+                        &format!("attempt={attempts} cause={cause} backoff_ms={backoff_ms}"),
+                    );
                     self.stats.write_backoff_ms.fetch_add(backoff_ms, Ordering::Relaxed);
                     if self.clock.is_manual() {
                         self.clock.advance_ms(backoff_ms);
@@ -629,6 +680,7 @@ impl UnityCatalog {
         if !self.config.cache.enabled {
             return;
         }
+        let _span = self.config.obs.span("catalog", "reconcile_metastore");
         // A dropped reconciliation pass (keeper lagging, event lost). The
         // next pass — or any read that observes a newer db version — will
         // catch the cache up; chaos tests assert exactly that.

@@ -128,6 +128,29 @@ impl RestApi {
         method: &str,
         params: &Json,
     ) -> Result<Json, ApiError> {
+        let mut span = self.uc.obs().span("rest", method);
+        self.uc.obs().counter(&format!("rest.{method}.count")).inc();
+        let result = self.dispatch(auth, ms, method, params);
+        if let Err(e) = &result {
+            span.set_status(if e.status >= 500 { "error" } else { "client_error" });
+        }
+        result
+    }
+
+    /// The metrics accessor, mirroring a `GET /metrics` route: a
+    /// deterministic text snapshot of every instrument the node has
+    /// registered, across all layers sharing its `Obs` handle.
+    pub fn metrics(&self) -> String {
+        self.uc.metrics_snapshot()
+    }
+
+    fn dispatch(
+        &self,
+        auth: &RequestAuth,
+        ms: &Uid,
+        method: &str,
+        params: &Json,
+    ) -> Result<Json, ApiError> {
         let ctx = auth.context();
         match method {
             "catalogs.create" => {
@@ -276,6 +299,7 @@ impl RestApi {
                     })).collect::<Vec<_>>()
                 }))
             }
+            "metrics.snapshot" => Ok(json!({ "snapshot": self.uc.metrics_snapshot() })),
             "metastore.summary" => {
                 let e = self.uc.get_metastore(ms)?;
                 Ok(json!({
@@ -458,6 +482,17 @@ mod tests {
         let next = events["next_offset"].as_u64().unwrap();
         let empty = api.handle(&admin, &ms, "events.list", &json!({"offset": next})).unwrap();
         assert!(empty["events"].as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn metrics_endpoint_reflects_api_traffic() {
+        let (api, ms, admin) = setup();
+        api.handle(&admin, &ms, "catalogs.create", &json!({"name": "main"})).unwrap();
+        let text = api.metrics();
+        assert!(text.starts_with("# uc-obs metrics snapshot"));
+        assert!(text.contains("catalog.create_catalog.count"), "snapshot:\n{text}");
+        let wire = api.handle(&admin, &ms, "metrics.snapshot", &json!({})).unwrap();
+        assert!(wire["snapshot"].as_str().unwrap().contains("catalog.api.calls"));
     }
 
     #[test]

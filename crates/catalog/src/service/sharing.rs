@@ -57,7 +57,7 @@ pub struct SharedTableResponse {
 impl UnityCatalog {
     /// Create a share (CREATE_SHARE on the metastore or admin).
     pub fn create_share(&self, ctx: &Context, ms: &Uid, name: &str) -> UcResult<Arc<Entity>> {
-        self.api_enter();
+        let _api = self.api_enter("create_share");
         crate::types::validate_object_name(name)?;
         let who = self.authz_context(ms, &ctx.principal)?;
         let authz = Self::authz_of(&[self.get_metastore(ms)?]);
@@ -86,7 +86,7 @@ impl UnityCatalog {
         share_name: &str,
         table: &FullName,
     ) -> UcResult<()> {
-        self.api_enter();
+        let _api = self.api_enter("add_table_to_share");
         let share = self.share_by_name(ms, share_name)?;
         let full = self.chain_from_entity(ms, share.clone())?;
         let who = self.authz_context(ms, &ctx.principal)?;
@@ -127,7 +127,7 @@ impl UnityCatalog {
 
     /// Shares the caller can access (owner, admin, or SELECT grant).
     pub fn list_shares(&self, ctx: &Context, ms: &Uid) -> UcResult<Vec<Arc<Entity>>> {
-        self.api_enter();
+        let _api = self.api_enter("list_shares");
         let who = self.authz_context(ms, &ctx.principal)?;
         let rt = self.db.begin_read();
         let prefix = keys::children_group_prefix(ms, Some(ms), SecurableKind::Share.name_group());
@@ -151,7 +151,7 @@ impl UnityCatalog {
         ms: &Uid,
         share_name: &str,
     ) -> UcResult<Vec<ShareMember>> {
-        self.api_enter();
+        let _api = self.api_enter("list_share_tables");
         let share = self.authorize_share_read(ctx, ms, share_name)?;
         let rt = self.db.begin_read();
         Ok(rt
@@ -185,7 +185,7 @@ impl UnityCatalog {
         share_name: &str,
         alias: &str,
     ) -> UcResult<SharedTableResponse> {
-        self.api_enter();
+        let _api = self.api_enter("query_share_table");
         let (table, snapshot) = self.shared_snapshot(ctx, ms, share_name, alias)?;
         let table_path = table
             .storage_path
@@ -221,7 +221,7 @@ impl UnityCatalog {
         share_name: &str,
         alias: &str,
     ) -> UcResult<IcebergMetadata> {
-        self.api_enter();
+        let _api = self.api_enter("query_share_table_as_iceberg");
         let (table, snapshot) = self.shared_snapshot(ctx, ms, share_name, alias)?;
         let table_path = table
             .storage_path
@@ -265,7 +265,7 @@ impl UnityCatalog {
         ms: &Uid,
         name: &FullName,
     ) -> UcResult<IcebergMetadata> {
-        self.api_enter();
+        let _api = self.api_enter("load_table_as_iceberg");
         let chain = self.lookup_chain(ms, name, "relation")?;
         let table = chain[0].clone();
         let full = self.chain_from_entity(ms, table.clone())?;

@@ -29,9 +29,9 @@ impl UnityCatalog {
         leaf_group: &str,
         access: AccessLevel,
     ) -> UcResult<TempCredential> {
-        self.api_enter();
+        let _api = self.api_enter("temp_credentials");
         let chain = self.lookup_chain(ms, asset, leaf_group)?;
-        self.vend_for_entity(ctx, ms, chain[0].clone(), access, &asset.to_string())
+        self.vend_for_entity(ctx, ms, chain[0].clone(), access, "generateTemporaryCredentials", &asset.to_string())
     }
 
     /// Vend a temporary credential for a raw storage path: resolve the
@@ -45,13 +45,13 @@ impl UnityCatalog {
         path: &str,
         access: AccessLevel,
     ) -> UcResult<TempCredential> {
-        self.api_enter();
+        let _api = self.api_enter("temp_credentials_for_path");
         let parsed = StoragePath::parse(path).map_err(|e| UcError::InvalidArgument(e.to_string()))?;
         let Some((entity, _registered)) = self.entity_by_path(ms, &parsed)? else {
             self.record_audit(&ctx.principal, "generateTemporaryPathCredentials", None, AuditDecision::Deny, path);
             return Err(UcError::NotFound(format!("no asset governs path {path}")));
         };
-        self.vend_for_entity(ctx, ms, entity, access, path)
+        self.vend_for_entity(ctx, ms, entity, access, "generateTemporaryCredentials", path)
     }
 
     /// Shared vending flow once the asset is known.
@@ -61,6 +61,7 @@ impl UnityCatalog {
         ms: &Uid,
         entity: Arc<Entity>,
         access: AccessLevel,
+        action: &str,
         detail: &str,
     ) -> UcResult<TempCredential> {
         let m = manifest(entity.kind);
@@ -83,7 +84,7 @@ impl UnityCatalog {
             AccessLevel::ReadWrite => authz.can_write_data(&who, needed),
         };
         if !allowed {
-            self.record_audit(&ctx.principal, "generateTemporaryCredentials", Some(&entity.id), AuditDecision::Deny, detail);
+            self.record_audit(&ctx.principal, action, Some(&entity.id), AuditDecision::Deny, detail);
             return Err(UcError::PermissionDenied(format!(
                 "{needed} (plus USE on containers) required for {access:?} access"
             )));
@@ -91,13 +92,13 @@ impl UnityCatalog {
         // Tables with FGAC policies must not hand raw storage access to
         // untrusted engines — the policy would be unenforceable.
         if entity.has_fgac() && !ctx.is_trusted_engine() {
-            self.record_audit(&ctx.principal, "generateTemporaryCredentials", Some(&entity.id), AuditDecision::Deny, "fgac requires trusted engine");
+            self.record_audit(&ctx.principal, action, Some(&entity.id), AuditDecision::Deny, "fgac requires trusted engine");
             return Err(UcError::PermissionDenied(
                 "asset has fine-grained policies; use a trusted engine or the data filtering service".into(),
             ));
         }
         let token = self.mint_for_entity(ms, &entity, access)?;
-        self.record_audit(&ctx.principal, "generateTemporaryCredentials", Some(&entity.id), AuditDecision::Allow, detail);
+        self.record_audit(&ctx.principal, action, Some(&entity.id), AuditDecision::Allow, detail);
         Ok(token)
     }
 
@@ -105,18 +106,20 @@ impl UnityCatalog {
     /// (expired or expiring) token for. This is the mid-scan recovery path:
     /// an engine whose token ages out during a long scan comes back here
     /// for a fresh one. Full authorization runs again — revocations since
-    /// the original vend are honored.
+    /// the original vend are honored — and each renewal is audited under
+    /// `renewTemporaryCredentials` with the originating trace ID, exactly
+    /// like an initial vend.
     pub fn renew_read_credential(
         &self,
         ctx: &Context,
         ms: &Uid,
         id: &Uid,
     ) -> UcResult<TempCredential> {
-        self.api_enter();
+        let _api = self.api_enter("renew_read_credential");
         let entity = self
             .entity_by_id(ms, id)?
             .ok_or_else(|| UcError::NotFound(format!("asset {id}")))?;
-        self.vend_for_entity(ctx, ms, entity, AccessLevel::Read, "renew")
+        self.vend_for_entity(ctx, ms, entity, AccessLevel::Read, "renewTemporaryCredentials", "renew")
     }
 
     /// Mint (or reuse from the TTL cache) a token scoped to the entity's

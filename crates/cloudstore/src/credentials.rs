@@ -15,6 +15,7 @@
 
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
+use uc_obs::Obs;
 
 use crate::clock::Clock;
 use crate::error::{StorageError, StorageResult};
@@ -96,25 +97,38 @@ pub struct StsService {
     secret: u64,
     clock: Clock,
     faults: FaultPlan,
+    obs: Obs,
 }
 
 impl StsService {
     /// New service with a random secret and the given clock.
     pub fn new(clock: Clock) -> Self {
         let mut rng = rand::thread_rng();
-        StsService { secret: rng.next_u64(), clock, faults: FaultPlan::disabled() }
+        StsService {
+            secret: rng.next_u64(),
+            clock,
+            faults: FaultPlan::disabled(),
+            obs: Obs::disabled(),
+        }
     }
 
     /// New service with a fixed secret — for tests that need two instances
     /// to trust each other's tokens.
     pub fn with_secret(secret: u64, clock: Clock) -> Self {
-        StsService { secret, clock, faults: FaultPlan::disabled() }
+        StsService { secret, clock, faults: FaultPlan::disabled(), obs: Obs::disabled() }
     }
 
     /// Attach a fault plan (chaos tests). Consumes and returns the service
     /// so it composes with the other constructors.
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Attach an observability handle; `sts.mint` / `sts.verify` spans and
+    /// counters are recorded into it.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
         self
     }
 
@@ -138,45 +152,63 @@ impl StsService {
         access: AccessLevel,
         ttl_ms: u64,
     ) -> StorageResult<TempCredential> {
-        if root.bucket != scope.bucket() {
-            return Err(StorageError::AccessDenied(format!(
-                "root credential for bucket {} cannot scope to {}",
-                root.bucket, scope
-            )));
+        let mut span = self.obs.span("sts", "mint");
+        self.obs.counter("sts.mint.count").inc();
+        let result = (|| {
+            if root.bucket != scope.bucket() {
+                return Err(StorageError::AccessDenied(format!(
+                    "root credential for bucket {} cannot scope to {}",
+                    root.bucket, scope
+                )));
+            }
+            if self.faults.should_inject(points::STS_MINT) {
+                return Err(StorageError::Unavailable("injected fault: sts mint".into()));
+            }
+            let mut rng = rand::thread_rng();
+            let nonce = rng.next_u64();
+            let expires_at_ms = self.clock.now_ms() + ttl_ms;
+            let signature = self.sign(scope, access, expires_at_ms, nonce);
+            Ok(TempCredential { scope: scope.clone(), access, expires_at_ms, nonce, signature })
+        })();
+        if result.is_err() {
+            self.obs.counter("sts.mint.errors").inc();
+            span.set_status("error");
         }
-        if self.faults.should_inject(points::STS_MINT) {
-            return Err(StorageError::Unavailable("injected fault: sts mint".into()));
-        }
-        let mut rng = rand::thread_rng();
-        let nonce = rng.next_u64();
-        let expires_at_ms = self.clock.now_ms() + ttl_ms;
-        let signature = self.sign(scope, access, expires_at_ms, nonce);
-        Ok(TempCredential { scope: scope.clone(), access, expires_at_ms, nonce, signature })
+        result
     }
 
     /// Verify signature and expiry. Returns the scope on success so callers
     /// can follow up with path checks.
     pub fn verify(&self, token: &TempCredential) -> StorageResult<()> {
-        let expect = self.sign(&token.scope, token.access, token.expires_at_ms, token.nonce);
-        if expect != token.signature {
-            return Err(StorageError::InvalidCredential("bad signature".into()));
+        let mut span = self.obs.span("sts", "verify");
+        self.obs.counter("sts.verify.count").inc();
+        let result = (|| {
+            let expect = self.sign(&token.scope, token.access, token.expires_at_ms, token.nonce);
+            if expect != token.signature {
+                return Err(StorageError::InvalidCredential("bad signature".into()));
+            }
+            let now = self.clock.now_ms();
+            if now >= token.expires_at_ms {
+                return Err(StorageError::ExpiredCredential {
+                    expired_at_ms: token.expires_at_ms,
+                    now_ms: now,
+                });
+            }
+            // Injected *expiry*: models the token aging out mid-operation, the
+            // failure engines must recover from by re-vending a credential.
+            if self.faults.should_inject(points::STS_VERIFY) {
+                return Err(StorageError::ExpiredCredential {
+                    expired_at_ms: token.expires_at_ms.min(now),
+                    now_ms: now,
+                });
+            }
+            Ok(())
+        })();
+        if result.is_err() {
+            self.obs.counter("sts.verify.errors").inc();
+            span.set_status("error");
         }
-        let now = self.clock.now_ms();
-        if now >= token.expires_at_ms {
-            return Err(StorageError::ExpiredCredential {
-                expired_at_ms: token.expires_at_ms,
-                now_ms: now,
-            });
-        }
-        // Injected *expiry*: models the token aging out mid-operation, the
-        // failure engines must recover from by re-vending a credential.
-        if self.faults.should_inject(points::STS_VERIFY) {
-            return Err(StorageError::ExpiredCredential {
-                expired_at_ms: token.expires_at_ms.min(now),
-                now_ms: now,
-            });
-        }
-        Ok(())
+        result
     }
 
     /// Clock used for expiry decisions.

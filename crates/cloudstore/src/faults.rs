@@ -193,6 +193,9 @@ impl FaultPlan {
             state.injected += 1;
             self.inner.total_injected.fetch_add(1, Ordering::Relaxed);
             self.inner.log.lock().push(FaultEvent { point: point.to_string(), hit });
+            // Annotate whatever request span is active so chaos tests can
+            // assert "this fault actually fired inside that request".
+            uc_obs::span_event("fault.injected", &format!("{point}#{hit}"));
         }
         fire
     }

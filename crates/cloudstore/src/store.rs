@@ -11,6 +11,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use parking_lot::RwLock;
+use uc_obs::Obs;
 
 use crate::credentials::{AccessLevel, Credential, RootCredential, StsService, TempCredential};
 use crate::error::{StorageError, StorageResult};
@@ -50,6 +51,7 @@ pub struct ObjectStore {
     sts: StsService,
     latency: LatencyModel,
     faults: FaultPlan,
+    obs: Obs,
 }
 
 impl ObjectStore {
@@ -62,12 +64,44 @@ impl ObjectStore {
     /// faults fire *after* authorization: they model the backend failing,
     /// not the credential check.
     pub fn with_faults(sts: StsService, latency: LatencyModel, faults: FaultPlan) -> Self {
-        ObjectStore { inner: Arc::new(RwLock::new(BTreeMap::new())), sts, latency, faults }
+        ObjectStore {
+            inner: Arc::new(RwLock::new(BTreeMap::new())),
+            sts,
+            latency,
+            faults,
+            obs: Obs::disabled(),
+        }
+    }
+
+    /// Attach an observability handle; per-op spans and `store.*` metrics
+    /// are recorded into it. Composes with the other constructors.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The observability handle storage operations record into.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// The fault plan consulted by storage operations.
     pub fn faults(&self) -> &FaultPlan {
         &self.faults
+    }
+
+    /// Wrap a storage operation in a `store.<op>` span plus count/error
+    /// counters. Injected faults inside `f` attach their events to this
+    /// span (or to an enclosing catalog request span, same trace).
+    fn instrument<T>(&self, op: &str, f: impl FnOnce() -> StorageResult<T>) -> StorageResult<T> {
+        let mut span = self.obs.span("store", op);
+        self.obs.counter(&format!("store.{op}.count")).inc();
+        let result = f();
+        if result.is_err() {
+            self.obs.counter(&format!("store.{op}.errors")).inc();
+            span.set_status("error");
+        }
+        result
     }
 
     /// Convenience constructor for tests: manual clock at 0, no latency.
@@ -91,20 +125,22 @@ impl ObjectStore {
 
     /// Store an object, overwriting any existing one.
     pub fn put(&self, cred: &Credential, path: &StoragePath, data: Bytes) -> StorageResult<()> {
-        self.latency.apply(OpClass::Write);
-        self.authorize(cred, path, AccessLevel::ReadWrite)?;
-        if self.faults.should_inject(points::STORE_PUT) {
-            return Err(StorageError::Unavailable(format!("injected fault: put {path}")));
-        }
-        let now = self.sts.clock().now_ms();
-        let mut guard = self.inner.write();
-        let bucket = guard
-            .get_mut(path.bucket())
-            .ok_or_else(|| StorageError::NoSuchBucket(path.bucket().to_string()))?;
-        bucket
-            .objects
-            .insert(path.key().to_string(), StoredObject { data, created_at_ms: now });
-        Ok(())
+        self.instrument("put", || {
+            self.latency.apply(OpClass::Write);
+            self.authorize(cred, path, AccessLevel::ReadWrite)?;
+            if self.faults.should_inject(points::STORE_PUT) {
+                return Err(StorageError::Unavailable(format!("injected fault: put {path}")));
+            }
+            let now = self.sts.clock().now_ms();
+            let mut guard = self.inner.write();
+            let bucket = guard
+                .get_mut(path.bucket())
+                .ok_or_else(|| StorageError::NoSuchBucket(path.bucket().to_string()))?;
+            bucket
+                .objects
+                .insert(path.key().to_string(), StoredObject { data, created_at_ms: now });
+            Ok(())
+        })
     }
 
     /// Store an object only if the key is vacant — the atomic primitive a
@@ -115,92 +151,104 @@ impl ObjectStore {
         path: &StoragePath,
         data: Bytes,
     ) -> StorageResult<()> {
-        self.latency.apply(OpClass::Write);
-        self.authorize(cred, path, AccessLevel::ReadWrite)?;
-        if self.faults.should_inject(points::STORE_PUT_IF_ABSENT) {
-            return Err(StorageError::Unavailable(format!(
-                "injected fault: put_if_absent {path}"
-            )));
-        }
-        let now = self.sts.clock().now_ms();
-        let mut guard = self.inner.write();
-        let bucket = guard
-            .get_mut(path.bucket())
-            .ok_or_else(|| StorageError::NoSuchBucket(path.bucket().to_string()))?;
-        if bucket.objects.contains_key(path.key()) {
-            return Err(StorageError::AlreadyExists(path.to_string()));
-        }
-        bucket
-            .objects
-            .insert(path.key().to_string(), StoredObject { data, created_at_ms: now });
-        Ok(())
+        self.instrument("put_if_absent", || {
+            self.latency.apply(OpClass::Write);
+            self.authorize(cred, path, AccessLevel::ReadWrite)?;
+            if self.faults.should_inject(points::STORE_PUT_IF_ABSENT) {
+                return Err(StorageError::Unavailable(format!(
+                    "injected fault: put_if_absent {path}"
+                )));
+            }
+            let now = self.sts.clock().now_ms();
+            let mut guard = self.inner.write();
+            let bucket = guard
+                .get_mut(path.bucket())
+                .ok_or_else(|| StorageError::NoSuchBucket(path.bucket().to_string()))?;
+            if bucket.objects.contains_key(path.key()) {
+                return Err(StorageError::AlreadyExists(path.to_string()));
+            }
+            bucket
+                .objects
+                .insert(path.key().to_string(), StoredObject { data, created_at_ms: now });
+            Ok(())
+        })
     }
 
     /// Fetch an object's contents.
     pub fn get(&self, cred: &Credential, path: &StoragePath) -> StorageResult<Bytes> {
-        self.latency.apply(OpClass::Read);
-        self.authorize(cred, path, AccessLevel::Read)?;
-        if self.faults.should_inject(points::STORE_GET) {
-            return Err(StorageError::Unavailable(format!("injected fault: get {path}")));
-        }
-        let guard = self.inner.read();
-        let bucket = guard
-            .get(path.bucket())
-            .ok_or_else(|| StorageError::NoSuchBucket(path.bucket().to_string()))?;
-        bucket
-            .objects
-            .get(path.key())
-            .map(|o| o.data.clone())
-            .ok_or_else(|| StorageError::NoSuchObject(path.to_string()))
+        self.instrument("get", || {
+            self.latency.apply(OpClass::Read);
+            self.authorize(cred, path, AccessLevel::Read)?;
+            if self.faults.should_inject(points::STORE_GET) {
+                return Err(StorageError::Unavailable(format!("injected fault: get {path}")));
+            }
+            let guard = self.inner.read();
+            let bucket = guard
+                .get(path.bucket())
+                .ok_or_else(|| StorageError::NoSuchBucket(path.bucket().to_string()))?;
+            bucket
+                .objects
+                .get(path.key())
+                .map(|o| o.data.clone())
+                .ok_or_else(|| StorageError::NoSuchObject(path.to_string()))
+        })
     }
 
     /// Delete an object. Deleting a missing object is an error, matching
     /// the strictest provider semantics (callers that want idempotent
     /// deletes can ignore `NoSuchObject`).
     pub fn delete(&self, cred: &Credential, path: &StoragePath) -> StorageResult<()> {
-        self.latency.apply(OpClass::Write);
-        self.authorize(cred, path, AccessLevel::ReadWrite)?;
-        if self.faults.should_inject(points::STORE_DELETE) {
-            return Err(StorageError::Unavailable(format!("injected fault: delete {path}")));
-        }
-        let mut guard = self.inner.write();
-        let bucket = guard
-            .get_mut(path.bucket())
-            .ok_or_else(|| StorageError::NoSuchBucket(path.bucket().to_string()))?;
-        bucket
-            .objects
-            .remove(path.key())
-            .map(|_| ())
-            .ok_or_else(|| StorageError::NoSuchObject(path.to_string()))
+        self.instrument("delete", || {
+            self.latency.apply(OpClass::Write);
+            self.authorize(cred, path, AccessLevel::ReadWrite)?;
+            if self.faults.should_inject(points::STORE_DELETE) {
+                return Err(StorageError::Unavailable(format!("injected fault: delete {path}")));
+            }
+            let mut guard = self.inner.write();
+            let bucket = guard
+                .get_mut(path.bucket())
+                .ok_or_else(|| StorageError::NoSuchBucket(path.bucket().to_string()))?;
+            bucket
+                .objects
+                .remove(path.key())
+                .map(|_| ())
+                .ok_or_else(|| StorageError::NoSuchObject(path.to_string()))
+        })
     }
 
     /// List objects whose paths fall under `prefix`, in key order.
     pub fn list(&self, cred: &Credential, prefix: &StoragePath) -> StorageResult<Vec<ObjectMeta>> {
-        self.latency.apply(OpClass::List);
-        self.authorize(cred, prefix, AccessLevel::Read)?;
-        if self.faults.should_inject(points::STORE_LIST) {
-            return Err(StorageError::Unavailable(format!("injected fault: list {prefix}")));
-        }
-        let guard = self.inner.read();
-        let bucket = guard
-            .get(prefix.bucket())
-            .ok_or_else(|| StorageError::NoSuchBucket(prefix.bucket().to_string()))?;
-        let mut out = Vec::new();
-        // Range-scan from the prefix key: BTreeMap keys are sorted, so all
-        // keys under the prefix are contiguous.
-        let start = prefix.key().to_string();
-        for (key, obj) in bucket.objects.range(start..) {
-            let path = StoragePath::new(prefix.scheme(), prefix.bucket(), key)
-                .expect("stored keys are valid");
-            if !prefix.is_prefix_of(&path) {
-                if !key.starts_with(prefix.key()) {
-                    break;
-                }
-                continue; // sibling like `foo2` when prefix is `foo`
+        self.instrument("list", || {
+            self.latency.apply(OpClass::List);
+            self.authorize(cred, prefix, AccessLevel::Read)?;
+            if self.faults.should_inject(points::STORE_LIST) {
+                return Err(StorageError::Unavailable(format!("injected fault: list {prefix}")));
             }
-            out.push(ObjectMeta { path, size: obj.data.len(), created_at_ms: obj.created_at_ms });
-        }
-        Ok(out)
+            let guard = self.inner.read();
+            let bucket = guard
+                .get(prefix.bucket())
+                .ok_or_else(|| StorageError::NoSuchBucket(prefix.bucket().to_string()))?;
+            let mut out = Vec::new();
+            // Range-scan from the prefix key: BTreeMap keys are sorted, so all
+            // keys under the prefix are contiguous.
+            let start = prefix.key().to_string();
+            for (key, obj) in bucket.objects.range(start..) {
+                let path = StoragePath::new(prefix.scheme(), prefix.bucket(), key)
+                    .expect("stored keys are valid");
+                if !prefix.is_prefix_of(&path) {
+                    if !key.starts_with(prefix.key()) {
+                        break;
+                    }
+                    continue; // sibling like `foo2` when prefix is `foo`
+                }
+                out.push(ObjectMeta {
+                    path,
+                    size: obj.data.len(),
+                    created_at_ms: obj.created_at_ms,
+                });
+            }
+            Ok(out)
+        })
     }
 
     /// Total bytes stored under a prefix — used for storage-efficiency

@@ -121,9 +121,14 @@ impl DeltaTable {
                     .ok_or_else(|| DeltaError::Corrupt(format!("missing log version {v}")))?;
                 log.push((v, crate::actions::decode_commit(&payload)?));
             }
+            uc_obs::span_event(
+                "delta.snapshot",
+                &format!("version={latest} replayed={} from_checkpoint={cv}", log.len()),
+            );
             return Snapshot::replay_from(Some(base), &log);
         }
         let log = read_log(self.coordinator.as_ref(), cred)?;
+        uc_obs::span_event("delta.snapshot", &format!("version={latest} replayed={}", log.len()));
         if log.is_empty() {
             return Err(DeltaError::NotATable(self.path.to_string()));
         }
@@ -195,6 +200,7 @@ impl DeltaTable {
             }),
         ];
         write_commit(self.coordinator.as_ref(), cred, version, &actions)?;
+        uc_obs::span_event("delta.commit", &format!("version={version}"));
         // Periodic checkpointing, as the Delta protocol does every N
         // commits, keeps snapshot construction O(recent commits).
         if version > 0 && version % CHECKPOINT_INTERVAL == 0 {

@@ -93,6 +93,7 @@ impl DiscoveryService {
     /// Event-driven incremental sync. Returns how many events were
     /// processed.
     pub fn sync(&self) -> UcResult<usize> {
+        let _span = self.uc.obs().span_timed("discovery", "sync");
         let offset = self.state.read().next_offset;
         let (events, next) = self.uc.events_since(offset);
         let count = events.len();
@@ -133,12 +134,14 @@ impl DiscoveryService {
             }
         }
         state.next_offset = next;
+        self.uc.obs().counter("discovery.sync.events").add(count as u64);
         Ok(count)
     }
 
     /// Polling-style full resync: rescan every entity via the metadata
     /// query API. Much more catalog load for the same freshness.
     pub fn sync_by_polling(&self) -> UcResult<usize> {
+        let _span = self.uc.obs().span_timed("discovery", "sync_by_polling");
         let entities = self
             .uc
             .query_entities(&self.service_ctx, &self.ms, &[], usize::MAX)?;
@@ -210,6 +213,8 @@ impl DiscoveryService {
     /// visibility API at query time — the index itself is not an
     /// authorization boundary.
     pub fn search(&self, principal: &str, query: &str) -> UcResult<Vec<SearchHit>> {
+        let _span = self.uc.obs().span_timed("discovery", "search");
+        self.uc.obs().counter("discovery.search.count").inc();
         let tokens: Vec<String> = query
             .split_whitespace()
             .map(|t| t.to_ascii_lowercase())

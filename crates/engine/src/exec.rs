@@ -701,6 +701,9 @@ impl EngineSession {
         eval_ctx: &EvalContext,
     ) -> EngineResult<(Vec<Row>, usize)> {
         let handle = self.engine.delta_table(ctx, entity)?;
+        // Root the scan in the trace: storage spans nest under it, and the
+        // credential-renew events below need an active span to attach to.
+        let mut scan_span = self.engine.uc.obs().span("engine", "scan_table");
         let mut token = token;
         let mut attempts = 0;
         loop {
@@ -718,12 +721,16 @@ impl EngineSession {
                     uc_cloudstore::StorageError::ExpiredCredential { .. },
                 )) if attempts < 3 => {
                     attempts += 1;
+                    uc_obs::span_event("engine.credential_renew", &format!("attempt={attempts}"));
                     token = self
                         .engine
                         .uc
                         .renew_read_credential(ctx, &self.engine.ms, &entity.id)?;
                 }
-                Err(e) => return Err(e.into()),
+                Err(e) => {
+                    scan_span.set_status("error");
+                    return Err(e.into());
+                }
             }
         }
     }

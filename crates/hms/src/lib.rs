@@ -90,7 +90,16 @@ impl HiveMetastore {
         &self.db
     }
 
+    /// Open an API span on the database's shared observability handle —
+    /// the baseline shows up in the same traces and snapshots as UC, so
+    /// the §6.2 comparison can be read off one `/metrics` dump.
+    fn api_enter(&self, op: &str) -> uc_obs::SpanGuard {
+        self.db.obs().counter("hms.api.calls").inc();
+        self.db.obs().span_timed("hms", op)
+    }
+
     pub fn create_database(&self, database: &HmsDatabase) -> HmsResult<()> {
+        let _api = self.api_enter("create_database");
         let mut tx = self.db.begin_write();
         if tx.get(T_DB, &database.name).is_some() {
             return Err(HmsError::AlreadyExists(database.name.clone()));
@@ -101,6 +110,7 @@ impl HiveMetastore {
     }
 
     pub fn get_database(&self, name: &str) -> HmsResult<HmsDatabase> {
+        let _api = self.api_enter("get_database");
         let rt = self.db.begin_read();
         let raw = rt
             .get(T_DB, name)
@@ -109,11 +119,13 @@ impl HiveMetastore {
     }
 
     pub fn list_databases(&self) -> Vec<String> {
+        let _api = self.api_enter("list_databases");
         let rt = self.db.begin_read();
         rt.scan_prefix(T_DB, "").into_iter().map(|(k, _)| k).collect()
     }
 
     pub fn create_table(&self, table: &HmsTable) -> HmsResult<()> {
+        let _api = self.api_enter("create_table");
         let key = format!("{}/{}", table.db, table.name);
         let mut tx = self.db.begin_write();
         if tx.get(T_DB, &table.db).is_none() {
@@ -131,6 +143,7 @@ impl HiveMetastore {
     /// storage location. No authorization — that's the point of the
     /// baseline.
     pub fn get_table(&self, db: &str, name: &str) -> HmsResult<HmsTable> {
+        let _api = self.api_enter("get_table");
         let rt = self.db.begin_read();
         let raw = rt
             .get(T_TBL, &format!("{db}/{name}"))
@@ -139,6 +152,7 @@ impl HiveMetastore {
     }
 
     pub fn list_tables(&self, db: &str) -> Vec<String> {
+        let _api = self.api_enter("list_tables");
         let rt = self.db.begin_read();
         rt.scan_prefix(T_TBL, &format!("{db}/"))
             .into_iter()
@@ -147,6 +161,7 @@ impl HiveMetastore {
     }
 
     pub fn drop_table(&self, db: &str, name: &str) -> HmsResult<()> {
+        let _api = self.api_enter("drop_table");
         let key = format!("{db}/{name}");
         let mut tx = self.db.begin_write();
         if tx.get(T_TBL, &key).is_none() {
@@ -158,6 +173,7 @@ impl HiveMetastore {
     }
 
     pub fn alter_table(&self, table: &HmsTable) -> HmsResult<()> {
+        let _api = self.api_enter("alter_table");
         let key = format!("{}/{}", table.db, table.name);
         let mut tx = self.db.begin_write();
         if tx.get(T_TBL, &key).is_none() {

@@ -1,0 +1,182 @@
+//! `uc-obs`: unified tracing + metrics plane for the Unity Catalog
+//! reproduction.
+//!
+//! Zero-registry-dependency core (only `parking_lot`), shared across
+//! layers the same way `Clock`, `LatencyModel`, and `FaultPlan` are: the
+//! catalog owns an [`Obs`] handle and passes clones down into `txdb` and
+//! `cloudstore` at construction time.
+//!
+//! Two halves:
+//!
+//! - **Metrics** ([`metrics`]): counters, gauges, and log₂-bucketed
+//!   latency histograms in a [`Registry`] keyed by
+//!   `layer.operation.metric` names (with optional `{scope}` suffixes for
+//!   per-tenant/per-metastore breakouts). `Registry::text_snapshot`
+//!   renders a sorted, deterministic snapshot that diffs cleanly in CI.
+//! - **Tracing** ([`trace`]): request-scoped spans with sequential trace
+//!   IDs, propagated across layers through a thread-local context stack
+//!   (no signature changes), timestamped from an injected clock function
+//!   — the shared virtual clock in tests — so a fixed-seed chaos run
+//!   produces byte-identical JSON-lines dumps.
+//!
+//! Determinism ground rules, enforced by construction:
+//! - IDs are sequential atomics, never random (entity `Uid`s are random
+//!   and must not appear in metric names or span names).
+//! - Timestamps come from the injected clock; with a manual clock two
+//!   identical runs emit identical timestamps.
+//! - All exports iterate sorted maps or append-ordered logs; no HashMap
+//!   iteration order leaks into output.
+
+pub mod metrics;
+pub mod trace;
+
+use std::sync::Arc;
+
+pub use metrics::{Counter, Gauge, Histogram, Instrument, Registry, HISTOGRAM_BUCKETS};
+pub use trace::{current_span_id, current_trace_id, span_event, ClockFn, SpanGuard, TraceRecord, Tracer};
+
+/// The per-deployment observability handle: one metrics registry plus one
+/// tracer. Cloning shares both. Layers receive a clone at construction and
+/// never need to know whether tracing is live.
+#[derive(Clone, Debug)]
+pub struct Obs {
+    registry: Registry,
+    tracer: Tracer,
+}
+
+impl Obs {
+    /// Live metrics, inert tracing. The default for production-shaped
+    /// paths: counters and histograms still accumulate, spans cost
+    /// nothing and record nothing.
+    pub fn disabled() -> Self {
+        Obs { registry: Registry::new(), tracer: Tracer::disabled() }
+    }
+
+    /// Live metrics and tracing, timestamped from the system clock.
+    pub fn enabled() -> Self {
+        let clock: ClockFn = Arc::new(|| {
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_millis() as u64)
+                .unwrap_or(0)
+        });
+        Obs::with_clock_fn(clock)
+    }
+
+    /// Live metrics and tracing with timestamps drawn from `clock` —
+    /// install the shared virtual clock here for replayable traces.
+    pub fn with_clock_fn(clock: ClockFn) -> Self {
+        Obs { registry: Registry::new(), tracer: Tracer::enabled(clock) }
+    }
+
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    pub fn is_tracing(&self) -> bool {
+        self.tracer.is_enabled()
+    }
+
+    /// Get-or-create a counter in this handle's registry.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.registry.counter(name)
+    }
+
+    /// Get-or-create a counter with a `{scope}` suffix (tenant/metastore).
+    pub fn counter_scoped(&self, name: &str, scope: &str) -> Counter {
+        self.registry.counter_scoped(name, scope)
+    }
+
+    /// Get-or-create a gauge in this handle's registry.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.registry.gauge(name)
+    }
+
+    /// Get-or-create a histogram in this handle's registry.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.registry.histogram(name)
+    }
+
+    /// Open a request-scoped span (child of any span already active on
+    /// this thread).
+    pub fn span(&self, layer: &str, name: &str) -> SpanGuard {
+        self.tracer.span(layer, name)
+    }
+
+    /// Open a span whose virtual-clock duration is recorded into the
+    /// `layer.name.latency_ms` histogram when it ends.
+    pub fn span_timed(&self, layer: &str, name: &str) -> SpanGuard {
+        let h = self.histogram(&format!("{layer}.{name}.latency_ms"));
+        self.tracer.span_timed(layer, name, Some(h))
+    }
+
+    /// Deterministic text snapshot of every instrument (sorted by name).
+    pub fn metrics_snapshot(&self) -> String {
+        self.registry.text_snapshot()
+    }
+
+    /// The trace stream as JSON lines, in append order.
+    pub fn trace_jsonl(&self) -> String {
+        self.tracer.jsonl()
+    }
+
+    /// Count span events by name / detail substring (test helper).
+    pub fn count_events(&self, name: &str, detail_contains: Option<&str>) -> u64 {
+        self.tracer.count_events(name, detail_contains)
+    }
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Obs::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn disabled_obs_still_counts() {
+        let obs = Obs::disabled();
+        obs.counter("catalog.api.calls").inc();
+        obs.counter("catalog.api.calls").add(2);
+        assert_eq!(obs.counter("catalog.api.calls").get(), 3);
+        {
+            let _s = obs.span("catalog", "tables.create");
+        }
+        assert!(obs.trace_jsonl().is_empty(), "disabled tracer emits nothing");
+    }
+
+    #[test]
+    fn span_timed_feeds_named_histogram() {
+        let t = Arc::new(AtomicU64::new(100));
+        let tc = t.clone();
+        let obs = Obs::with_clock_fn(Arc::new(move || tc.load(Ordering::SeqCst)));
+        {
+            let _s = obs.span_timed("txdb", "commit");
+            t.store(104, Ordering::SeqCst);
+        }
+        let h = obs.histogram("txdb.commit.latency_ms");
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 4);
+        assert!(obs.metrics_snapshot().contains("txdb.commit.latency_ms"));
+    }
+
+    #[test]
+    fn snapshot_is_stable_across_identical_runs() {
+        let run = || {
+            let obs = Obs::disabled();
+            obs.counter_scoped("catalog.vend.count", "ms1").add(5);
+            obs.counter("store.put.count").add(2);
+            obs.histogram("store.put.latency_ms").record(3);
+            obs.metrics_snapshot()
+        };
+        assert_eq!(run(), run());
+    }
+}

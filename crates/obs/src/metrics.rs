@@ -1,0 +1,417 @@
+//! Metrics: counters, gauges, and log-bucketed latency histograms behind a
+//! name-keyed registry.
+//!
+//! Naming scheme: `layer.operation.metric`, e.g. `txdb.commit.count` or
+//! `catalog.tables.create.latency_ms`. An optional scope label (tenant,
+//! metastore, access level) is rendered as `name{scope}`. The registry
+//! stores instruments in a [`BTreeMap`], so every snapshot lists them in
+//! one canonical order — snapshots of deterministic workloads diff cleanly
+//! in CI.
+//!
+//! Hot-path cost: an instrument handle is an `Arc` around atomics; callers
+//! that care pre-create handles at construction time and pay one relaxed
+//! atomic op per record. Looking an instrument up by name takes the
+//! registry mutex and is meant for setup code and exporters.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+
+/// Monotonic counter.
+///
+/// The `fetch_add`/`load` methods mirror [`AtomicU64`]'s signatures so a
+/// struct field can migrate from `AtomicU64` to `Counter` without touching
+/// call sites (the memory-ordering argument is accepted and ignored; all
+/// counter traffic is relaxed).
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    pub fn inc(&self) {
+        self.cell.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+
+    /// Drop-in for `AtomicU64::fetch_add`.
+    pub fn fetch_add(&self, n: u64, _order: Ordering) -> u64 {
+        self.cell.fetch_add(n, Ordering::Relaxed)
+    }
+
+    /// Drop-in for `AtomicU64::load`.
+    pub fn load(&self, _order: Ordering) -> u64 {
+        self.get()
+    }
+}
+
+/// Instantaneous signed value (queue depths, cache sizes).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    cell: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    pub fn set(&self, v: i64) {
+        self.cell.store(v, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, delta: i64) {
+        self.cell.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: one for zero plus one per power of two up
+/// to `u64::MAX`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+#[derive(Debug)]
+struct HistogramInner {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// Log₂-bucketed histogram of non-negative integer samples (typically
+/// milliseconds of virtual time or nanoseconds of wall time).
+///
+/// Bucket 0 holds exactly the value 0; bucket `i ≥ 1` holds values in
+/// `[2^(i-1), 2^i - 1]`. Percentiles are reported as the upper bound of
+/// the bucket containing the requested rank, clamped to the exact
+/// observed maximum — a deterministic function of the recorded samples,
+/// independent of recording order.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram {
+            inner: Arc::new(HistogramInner {
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                max: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Bucket index a value lands in.
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Inclusive upper bound of a bucket.
+    pub fn bucket_upper_bound(index: usize) -> u64 {
+        match index {
+            0 => 0,
+            64.. => u64::MAX,
+            i => (1u64 << i) - 1,
+        }
+    }
+
+    pub fn record(&self, value: u64) {
+        let inner = &self.inner;
+        inner.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(value, Ordering::Relaxed);
+        inner.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.inner.sum.load(Ordering::Relaxed)
+    }
+
+    /// Exact maximum recorded value (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.inner.max.load(Ordering::Relaxed)
+    }
+
+    /// Quantile estimate: upper bound of the bucket holding the sample of
+    /// rank `⌈q·count⌉`, clamped to the exact max. `q` outside `[0, 1]` is
+    /// clamped.
+    pub fn percentile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut cumulative = 0u64;
+        for i in 0..HISTOGRAM_BUCKETS {
+            cumulative += self.inner.buckets[i].load(Ordering::Relaxed);
+            if cumulative >= rank {
+                return Self::bucket_upper_bound(i).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// `(p50, p95, p99, max)` in one call — the summary every exporter
+    /// and bench table wants.
+    pub fn summary(&self) -> (u64, u64, u64, u64) {
+        (self.percentile(0.50), self.percentile(0.95), self.percentile(0.99), self.max())
+    }
+}
+
+/// One registered instrument.
+#[derive(Debug, Clone)]
+pub enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// Name-keyed instrument registry with deterministic snapshot order.
+///
+/// Cloning shares the registry, the same way [`crate::Obs`] handles are
+/// shared across layers. `counter`/`gauge`/`histogram` get-or-create: the
+/// first caller registers, later callers receive the same handle, so
+/// several subsystems can contribute to one metric.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    instruments: Arc<Mutex<BTreeMap<String, Instrument>>>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Get-or-create a counter. If the name is already registered as a
+    /// different kind, a detached counter is returned (recordings are kept
+    /// but invisible to snapshots) — observability must never panic the
+    /// request path over a naming collision.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.instruments.lock();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Instrument::Counter(Counter::new()))
+        {
+            Instrument::Counter(c) => c.clone(),
+            _ => Counter::new(),
+        }
+    }
+
+    /// Get-or-create a counter with a scope label, keyed as `name{scope}`.
+    pub fn counter_scoped(&self, name: &str, scope: &str) -> Counter {
+        self.counter(&format!("{name}{{{scope}}}"))
+    }
+
+    /// Get-or-create a gauge (detached on kind collision, like `counter`).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.instruments.lock();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Instrument::Gauge(Gauge::new()))
+        {
+            Instrument::Gauge(g) => g.clone(),
+            _ => Gauge::new(),
+        }
+    }
+
+    /// Get-or-create a histogram (detached on kind collision).
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self.instruments.lock();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Instrument::Histogram(Histogram::new()))
+        {
+            Instrument::Histogram(h) => h.clone(),
+            _ => Histogram::new(),
+        }
+    }
+
+    /// Look up an existing instrument without creating one.
+    pub fn get(&self, name: &str) -> Option<Instrument> {
+        self.instruments.lock().get(name).cloned()
+    }
+
+    /// Registered names, in snapshot order.
+    pub fn names(&self) -> Vec<String> {
+        self.instruments.lock().keys().cloned().collect()
+    }
+
+    /// Human-readable snapshot with one line per instrument, sorted by
+    /// name. Byte-identical across runs whenever the recorded values are
+    /// deterministic (virtual-clock workloads).
+    pub fn text_snapshot(&self) -> String {
+        let map = self.instruments.lock();
+        let mut out = String::from("# uc-obs metrics snapshot\n");
+        for (name, instrument) in map.iter() {
+            match instrument {
+                Instrument::Counter(c) => {
+                    out.push_str(&format!("{name} counter {}\n", c.get()));
+                }
+                Instrument::Gauge(g) => {
+                    out.push_str(&format!("{name} gauge {}\n", g.get()));
+                }
+                Instrument::Histogram(h) => {
+                    let (p50, p95, p99, max) = h.summary();
+                    out.push_str(&format!(
+                        "{name} histogram count={} sum={} p50={p50} p95={p95} p99={p99} max={max}\n",
+                        h.count(),
+                        h.sum(),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let r = Registry::new();
+        let c = r.counter("a.b.count");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(r.counter("a.b.count").get(), 5, "get-or-create shares the cell");
+        let g = r.gauge("a.b.depth");
+        g.set(7);
+        g.add(-2);
+        assert_eq!(g.get(), 5);
+    }
+
+    #[test]
+    fn counter_mirrors_atomic_u64_api() {
+        let c = Counter::new();
+        assert_eq!(c.fetch_add(3, Ordering::Relaxed), 0);
+        assert_eq!(c.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_stable() {
+        // The boundary table is a contract: snapshots diff across commits,
+        // so bucket edges must never drift.
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(1023), 10);
+        assert_eq!(Histogram::bucket_index(1024), 11);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_upper_bound(0), 0);
+        assert_eq!(Histogram::bucket_upper_bound(1), 1);
+        assert_eq!(Histogram::bucket_upper_bound(2), 3);
+        assert_eq!(Histogram::bucket_upper_bound(10), 1023);
+        assert_eq!(Histogram::bucket_upper_bound(64), u64::MAX);
+        for v in [0u64, 1, 2, 3, 4, 5, 127, 128, 1 << 40, u64::MAX] {
+            let i = Histogram::bucket_index(v);
+            assert!(v <= Histogram::bucket_upper_bound(i));
+            if i > 0 {
+                assert!(v > Histogram::bucket_upper_bound(i - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_percentile_math_is_stable() {
+        let h = Histogram::new();
+        // 100 samples: 1..=100. Bucketed: p50 rank 50 → value 50 →
+        // bucket 6 (33..=63), reported as min(63, max=100) = 63.
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), 5050);
+        assert_eq!(h.max(), 100);
+        assert_eq!(h.percentile(0.50), 63);
+        assert_eq!(h.percentile(0.95), 100, "bucket upper 127 clamps to exact max");
+        assert_eq!(h.percentile(0.99), 100);
+        assert_eq!(h.percentile(0.0), 1, "rank clamps to the first sample");
+        assert_eq!(h.percentile(1.0), 100);
+        assert_eq!(h.summary(), (63, 100, 100, 100));
+    }
+
+    #[test]
+    fn histogram_percentiles_are_order_independent() {
+        let forward = Histogram::new();
+        let backward = Histogram::new();
+        for v in 0..1000u64 {
+            forward.record(v * 7 % 1000);
+            backward.record((999 - v) * 7 % 1000);
+        }
+        assert_eq!(forward.summary(), backward.summary());
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = Histogram::new();
+        assert_eq!(h.summary(), (0, 0, 0, 0));
+        assert_eq!(h.percentile(0.99), 0);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_deterministic() {
+        let build = || {
+            let r = Registry::new();
+            r.counter("zeta.op.count").add(3);
+            r.histogram("alpha.op.latency_ms").record(5);
+            r.gauge("mid.op.depth").set(-2);
+            r.counter_scoped("alpha.op.count", "tenant=a").inc();
+            r.text_snapshot()
+        };
+        let s1 = build();
+        let s2 = build();
+        assert_eq!(s1, s2, "same recordings → byte-identical snapshot");
+        let lines: Vec<&str> = s1.lines().skip(1).collect();
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        assert_eq!(lines, sorted, "snapshot lines are in canonical order");
+        assert!(s1.contains("alpha.op.count{tenant=a} counter 1"));
+        assert!(s1.contains("alpha.op.latency_ms histogram count=1 sum=5 p50=5 p95=5 p99=5 max=5"));
+    }
+
+    #[test]
+    fn kind_collision_returns_detached_instrument() {
+        let r = Registry::new();
+        r.counter("x");
+        let h = r.histogram("x");
+        h.record(1); // must not panic, must not corrupt the counter
+        assert!(matches!(r.get("x"), Some(Instrument::Counter(_))));
+    }
+}

@@ -9,6 +9,7 @@ use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 use uc_cloudstore::faults::FaultPlan;
 use uc_cloudstore::latency::{LatencyModel, OpClass};
+use uc_obs::Obs;
 
 use crate::changelog::ChangeLog;
 use crate::pool::ConnectionPool;
@@ -52,12 +53,20 @@ pub struct DbConfig {
     pub latency: LatencyModel,
     /// Fault plan consulted at the commit boundary (chaos tests).
     pub faults: FaultPlan,
+    /// Observability handle; `txdb.*` counters and commit spans are
+    /// recorded into it.
+    pub obs: Obs,
 }
 
 impl Default for DbConfig {
     fn default() -> Self {
         // Unit-test defaults: ample pool, no injected latency, no faults.
-        DbConfig { pool_size: 64, latency: LatencyModel::zero(), faults: FaultPlan::disabled() }
+        DbConfig {
+            pool_size: 64,
+            latency: LatencyModel::zero(),
+            faults: FaultPlan::disabled(),
+            obs: Obs::disabled(),
+        }
     }
 }
 
@@ -80,6 +89,7 @@ pub(crate) struct DbInner {
     pub latency: LatencyModel,
     pub stats: DbStats,
     pub faults: FaultPlan,
+    pub obs: Obs,
 }
 
 /// Shareable database handle. Cloning shares the storage — the model for
@@ -97,10 +107,11 @@ impl Db {
                 csn: AtomicU64::new(0),
                 commit_lock: Mutex::new(()),
                 changelog: ChangeLog::new(),
-                pool: ConnectionPool::new(config.pool_size),
+                pool: ConnectionPool::wired(config.pool_size, config.obs.registry()),
                 latency: config.latency,
-                stats: DbStats::default(),
+                stats: DbStats::wired(config.obs.registry()),
                 faults: config.faults,
+                obs: config.obs,
             }),
         }
     }
@@ -149,6 +160,11 @@ impl Db {
     /// Fault plan consulted at the commit boundary.
     pub fn faults(&self) -> &FaultPlan {
         &self.inner.faults
+    }
+
+    /// Observability handle this database records into.
+    pub fn obs(&self) -> &Obs {
+        &self.inner.obs
     }
 
     /// Read one row outside any transaction, at the latest committed state.

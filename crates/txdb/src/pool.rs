@@ -11,24 +11,30 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
+use uc_obs::{Counter, Registry};
 
 /// A counting semaphore representing database connections.
+///
+/// Wait diagnostics live in [`uc_obs::Counter`]s (`txdb.pool.wait_ns`,
+/// `txdb.pool.waits` when built with [`ConnectionPool::wired`]); the
+/// original `total_wait`/`waits` accessors delegate to them, so existing
+/// callers are unaffected. Only acquisitions that actually block are
+/// measured — an uncontended acquire touches no clock at all, and a
+/// single-threaded deterministic workload reports exactly zero waits.
 #[derive(Clone)]
 pub struct ConnectionPool {
     inner: Arc<PoolInner>,
 }
 
 struct PoolInner {
-    state: Mutex<PoolState>,
+    /// Number of available permits.
+    available: Mutex<usize>,
     cond: Condvar,
     capacity: usize,
-}
-
-struct PoolState {
-    available: usize,
-    /// Total time callers spent waiting for a permit, for diagnostics.
-    total_wait: Duration,
-    waits: u64,
+    /// Total nanoseconds callers spent blocked waiting for a permit.
+    wait_ns: Counter,
+    /// Number of acquisitions that had to block.
+    waits: Counter,
 }
 
 /// RAII permit; returning it wakes one waiter.
@@ -38,35 +44,47 @@ pub struct Permit {
 
 impl ConnectionPool {
     /// Pool with `capacity` concurrent connections. Capacity 0 is clamped
-    /// to 1 — a database with no connections is not a useful model.
+    /// to 1 — a database with no connections is not a useful model. Wait
+    /// counters are detached (not visible in any registry snapshot).
     pub fn new(capacity: usize) -> Self {
+        ConnectionPool::build(capacity, Counter::new(), Counter::new())
+    }
+
+    /// Pool whose wait counters live in `registry` as `txdb.pool.wait_ns`
+    /// and `txdb.pool.waits`.
+    pub fn wired(capacity: usize, registry: &Registry) -> Self {
+        ConnectionPool::build(
+            capacity,
+            registry.counter("txdb.pool.wait_ns"),
+            registry.counter("txdb.pool.waits"),
+        )
+    }
+
+    fn build(capacity: usize, wait_ns: Counter, waits: Counter) -> Self {
         let capacity = capacity.max(1);
         ConnectionPool {
             inner: Arc::new(PoolInner {
-                state: Mutex::new(PoolState {
-                    available: capacity,
-                    total_wait: Duration::ZERO,
-                    waits: 0,
-                }),
+                available: Mutex::new(capacity),
                 cond: Condvar::new(),
                 capacity,
+                wait_ns,
+                waits,
             }),
         }
     }
 
     /// Block until a connection is available.
     pub fn acquire(&self) -> Permit {
-        let start = Instant::now();
-        let mut state = self.inner.state.lock();
-        while state.available == 0 {
-            self.inner.cond.wait(&mut state);
+        let mut available = self.inner.available.lock();
+        if *available == 0 {
+            let start = Instant::now();
+            while *available == 0 {
+                self.inner.cond.wait(&mut available);
+            }
+            self.inner.wait_ns.add(start.elapsed().as_nanos() as u64);
+            self.inner.waits.inc();
         }
-        state.available -= 1;
-        let waited = start.elapsed();
-        if waited > Duration::ZERO {
-            state.total_wait += waited;
-            state.waits += 1;
-        }
+        *available -= 1;
         Permit { pool: self.clone() }
     }
 
@@ -77,13 +95,12 @@ impl ConnectionPool {
 
     /// (total wait time, number of waits that blocked) so far.
     pub fn wait_stats(&self) -> (Duration, u64) {
-        let state = self.inner.state.lock();
-        (state.total_wait, state.waits)
+        (self.total_wait(), self.waits())
     }
 
     /// Total time callers spent blocked waiting for a permit.
     pub fn total_wait(&self) -> Duration {
-        self.inner.state.lock().total_wait
+        Duration::from_nanos(self.inner.wait_ns.get())
     }
 
     /// Number of acquisitions that had to block. Together with
@@ -91,15 +108,15 @@ impl ConnectionPool {
     /// waits count with a climbing total wait means the pool is the
     /// bottleneck (the Fig 10(b) uncached regime).
     pub fn waits(&self) -> u64 {
-        self.inner.state.lock().waits
+        self.inner.waits.get()
     }
 }
 
 impl Drop for Permit {
     fn drop(&mut self) {
-        let mut state = self.pool.inner.state.lock();
-        state.available += 1;
-        drop(state);
+        let mut available = self.pool.inner.available.lock();
+        *available += 1;
+        drop(available);
         self.pool.inner.cond.notify_one();
     }
 }
@@ -149,6 +166,35 @@ mod tests {
             h.join().unwrap();
         }
         assert!(peak.load(Ordering::SeqCst) <= 4, "peak {} > capacity", peak.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn uncontended_acquire_is_not_counted_as_a_wait() {
+        let pool = ConnectionPool::new(2);
+        for _ in 0..10 {
+            let _p = pool.acquire();
+        }
+        assert_eq!(pool.waits(), 0);
+        assert_eq!(pool.total_wait(), Duration::ZERO);
+    }
+
+    #[test]
+    fn wired_pool_reports_waits_through_registry() {
+        let registry = uc_obs::Registry::new();
+        let pool = ConnectionPool::wired(1, &registry);
+        let permit = pool.acquire();
+        let waiter = {
+            let pool = pool.clone();
+            std::thread::spawn(move || {
+                let _p = pool.acquire();
+            })
+        };
+        std::thread::sleep(Duration::from_millis(5));
+        drop(permit);
+        waiter.join().unwrap();
+        assert!(pool.waits() >= 1);
+        assert_eq!(registry.counter("txdb.pool.waits").get(), pool.waits());
+        assert!(registry.counter("txdb.pool.wait_ns").get() > 0);
     }
 
     #[test]

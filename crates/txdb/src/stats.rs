@@ -1,56 +1,75 @@
 //! Operation counters, used by benchmarks to attribute latency.
+//!
+//! Since the observability plane landed, `DbStats` is a façade over
+//! [`uc_obs::Counter`] handles: a default-constructed instance holds
+//! detached counters (exactly the old lock-free behavior), while
+//! [`DbStats::wired`] binds the same fields to a metrics registry under
+//! `txdb.*` names so they appear in deterministic snapshots. Either way
+//! the accessor API is unchanged, so existing callers and tests compile
+//! and pass as before.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use uc_obs::{Counter, Registry};
 
 /// Monotonic counters for database activity. All methods are lock-free.
 #[derive(Debug, Default)]
 pub struct DbStats {
-    reads: AtomicU64,
-    scans: AtomicU64,
-    writes: AtomicU64,
-    commits: AtomicU64,
-    conflicts: AtomicU64,
+    reads: Counter,
+    scans: Counter,
+    writes: Counter,
+    commits: Counter,
+    conflicts: Counter,
 }
 
 impl DbStats {
+    /// Stats whose counters live in `registry` under `txdb.*` names.
+    pub fn wired(registry: &Registry) -> Self {
+        DbStats {
+            reads: registry.counter("txdb.read.count"),
+            scans: registry.counter("txdb.scan.count"),
+            writes: registry.counter("txdb.write.rows"),
+            commits: registry.counter("txdb.commit.count"),
+            conflicts: registry.counter("txdb.commit.conflicts"),
+        }
+    }
+
     pub fn record_read(&self) {
-        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.reads.inc();
     }
 
     pub fn record_scan(&self) {
-        self.scans.fetch_add(1, Ordering::Relaxed);
+        self.scans.inc();
     }
 
     pub fn record_write(&self, n: u64) {
-        self.writes.fetch_add(n, Ordering::Relaxed);
+        self.writes.add(n);
     }
 
     pub fn record_commit(&self) {
-        self.commits.fetch_add(1, Ordering::Relaxed);
+        self.commits.inc();
     }
 
     pub fn record_conflict(&self) {
-        self.conflicts.fetch_add(1, Ordering::Relaxed);
+        self.conflicts.inc();
     }
 
     pub fn reads(&self) -> u64 {
-        self.reads.load(Ordering::Relaxed)
+        self.reads.get()
     }
 
     pub fn scans(&self) -> u64 {
-        self.scans.load(Ordering::Relaxed)
+        self.scans.get()
     }
 
     pub fn writes(&self) -> u64 {
-        self.writes.load(Ordering::Relaxed)
+        self.writes.get()
     }
 
     pub fn commits(&self) -> u64 {
-        self.commits.load(Ordering::Relaxed)
+        self.commits.get()
     }
 
     pub fn conflicts(&self) -> u64 {
-        self.conflicts.load(Ordering::Relaxed)
+        self.conflicts.get()
     }
 }
 
@@ -72,5 +91,18 @@ mod tests {
         assert_eq!(s.commits(), 1);
         assert_eq!(s.conflicts(), 1);
         assert_eq!(s.scans(), 1);
+    }
+
+    #[test]
+    fn wired_stats_surface_in_registry_snapshot() {
+        let registry = Registry::new();
+        let s = DbStats::wired(&registry);
+        s.record_commit();
+        s.record_write(2);
+        assert_eq!(registry.counter("txdb.commit.count").get(), 1);
+        assert_eq!(registry.counter("txdb.write.rows").get(), 2);
+        let snap = registry.text_snapshot();
+        assert!(snap.contains("txdb.commit.count counter 1"));
+        assert!(snap.contains("txdb.write.rows counter 2"));
     }
 }

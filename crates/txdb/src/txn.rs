@@ -161,7 +161,19 @@ impl WriteTxn {
 
     /// Validate and commit; returns the new CSN. On [`TxError::Conflict`]
     /// the transaction is consumed — callers retry from `begin_write`.
-    pub fn commit(mut self) -> TxResult<u64> {
+    pub fn commit(self) -> TxResult<u64> {
+        let obs = self.db.inner.obs.clone();
+        let mut span = obs.span("txdb", "commit");
+        let result = self.commit_inner();
+        match &result {
+            Err(TxError::Conflict { .. }) => span.set_status("conflict"),
+            Err(_) => span.set_status("error"),
+            Ok(_) => {}
+        }
+        result
+    }
+
+    fn commit_inner(mut self) -> TxResult<u64> {
         if self.finished {
             return Err(TxError::AlreadyFinished);
         }
@@ -189,6 +201,7 @@ impl WriteTxn {
         }
         if inner.faults.should_inject(points::TXDB_COMMIT_CONFLICT) {
             inner.stats.record_conflict();
+            uc_obs::span_event("txdb.conflict", &format!("injected snapshot={}", self.snapshot));
             return Err(TxError::Conflict {
                 detail: format!("injected conflict at snapshot {}", self.snapshot),
             });
@@ -208,6 +221,13 @@ impl WriteTxn {
             for (table, key) in self.reads.iter().chain(self.writes.keys()) {
                 if conflicting_key(table, key) {
                     inner.stats.record_conflict();
+                    // Event detail names the table but not the key: keys can
+                    // embed random entity Uids, which would break trace-dump
+                    // byte-determinism across runs.
+                    uc_obs::span_event(
+                        "txdb.conflict",
+                        &format!("{table} snapshot={}", self.snapshot),
+                    );
                     return Err(TxError::Conflict {
                         detail: format!("{table}/{key} changed after snapshot {}", self.snapshot),
                     });
@@ -221,6 +241,10 @@ impl WriteTxn {
                         .any(|(_, chain)| chain.latest_csn() > self.snapshot);
                     if phantom {
                         inner.stats.record_conflict();
+                        uc_obs::span_event(
+                            "txdb.conflict",
+                            &format!("{table} scan snapshot={}", self.snapshot),
+                        );
                         return Err(TxError::Conflict {
                             detail: format!(
                                 "scan {table}/{prefix}* observed a change after snapshot {}",

@@ -25,17 +25,21 @@ use uc_cloudstore::faults::{points, FaultMode, FaultPlan};
 use uc_cloudstore::{AccessLevel, Clock, LatencyModel, ObjectStore, StsService};
 use uc_delta::value::{DataType, Field, Schema, Value};
 use uc_engine::{Engine, EngineConfig};
+use uc_obs::Obs;
 use uc_txdb::{Db, DbConfig};
 
 const ADMIN: &str = "admin";
 
-/// A world whose every layer shares one fault plan and one manual clock.
+/// A world whose every layer shares one fault plan, one manual clock, and
+/// one observability handle (tracing live, timestamped from the virtual
+/// clock, so span events replay under the same seed).
 struct ChaosWorld {
     plan: FaultPlan,
     db: Db,
     store: ObjectStore,
     uc: Arc<UnityCatalog>,
     ms: uc_catalog::ids::Uid,
+    obs: Obs,
 }
 
 /// Seed selection: `UC_CHAOS_SEED` env var if set (replay), otherwise the
@@ -53,13 +57,16 @@ fn chaos_seed(default: u64) -> u64 {
 fn chaos_world(seed: u64) -> ChaosWorld {
     let plan = FaultPlan::seeded(seed);
     let clock = Clock::manual(0);
-    let sts = StsService::new(clock).with_faults(plan.clone());
-    let store = ObjectStore::with_faults(sts, LatencyModel::zero(), plan.clone());
-    let db = Db::new(DbConfig { faults: plan.clone(), ..Default::default() });
+    let obs_clock = clock.clone();
+    let obs = Obs::with_clock_fn(Arc::new(move || obs_clock.now_ms()));
+    let sts = StsService::new(clock).with_faults(plan.clone()).with_obs(obs.clone());
+    let store = ObjectStore::with_faults(sts, LatencyModel::zero(), plan.clone())
+        .with_obs(obs.clone());
+    let db = Db::new(DbConfig { faults: plan.clone(), obs: obs.clone(), ..Default::default() });
     let uc = UnityCatalog::new(
         db.clone(),
         store.clone(),
-        UcConfig { faults: plan.clone(), ..Default::default() },
+        UcConfig { faults: plan.clone(), obs: obs.clone(), ..Default::default() },
         "node-0",
     );
     let ms = uc.create_metastore(ADMIN, "chaos", "us-west-2").unwrap();
@@ -67,7 +74,7 @@ fn chaos_world(seed: u64) -> ChaosWorld {
     let root = store.create_bucket("lake");
     uc.create_storage_credential(&ctx, &ms, "lake_cred", &root).unwrap();
     uc.set_metastore_root(&ctx, &ms, "s3://lake/managed").unwrap();
-    ChaosWorld { plan, db, store, uc, ms }
+    ChaosWorld { plan, db, store, uc, ms, obs }
 }
 
 /// A second catalog node over the same database and store, sharing the
@@ -223,6 +230,32 @@ fn commit_conflict_storm_is_absorbed_by_write_retries() {
     // One logical write → exactly one version bump, despite six attempts.
     assert_eq!(db_ms_version(&w), ver_before + 1, "no duplicate application of the write");
     assert!(w.uc.get_table(&ctx, &w.ms, "main.s.stormy").is_ok());
+
+    // The trace saw the storm happen, not just its end state: every
+    // injected conflict left a span event at the txdb layer, every retry
+    // left one at the catalog layer, and the injection itself is an event
+    // on whatever span was active when it fired.
+    assert_eq!(
+        w.obs.count_events("txdb.conflict", Some("injected")),
+        5,
+        "one conflict event per injected serialization failure"
+    );
+    assert!(
+        w.obs.count_events("write.retry", Some("cause=conflict")) >= 5,
+        "one retry event per absorbed conflict"
+    );
+    assert!(
+        w.obs.count_events("fault.injected", Some(points::TXDB_COMMIT_CONFLICT)) >= 5,
+        "fault injections are visible in the trace"
+    );
+    // And the commit spans tell the same story: five conflicted, one ok.
+    let jsonl = w.obs.trace_jsonl();
+    let conflicted = jsonl
+        .lines()
+        .filter(|l| l.contains(r#""layer":"txdb""#))
+        .count();
+    assert!(conflicted > 0, "txdb spans present in the dump");
+    assert!(jsonl.lines().any(|l| l.contains(r#""status":"conflict""#)));
 }
 
 #[test]

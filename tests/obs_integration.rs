@@ -1,0 +1,230 @@
+//! Observability-plane integration suite.
+//!
+//! The contract under test (DESIGN.md §6): with every layer sharing one
+//! `Obs` handle, one seeded fault plan, and one manual clock, telemetry
+//! is *replayable* — two identical runs emit byte-identical trace dumps
+//! and metrics snapshots — and *joined* — spans nest across layers under
+//! one trace ID, audit records carry that trace ID, and fault injections
+//! and retries appear as span events, not just mutated end-state.
+
+use std::sync::Arc;
+
+use uc_catalog::service::crud::TableSpec;
+use uc_catalog::service::rest::{RequestAuth, RestApi};
+use uc_catalog::service::{Context, UcConfig, UnityCatalog};
+use uc_catalog::types::FullName;
+use uc_cloudstore::faults::{points, FaultMode, FaultPlan};
+use uc_cloudstore::{Clock, LatencyModel, ObjectStore, StsService};
+use uc_delta::value::{DataType, Field, Schema};
+use uc_engine::{Engine, EngineConfig};
+use uc_obs::Obs;
+use uc_txdb::{Db, DbConfig};
+
+const ADMIN: &str = "admin";
+
+struct ObservedWorld {
+    plan: FaultPlan,
+    uc: Arc<UnityCatalog>,
+    ms: uc_catalog::ids::Uid,
+    obs: Obs,
+}
+
+/// Every layer shares one fault plan, one manual clock, and one traced
+/// `Obs` handle — the replayable-telemetry configuration.
+fn observed_world(seed: u64) -> ObservedWorld {
+    let plan = FaultPlan::seeded(seed);
+    let clock = Clock::manual(0);
+    let obs_clock = clock.clone();
+    let obs = Obs::with_clock_fn(Arc::new(move || obs_clock.now_ms()));
+    let sts = StsService::new(clock).with_faults(plan.clone()).with_obs(obs.clone());
+    let store = ObjectStore::with_faults(sts, LatencyModel::zero(), plan.clone())
+        .with_obs(obs.clone());
+    let db = Db::new(DbConfig { faults: plan.clone(), obs: obs.clone(), ..Default::default() });
+    let uc = UnityCatalog::new(
+        db,
+        store.clone(),
+        UcConfig { faults: plan.clone(), obs: obs.clone(), ..Default::default() },
+        "node-0",
+    );
+    let ms = uc.create_metastore(ADMIN, "obs", "us-west-2").unwrap();
+    let ctx = Context::user(ADMIN);
+    let root = store.create_bucket("lake");
+    uc.create_storage_credential(&ctx, &ms, "lake_cred", &root).unwrap();
+    uc.set_metastore_root(&ctx, &ms, "s3://lake/managed").unwrap();
+    ObservedWorld { plan, uc, ms, obs }
+}
+
+fn int_schema() -> Schema {
+    Schema::new(vec![Field::new("x", DataType::Int)])
+}
+
+/// A fault-heavy workload whose telemetry must replay exactly: engine DML
+/// under probabilistic storage/commit faults, then a conflict storm.
+fn run_chaos_workload(seed: u64) -> (String, String) {
+    let w = observed_world(seed);
+    let engine = Engine::new(w.uc.clone(), w.ms.clone(), EngineConfig::trusted("dbr"));
+    let mut s = engine.session(ADMIN);
+    s.execute("CREATE CATALOG main").unwrap();
+    s.execute("CREATE SCHEMA main.s").unwrap();
+    s.execute("CREATE TABLE main.s.t (x BIGINT)").unwrap();
+    w.plan.arm(points::STORE_PUT_IF_ABSENT, FaultMode::Probability(0.25));
+    w.plan.arm(points::TXDB_COMMIT_CONFLICT, FaultMode::Probability(0.2));
+    for i in 0..15i64 {
+        let _ = s.execute(&format!("INSERT INTO main.s.t VALUES ({i})"));
+    }
+    w.plan.disarm(points::STORE_PUT_IF_ABSENT);
+    w.plan.disarm(points::TXDB_COMMIT_CONFLICT);
+    let _ = s.execute("SELECT * FROM main.s.t").unwrap();
+    (w.obs.trace_jsonl(), w.obs.metrics_snapshot())
+}
+
+#[test]
+fn same_seed_runs_emit_byte_identical_telemetry() {
+    let (trace1, metrics1) = run_chaos_workload(424242);
+    let (trace2, metrics2) = run_chaos_workload(424242);
+    assert!(!trace1.is_empty() && trace1.lines().count() > 50, "the trace is substantial");
+    assert_eq!(trace1, trace2, "same seed → byte-identical trace dump");
+    assert_eq!(metrics1, metrics2, "same seed → byte-identical metrics snapshot");
+
+    let (trace3, _) = run_chaos_workload(99);
+    assert_ne!(trace1, trace3, "different seed → different trace");
+}
+
+#[test]
+fn spans_nest_across_layers_under_one_trace() {
+    let w = observed_world(1);
+    let ctx = Context::user(ADMIN);
+    w.uc.create_catalog(&ctx, &w.ms, "main").unwrap();
+    w.uc.create_schema(&ctx, &w.ms, "main", "s").unwrap();
+    w.obs.tracer().clear();
+    w.uc.create_table(&ctx, &w.ms, TableSpec::managed("main.s.t", int_schema()).unwrap())
+        .unwrap();
+    let jsonl = w.obs.trace_jsonl();
+
+    // The catalog entry point opened a root span; find its trace ID.
+    let root = jsonl
+        .lines()
+        .find(|l| l.contains(r#""layer":"catalog","name":"create_table""#))
+        .expect("create_table root span in the dump");
+    let trace_key = root
+        .split(r#""trace":"#)
+        .nth(1)
+        .and_then(|rest| rest.split(',').next())
+        .unwrap()
+        .to_string();
+    // The database layer joined the *same* trace: the commit runs as a
+    // child span, not a fresh root.
+    assert!(
+        jsonl
+            .lines()
+            .any(|l| l.contains(r#""layer":"txdb""#)
+                && l.contains(&format!(r#""trace":{trace_key},"#))),
+        "txdb span missing from trace {trace_key}:\n{jsonl}"
+    );
+
+    // Same story one flow over: a credential vend nests the STS mint
+    // under the catalog entry point's trace.
+    w.obs.tracer().clear();
+    w.uc.temp_credentials(
+        &ctx,
+        &w.ms,
+        &FullName::parse("main.s.t").unwrap(),
+        "relation",
+        uc_cloudstore::AccessLevel::Read,
+    )
+    .unwrap();
+    let jsonl = w.obs.trace_jsonl();
+    let vend_root = jsonl
+        .lines()
+        .find(|l| l.contains(r#""layer":"catalog","name":"temp_credentials""#))
+        .expect("temp_credentials root span");
+    let vend_trace = vend_root
+        .split(r#""trace":"#)
+        .nth(1)
+        .and_then(|rest| rest.split(',').next())
+        .unwrap()
+        .to_string();
+    assert!(
+        jsonl
+            .lines()
+            .any(|l| l.contains(r#""layer":"sts","name":"mint""#)
+                && l.contains(&format!(r#""trace":{vend_trace},"#))),
+        "sts mint span missing from vend trace {vend_trace}:\n{jsonl}"
+    );
+}
+
+#[test]
+fn mid_scan_renewals_are_audited_with_trace_ids() {
+    let w = observed_world(2);
+    let engine = Engine::new(w.uc.clone(), w.ms.clone(), EngineConfig::trusted("dbr"));
+    let mut s = engine.session(ADMIN);
+    s.execute("CREATE CATALOG main").unwrap();
+    s.execute("CREATE SCHEMA main.s").unwrap();
+    s.execute("CREATE TABLE main.s.t (x BIGINT)").unwrap();
+    for i in 0..3 {
+        s.execute(&format!("INSERT INTO main.s.t VALUES ({i})")).unwrap();
+    }
+
+    // Expire the first two token verifications: the engine re-vends
+    // mid-scan through `renew_read_credential`.
+    w.plan.arm(points::STS_VERIFY, FaultMode::FirstN(2));
+    let result = s.execute("SELECT * FROM main.s.t").unwrap();
+    w.plan.disarm(points::STS_VERIFY);
+    assert_eq!(result.rows.len(), 3);
+
+    // The renewal is a first-class audited action (the pre-fix gap), and
+    // the record joins back to the trace of the scan that triggered it.
+    let renewals = w.uc.audit_log().query(|r| r.action == "renewTemporaryCredentials");
+    assert!(!renewals.is_empty(), "renewals must be audited like initial vends");
+    for r in &renewals {
+        assert_eq!(r.principal, ADMIN);
+        assert!(r.trace_id.is_some(), "renewal audit record must carry its trace ID");
+    }
+    // The renewal is also visible as a span event on the scan span.
+    assert!(w.obs.count_events("engine.credential_renew", None) >= 1);
+    // And the initial vends are audited under the standard action name.
+    assert!(
+        !w.uc.audit_log().query(|r| r.action == "generateTemporaryCredentials").is_empty()
+    );
+}
+
+#[test]
+fn rest_metrics_accessor_exposes_every_layer() {
+    let w = observed_world(3);
+    let api = RestApi::new(w.uc.clone());
+    let admin = RequestAuth::user(ADMIN);
+    api.handle(&admin, &w.ms, "catalogs.create", &serde_json::json!({"name": "main"}))
+        .unwrap();
+    let text = api.metrics();
+    assert!(text.starts_with("# uc-obs metrics snapshot"));
+    for needle in ["catalog.api.calls", "rest.catalogs.create.count", "txdb.commit.count"] {
+        assert!(text.contains(needle), "{needle} missing:\n{text}");
+    }
+    // One registry behind both doors: the REST accessor and the service
+    // accessor serve the same bytes.
+    assert_eq!(text, w.uc.metrics_snapshot());
+}
+
+#[test]
+fn write_retry_backoff_lands_in_latency_histograms() {
+    let w = observed_world(4);
+    let ctx = Context::user(ADMIN);
+    w.uc.create_catalog(&ctx, &w.ms, "main").unwrap();
+    w.uc.create_schema(&ctx, &w.ms, "main", "s").unwrap();
+    // Five injected conflicts force five backoffs; the manual clock
+    // advances under the open create_table span, so the virtual duration
+    // lands in the operation's latency histogram.
+    w.plan.arm(points::TXDB_COMMIT_CONFLICT, FaultMode::FirstN(5));
+    w.uc.create_table(&ctx, &w.ms, TableSpec::managed("main.s.t", int_schema()).unwrap())
+        .unwrap();
+    w.plan.disarm(points::TXDB_COMMIT_CONFLICT);
+    let h = w.obs.histogram("catalog.create_table.latency_ms");
+    assert_eq!(h.count(), 1);
+    assert!(h.sum() > 0, "virtual backoff time must be attributed to the operation");
+    assert_eq!(h.sum(), h.max(), "single sample: sum == max");
+    assert!(
+        w.uc.service_stats().write_backoff_ms.load(std::sync::atomic::Ordering::Relaxed)
+            >= h.sum(),
+        "histogram duration is bounded by the recorded backoff"
+    );
+}
