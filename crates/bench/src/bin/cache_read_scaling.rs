@@ -1,0 +1,171 @@
+//! Read-scaling bench for the metadata cache: cached vs uncached
+//! `getTable` throughput as the client thread count grows.
+//!
+//! Fig 10(b) sweeps 1→64 clients and credits the write-through cache
+//! (§4.5) with the throughput headroom; this bench tracks how the *cached*
+//! path itself scales with threads — the dimension that regresses when a
+//! shared lock serializes cache hits. Results are appended to
+//! `BENCH_cache.json` (one entry per `UC_BENCH_LABEL`), so the perf
+//! trajectory of the read path is recorded across commits.
+//!
+//! Environment knobs:
+//!
+//! * `UC_BENCH_LABEL`  — label for this run's entry (default `run`);
+//!   an existing entry with the same label is replaced.
+//! * `UC_BENCH_QUICK`  — when set, a short CI sanity mode: fewer thread
+//!   counts, shorter duration, and a gate asserting the cached path
+//!   out-runs the uncached path at 8 threads.
+//! * `UC_BENCH_OUT`    — output path (default `BENCH_cache.json`, or
+//!   `BENCH_cache_quick.json` in quick mode so CI smoke runs never
+//!   overwrite the canonical record).
+//!
+//! The world models the paper's setup: a bounded database pool with a
+//! per-read round trip (pool=8, 1 ms), standing in for the remote OLTP
+//! instance. The engine→catalog hop is zero here — unlike `fig10b_cache`,
+//! which measures end-to-end latency, this bench isolates the in-process
+//! cache path so lock contention is what dominates a cached hit.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+use uc_bench::{closed_loop, print_table, World, WorldConfig};
+use uc_catalog::service::crud::TableSpec;
+use uc_delta::value::{DataType, Field, Schema};
+
+const TABLES: usize = 100;
+
+#[derive(Serialize, Deserialize, Default)]
+struct BenchFile {
+    bench: String,
+    note: String,
+    runs: Vec<Run>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct Run {
+    label: String,
+    quick: bool,
+    threads: Vec<u64>,
+    cached_rps: Vec<f64>,
+    cached_mean_us: Vec<f64>,
+    cached_p99_us: Vec<f64>,
+    uncached_rps: Vec<f64>,
+    hit_rate: f64,
+}
+
+fn build(cache: bool) -> World {
+    let world = World::build(&WorldConfig {
+        db_pool: 8,
+        db_latency: Duration::from_millis(1),
+        cache,
+        ..Default::default()
+    });
+    let ctx = world.admin();
+    world.uc.create_catalog(&ctx, &world.ms, "main").unwrap();
+    world.uc.create_schema(&ctx, &world.ms, "main", "s").unwrap();
+    let schema = Schema::new(vec![Field::new("x", DataType::Int)]);
+    for i in 0..TABLES {
+        world
+            .uc
+            .create_table(
+                &ctx,
+                &world.ms,
+                TableSpec::managed(&format!("main.s.t{i}"), schema.clone()).unwrap(),
+            )
+            .unwrap();
+    }
+    world
+}
+
+fn sweep(world: &World, threads: usize, duration: Duration) -> uc_bench::LoadSummary {
+    let ctx = world.admin();
+    let counter = AtomicU64::new(0);
+    closed_loop(threads, duration, || {
+        let i = counter.fetch_add(1, Ordering::Relaxed) as usize % TABLES;
+        world
+            .uc
+            .get_table(&ctx, &world.ms, &format!("main.s.t{i}"))
+            .unwrap();
+    })
+}
+
+fn main() {
+    let quick = std::env::var("UC_BENCH_QUICK").is_ok();
+    let label = std::env::var("UC_BENCH_LABEL").unwrap_or_else(|_| "run".to_string());
+    // Quick mode is a CI sanity gate; keep its short-duration points out
+    // of the canonical record unless an output path is given explicitly.
+    let default_out = if quick { "BENCH_cache_quick.json" } else { "BENCH_cache.json" };
+    let out_path = std::env::var("UC_BENCH_OUT").unwrap_or_else(|_| default_out.to_string());
+    let thread_counts: &[usize] = if quick { &[1, 8] } else { &[1, 2, 4, 8, 16, 32] };
+    let duration = if quick {
+        Duration::from_millis(200)
+    } else {
+        Duration::from_millis(400)
+    };
+
+    println!("building cached and uncached worlds ({TABLES} tables each)…");
+    let cached = build(true);
+    let uncached = build(false);
+    // Warm the cached node so the sweep measures steady-state hits.
+    sweep(&cached, 2, Duration::from_millis(100));
+
+    let mut run = Run {
+        label: label.clone(),
+        quick,
+        threads: Vec::new(),
+        cached_rps: Vec::new(),
+        cached_mean_us: Vec::new(),
+        cached_p99_us: Vec::new(),
+        uncached_rps: Vec::new(),
+        hit_rate: 0.0,
+    };
+    let mut rows = Vec::new();
+    for &threads in thread_counts {
+        let with = sweep(&cached, threads, duration);
+        let without = sweep(&uncached, threads, duration);
+        run.threads.push(threads as u64);
+        run.cached_rps.push(with.throughput_rps);
+        run.cached_mean_us.push(with.mean.as_secs_f64() * 1e6);
+        run.cached_p99_us.push(with.p99.as_secs_f64() * 1e6);
+        run.uncached_rps.push(without.throughput_rps);
+        rows.push(vec![
+            threads.to_string(),
+            format!("{:.0}", with.throughput_rps),
+            format!("{:.1}", with.mean.as_secs_f64() * 1e6),
+            format!("{:.1}", with.p99.as_secs_f64() * 1e6),
+            format!("{:.0}", without.throughput_rps),
+        ]);
+        if threads == 8 && quick {
+            assert!(
+                with.throughput_rps >= without.throughput_rps,
+                "sanity gate: cached path ({:.0} rps) must not be slower than \
+                 uncached ({:.0} rps) at 8 threads",
+                with.throughput_rps,
+                without.throughput_rps,
+            );
+        }
+    }
+    run.hit_rate = cached.uc.cache_stats().hit_rate();
+    print_table(
+        &format!("cache read scaling — getTable, label={label}"),
+        &["threads", "cached rps", "mean µs", "p99 µs", "uncached rps"],
+        &rows,
+    );
+    println!("cache hit rate: {:.2} %", run.hit_rate * 100.0);
+
+    let mut file: BenchFile = std::fs::read_to_string(&out_path)
+        .ok()
+        .and_then(|s| serde_json::from_str(&s).ok())
+        .unwrap_or_default();
+    file.bench = "cache_read_scaling".to_string();
+    file.note = format!(
+        "getTable closed-loop throughput vs threads ({TABLES} tables; db pool=8 @1ms/read, \
+         zero api hop). cached sweeps hit the metadata cache; uncached reads the db every call."
+    );
+    file.runs.retain(|r| r.label != label);
+    file.runs.push(run);
+    let json = serde_json::to_string_pretty(&file).expect("bench file serializes");
+    std::fs::write(&out_path, json + "\n").expect("write bench file");
+    println!("wrote {out_path}");
+}

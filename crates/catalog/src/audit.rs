@@ -36,21 +36,34 @@ pub struct AuditRecord {
 /// the bound keeps long-running simulations from growing unboundedly while
 /// preserving recent history for inspection.
 pub struct AuditLog {
-    records: RwLock<VecDeque<AuditRecord>>,
+    /// Records + sequence counter behind one lock, so an append is a
+    /// single exclusive acquisition (this sits on the read hot path —
+    /// every allowed lookup is audited).
+    state: RwLock<AuditState>,
     capacity: usize,
-    next_seq: parking_lot::Mutex<u64>,
+}
+
+struct AuditState {
+    records: VecDeque<AuditRecord>,
+    /// Total records ever written (next sequence number).
+    next_seq: u64,
 }
 
 impl AuditLog {
     pub fn new(capacity: usize) -> Self {
         AuditLog {
-            records: RwLock::new(VecDeque::new()),
+            state: RwLock::new(AuditState { records: VecDeque::new(), next_seq: 0 }),
             capacity: capacity.max(1),
-            next_seq: parking_lot::Mutex::new(0),
         }
     }
 
     /// Append a record; evicts the oldest when at capacity.
+    ///
+    /// `detail` is taken by value so callers that already built a string
+    /// hand it over instead of paying a second copy; all allocation
+    /// happens before the exclusive acquisition so the critical section
+    /// is just seq-assign + push (this lock is taken once per audited
+    /// read, so its hold time bounds read throughput under contention).
     #[allow(clippy::too_many_arguments)]
     pub fn record(
         &self,
@@ -59,55 +72,51 @@ impl AuditLog {
         action: &str,
         securable: Option<&Uid>,
         decision: AuditDecision,
-        detail: &str,
+        detail: String,
         trace_id: Option<u64>,
     ) {
-        let seq = {
-            let mut guard = self.next_seq.lock();
-            let s = *guard;
-            *guard += 1;
-            s
-        };
-        let rec = AuditRecord {
-            seq,
+        let mut rec = AuditRecord {
+            seq: 0,
             timestamp_ms,
             principal: principal.to_string(),
             action: action.to_string(),
             securable: securable.cloned(),
             decision,
-            detail: detail.to_string(),
+            detail,
             trace_id,
         };
-        let mut records = self.records.write();
-        if records.len() == self.capacity {
-            records.pop_front();
+        let mut state = self.state.write();
+        rec.seq = state.next_seq;
+        state.next_seq += 1;
+        if state.records.len() == self.capacity {
+            state.records.pop_front();
         }
-        records.push_back(rec);
+        state.records.push_back(rec);
     }
 
     /// Most recent `n` records, newest last.
     pub fn recent(&self, n: usize) -> Vec<AuditRecord> {
-        let records = self.records.read();
-        records.iter().rev().take(n).rev().cloned().collect()
+        let state = self.state.read();
+        state.records.iter().rev().take(n).rev().cloned().collect()
     }
 
     /// All retained records matching a predicate.
     pub fn query(&self, pred: impl Fn(&AuditRecord) -> bool) -> Vec<AuditRecord> {
-        self.records.read().iter().filter(|r| pred(r)).cloned().collect()
+        self.state.read().records.iter().filter(|r| pred(r)).cloned().collect()
     }
 
     /// Number of retained records.
     pub fn len(&self) -> usize {
-        self.records.read().len()
+        self.state.read().records.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.records.read().is_empty()
+        self.state.read().records.is_empty()
     }
 
     /// Total records ever written (including evicted).
     pub fn total_recorded(&self) -> u64 {
-        *self.next_seq.lock()
+        self.state.read().next_seq
     }
 }
 
@@ -116,9 +125,9 @@ mod tests {
     use super::*;
 
     fn log3(log: &AuditLog) {
-        log.record(1, "alice", "getTable", None, AuditDecision::Allow, "t1", None);
-        log.record(2, "bob", "getTable", None, AuditDecision::Deny, "t1", Some(7));
-        log.record(3, "alice", "grant", Some(&Uid::from("x")), AuditDecision::Allow, "SELECT", None);
+        log.record(1, "alice", "getTable", None, AuditDecision::Allow, "t1".into(), None);
+        log.record(2, "bob", "getTable", None, AuditDecision::Deny, "t1".into(), Some(7));
+        log.record(3, "alice", "grant", Some(&Uid::from("x")), AuditDecision::Allow, "SELECT".into(), None);
     }
 
     #[test]

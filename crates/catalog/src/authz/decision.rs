@@ -46,6 +46,124 @@ impl AuthzContext {
     }
 }
 
+/// Borrowed view of one securable in a chain, so decisions can run
+/// directly over the service's `&[Arc<Entity>]` chains without cloning
+/// every owner string and grant list into [`AuthzNode`]s first — the read
+/// hot path evaluates `can_see` on every lookup.
+pub trait AuthzNodeView {
+    fn node_kind(&self) -> SecurableKind;
+    fn node_owner(&self) -> &str;
+    fn node_grants(&self) -> &[(String, Privilege)];
+}
+
+impl AuthzNodeView for AuthzNode {
+    fn node_kind(&self) -> SecurableKind {
+        self.kind
+    }
+    fn node_owner(&self) -> &str {
+        &self.owner
+    }
+    fn node_grants(&self) -> &[(String, Privilege)] {
+        &self.grants
+    }
+}
+
+impl<T: AuthzNodeView> AuthzNodeView for std::sync::Arc<T> {
+    fn node_kind(&self) -> SecurableKind {
+        (**self).node_kind()
+    }
+    fn node_owner(&self) -> &str {
+        (**self).node_owner()
+    }
+    fn node_grants(&self) -> &[(String, Privilege)] {
+        (**self).node_grants()
+    }
+}
+
+/// Administrative authority over `chain[0]` (see
+/// [`SecurableAuthz::has_admin_authority`]).
+pub fn has_admin_authority<N: AuthzNodeView>(chain: &[N], who: &AuthzContext) -> bool {
+    if who.is_metastore_admin {
+        return true;
+    }
+    chain.iter().any(|node| {
+        who.matches(node.node_owner())
+            || node
+                .node_grants()
+                .iter()
+                .any(|(g, p)| who.matches(g) && matches!(p, Privilege::Manage | Privilege::All))
+    })
+}
+
+/// Does the caller hold `privilege` on `chain[0]`? (See
+/// [`SecurableAuthz::has_privilege`].)
+pub fn has_privilege<N: AuthzNodeView>(
+    chain: &[N],
+    who: &AuthzContext,
+    privilege: Privilege,
+) -> bool {
+    if let Some(object) = chain.first() {
+        if who.matches(object.node_owner()) {
+            return true;
+        }
+    }
+    chain.iter().any(|node| {
+        node.node_grants()
+            .iter()
+            .any(|(g, p)| who.matches(g) && (*p == privilege || *p == Privilege::All))
+    })
+}
+
+/// The USE chain requirement (see [`SecurableAuthz::can_traverse`]).
+pub fn can_traverse<N: AuthzNodeView>(chain: &[N], who: &AuthzContext) -> bool {
+    if who.is_metastore_admin {
+        return true;
+    }
+    for (idx, node) in chain.iter().enumerate() {
+        let needed = match node.node_kind() {
+            SecurableKind::Catalog if idx > 0 => Privilege::UseCatalog,
+            SecurableKind::Schema if idx > 0 => Privilege::UseSchema,
+            _ => continue,
+        };
+        // The sub-chain rooted at this container: a USE grant on the
+        // container itself or anything above it satisfies traversal.
+        if !has_privilege(&chain[idx..], who, needed) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Can the caller see `chain[0]`'s metadata at all? (See
+/// [`SecurableAuthz::can_see`].)
+pub fn can_see<N: AuthzNodeView>(chain: &[N], who: &AuthzContext) -> bool {
+    if has_admin_authority(chain, who) {
+        return true;
+    }
+    chain.iter().any(|node| {
+        node.node_grants().iter().any(|(g, _)| who.matches(g)) || who.matches(node.node_owner())
+    })
+}
+
+/// Full data-access decision for reading: traversal plus the kind's read
+/// privilege.
+pub fn can_read_data<N: AuthzNodeView>(
+    chain: &[N],
+    who: &AuthzContext,
+    read_privilege: Privilege,
+) -> bool {
+    can_traverse(chain, who) && has_privilege(chain, who, read_privilege)
+}
+
+/// Full data-access decision for writing.
+pub fn can_write_data<N: AuthzNodeView>(
+    chain: &[N],
+    who: &AuthzContext,
+    write_privilege: Privilege,
+) -> bool {
+    can_traverse(chain, who) && has_privilege(chain, who, write_privilege)
+}
+
 /// A securable plus its ancestor chain: `chain[0]` is the object itself,
 /// the last element is the metastore.
 #[derive(Debug, Clone)]
@@ -73,15 +191,7 @@ impl SecurableAuthz {
     /// object — but NOT data access (§3.3: a schema owner does not
     /// automatically gain SELECT on its tables).
     pub fn has_admin_authority(&self, who: &AuthzContext) -> bool {
-        if who.is_metastore_admin {
-            return true;
-        }
-        self.chain.iter().any(|node| {
-            who.matches(&node.owner)
-                || node.grants.iter().any(|(g, p)| {
-                    who.matches(g) && matches!(p, Privilege::Manage | Privilege::All)
-                })
-        })
+        has_admin_authority(&self.chain, who)
     }
 
     /// Does the caller hold `privilege` on the object? True if they own
@@ -89,60 +199,31 @@ impl SecurableAuthz {
     /// a matching grant (the privilege itself or ALL) exists on the object
     /// or any ancestor (privilege inheritance, §3.3).
     pub fn has_privilege(&self, who: &AuthzContext, privilege: Privilege) -> bool {
-        if self.is_owner(who) {
-            return true;
-        }
-        self.chain.iter().any(|node| {
-            node.grants.iter().any(|(g, p)| {
-                who.matches(g) && (*p == privilege || *p == Privilege::All)
-            })
-        })
+        has_privilege(&self.chain, who, privilege)
     }
 
     /// The USE chain requirement: USE CATALOG on the catalog ancestor and
     /// USE SCHEMA on the schema ancestor (owners of those containers and
     /// metastore admins pass implicitly for their container).
     pub fn can_traverse(&self, who: &AuthzContext) -> bool {
-        if who.is_metastore_admin {
-            return true;
-        }
-        for (idx, node) in self.chain.iter().enumerate() {
-            let needed = match node.kind {
-                SecurableKind::Catalog if idx > 0 => Privilege::UseCatalog,
-                SecurableKind::Schema if idx > 0 => Privilege::UseSchema,
-                _ => continue,
-            };
-            // The sub-chain rooted at this container: a USE grant on the
-            // container itself or anything above it satisfies traversal.
-            let sub = SecurableAuthz { chain: self.chain[idx..].to_vec() };
-            if !sub.has_privilege(who, needed) {
-                return false;
-            }
-        }
-        true
+        can_traverse(&self.chain, who)
     }
 
     /// Can the caller see this object's metadata at all? Any privilege,
     /// ownership anywhere in the chain, or admin authority qualifies.
     pub fn can_see(&self, who: &AuthzContext) -> bool {
-        if self.has_admin_authority(who) {
-            return true;
-        }
-        self.chain.iter().enumerate().any(|(idx, node)| {
-            let _ = idx;
-            node.grants.iter().any(|(g, _)| who.matches(g)) || who.matches(&node.owner)
-        })
+        can_see(&self.chain, who)
     }
 
     /// Full data-access decision for reading: traversal plus the kind's
     /// read privilege.
     pub fn can_read_data(&self, who: &AuthzContext, read_privilege: Privilege) -> bool {
-        self.can_traverse(who) && self.has_privilege(who, read_privilege)
+        can_read_data(&self.chain, who, read_privilege)
     }
 
     /// Full data-access decision for writing.
     pub fn can_write_data(&self, who: &AuthzContext, write_privilege: Privilege) -> bool {
-        self.can_traverse(who) && self.has_privilege(who, write_privilege)
+        can_write_data(&self.chain, who, write_privilege)
     }
 }
 

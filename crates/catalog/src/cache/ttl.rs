@@ -5,6 +5,7 @@
 //! temporary storage credentials, which carry their own expiry and can be
 //! reused across queries for their remaining lifetime.
 
+use std::borrow::Borrow;
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -32,8 +33,14 @@ impl<K: Eq + Hash + Clone, V: Clone> TtlCache<K, V> {
         }
     }
 
-    /// Get a live entry; expired entries count as misses.
-    pub fn get(&self, key: &K) -> Option<V> {
+    /// Get a live entry; expired entries count as misses. Accepts any
+    /// borrowed form of the key (`&str` for `String` keys) so hot-path
+    /// probes don't allocate an owned key just to look up.
+    pub fn get<Q>(&self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
         let now = self.clock.now_ms();
         let guard = self.inner.read();
         match guard.get(key) {

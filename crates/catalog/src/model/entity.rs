@@ -81,6 +81,21 @@ pub struct Entity {
     pub updated_at_ms: u64,
 }
 
+/// Entities evaluate authorization decisions directly (no per-request
+/// copy into [`crate::authz::decision::AuthzNode`]s — see
+/// [`crate::authz::decision::AuthzNodeView`]).
+impl crate::authz::decision::AuthzNodeView for Entity {
+    fn node_kind(&self) -> SecurableKind {
+        self.kind
+    }
+    fn node_owner(&self) -> &str {
+        &self.owner
+    }
+    fn node_grants(&self) -> &[(String, Privilege)] {
+        &self.grants
+    }
+}
+
 impl Entity {
     /// Build a new active entity with a fresh id.
     pub fn new(

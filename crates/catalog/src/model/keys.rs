@@ -41,9 +41,21 @@ pub fn ent_key(ms: &Uid, id: &Uid) -> String {
 }
 
 pub fn name_key(ms: &Uid, parent: Option<&Uid>, group: &str, name: &str) -> String {
+    let ms = ms.as_str();
     let parent = parent.map(|p| p.as_str()).unwrap_or(ROOT_PARENT);
     // Names are case-insensitive in SQL identifiers; normalize to lowercase.
-    format!("{ms}/{parent}/{group}/{}", name.to_ascii_lowercase())
+    // Built by hand into one pre-sized buffer: this runs on every cached
+    // name lookup, and `format!` with an intermediate `to_ascii_lowercase`
+    // would cost two allocations per call.
+    let mut key = String::with_capacity(ms.len() + parent.len() + group.len() + name.len() + 3);
+    key.push_str(ms);
+    key.push('/');
+    key.push_str(parent);
+    key.push('/');
+    key.push_str(group);
+    key.push('/');
+    key.extend(name.chars().map(|c| c.to_ascii_lowercase()));
+    key
 }
 
 /// Prefix listing all children of a parent (across groups).

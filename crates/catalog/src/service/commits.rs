@@ -117,7 +117,7 @@ impl UnityCatalog {
             Ok(())
         })?;
         for c in &commits {
-            self.record_audit(&ctx.principal, "commitTable", Some(&c.table_id), AuditDecision::Allow, &format!("v{}", c.version));
+            self.record_audit(&ctx.principal, "commitTable", Some(&c.table_id), AuditDecision::Allow, format!("v{}", c.version));
         }
         Ok(())
     }

@@ -333,7 +333,7 @@ impl UnityCatalog {
             .create_privilege
             .expect("leaf kinds declare a create privilege");
         if !(authz.has_admin_authority(&who) || authz.has_privilege(&who, needed)) {
-            self.record_audit(&ctx.principal, "create", Some(&chain[0].id), AuditDecision::Deny, &name.to_string());
+            self.record_audit(&ctx.principal, "create", Some(&chain[0].id), AuditDecision::Deny, name);
             return Err(UcError::PermissionDenied(format!(
                 "{needed} on schema required to create {kind}"
             )));
@@ -459,7 +459,7 @@ impl UnityCatalog {
             (manifest(ent.kind).validate)(&ent)?;
             Ok(fx.upsert(tx, ent, ChangeOp::Create))
         })?;
-        self.record_audit(&ctx.principal, "createTable", Some(&created.id), AuditDecision::Allow, &spec.name.to_string());
+        self.record_audit(&ctx.principal, "createTable", Some(&created.id), AuditDecision::Allow, spec.name);
         Ok(created)
     }
 
@@ -490,7 +490,7 @@ impl UnityCatalog {
         let who = self.authz_context(ms, &ctx.principal)?;
         let src_full = self.chain_from_entity(ms, src.clone())?;
         if !Self::authz_of(&src_full).can_read_data(&who, crate::authz::Privilege::Select) {
-            self.record_audit(&ctx.principal, "createShallowClone", Some(&src.id), AuditDecision::Deny, &source.to_string());
+            self.record_audit(&ctx.principal, "createShallowClone", Some(&src.id), AuditDecision::Deny, source);
             return Err(UcError::PermissionDenied(format!(
                 "SELECT on {source} required to clone it"
             )));
@@ -525,7 +525,7 @@ impl UnityCatalog {
             (manifest(ent.kind).validate)(&ent)?;
             Ok(fx.upsert(tx, ent, ChangeOp::Create))
         })?;
-        self.record_audit(&ctx.principal, "createShallowClone", Some(&created.id), AuditDecision::Allow, &format!("{source} -> {name}"));
+        self.record_audit(&ctx.principal, "createShallowClone", Some(&created.id), AuditDecision::Allow, format!("{source} -> {name}"));
         Ok(created)
     }
 
@@ -579,7 +579,7 @@ impl UnityCatalog {
             (manifest(ent.kind).validate)(&ent)?;
             Ok(fx.upsert(tx, ent, ChangeOp::Create))
         })?;
-        self.record_audit(&ctx.principal, "createView", Some(&created.id), AuditDecision::Allow, &name.to_string());
+        self.record_audit(&ctx.principal, "createView", Some(&created.id), AuditDecision::Allow, name);
         Ok(created)
     }
 
@@ -626,7 +626,7 @@ impl UnityCatalog {
             (manifest(ent.kind).validate)(&ent)?;
             Ok(fx.upsert(tx, ent, ChangeOp::Create))
         })?;
-        self.record_audit(&ctx.principal, "createVolume", Some(&created.id), AuditDecision::Allow, &name.to_string());
+        self.record_audit(&ctx.principal, "createVolume", Some(&created.id), AuditDecision::Allow, name);
         Ok(created)
     }
 
@@ -659,7 +659,7 @@ impl UnityCatalog {
             ent.properties.insert("body".to_string(), body.to_string());
             Ok(fx.upsert(tx, ent, ChangeOp::Create))
         })?;
-        self.record_audit(&ctx.principal, "createFunction", Some(&created.id), AuditDecision::Allow, &name.to_string());
+        self.record_audit(&ctx.principal, "createFunction", Some(&created.id), AuditDecision::Allow, name);
         Ok(created)
     }
 
@@ -694,7 +694,7 @@ impl UnityCatalog {
             ent.storage_path = Some(path.to_string());
             Ok(fx.upsert(tx, ent, ChangeOp::Create))
         })?;
-        self.record_audit(&ctx.principal, "createRegisteredModel", Some(&created.id), AuditDecision::Allow, &name.to_string());
+        self.record_audit(&ctx.principal, "createRegisteredModel", Some(&created.id), AuditDecision::Allow, name);
         Ok(created)
     }
 
@@ -718,7 +718,7 @@ impl UnityCatalog {
         let who = self.authz_context(ms, &ctx.principal)?;
         let authz = Self::authz_of(&full);
         if !(authz.has_admin_authority(&who) || authz.has_privilege(&who, crate::authz::Privilege::Modify)) {
-            self.record_audit(&ctx.principal, "createModelVersion", Some(&model.id), AuditDecision::Deny, &model_name.to_string());
+            self.record_audit(&ctx.principal, "createModelVersion", Some(&model.id), AuditDecision::Deny, model_name);
             return Err(UcError::PermissionDenied("MODIFY on model required".into()));
         }
         let now = self.now_ms();
@@ -760,7 +760,7 @@ impl UnityCatalog {
             let arc = fx.upsert(tx, ver_ent, ChangeOp::Create);
             Ok((arc, version))
         })?;
-        self.record_audit(&ctx.principal, "createModelVersion", Some(&result.0.id), AuditDecision::Allow, &model_name.to_string());
+        self.record_audit(&ctx.principal, "createModelVersion", Some(&result.0.id), AuditDecision::Allow, model_name);
         Ok(result)
     }
 
@@ -777,18 +777,19 @@ impl UnityCatalog {
         leaf_group: &str,
     ) -> UcResult<Arc<Entity>> {
         let _api = self.api_enter("get_securable");
-        let chain = self.lookup_chain(ms, name, leaf_group)?;
-        let full = self.chain_from_entity(ms, chain[0].clone())?;
+        // Reuse the resolved chain for the ancestor walk (extend_chain only
+        // fetches what lookup_chain didn't) and evaluate `can_see` over the
+        // borrowed entities — this is the hottest read path in the service.
+        let full = self.extend_chain(ms, self.lookup_chain(ms, name, leaf_group)?)?;
         self.enforce_workspace_binding(ctx, &full)?;
-        let who = self.authz_context(ms, &ctx.principal)?;
-        let authz = Self::authz_of(&full);
-        if !authz.can_see(&who) {
-            self.record_audit(&ctx.principal, "getSecurable", Some(&chain[0].id), AuditDecision::Deny, &name.to_string());
+        let who = self.authz_context_with(full.last().unwrap(), &ctx.principal)?;
+        if !crate::authz::decision::can_see(&full, &who) {
+            self.record_audit(&ctx.principal, "getSecurable", Some(&full[0].id), AuditDecision::Deny, name);
             // existence is hidden from unprivileged callers
             return Err(UcError::NotFound(name.to_string()));
         }
-        self.record_audit(&ctx.principal, "getSecurable", Some(&chain[0].id), AuditDecision::Allow, &name.to_string());
-        Ok(chain[0].clone())
+        self.record_audit(&ctx.principal, "getSecurable", Some(&full[0].id), AuditDecision::Allow, name);
+        Ok(full[0].clone())
     }
 
     /// Fetch a table or view by name.
@@ -903,14 +904,14 @@ impl UnityCatalog {
         let who = self.authz_context(ms, &ctx.principal)?;
         let authz = Self::authz_of(&full);
         if !(authz.has_admin_authority(&who) || authz.has_privilege(&who, crate::authz::Privilege::Modify)) {
-            self.record_audit(&ctx.principal, "updateComment", Some(&target.id), AuditDecision::Deny, &name.to_string());
+            self.record_audit(&ctx.principal, "updateComment", Some(&target.id), AuditDecision::Deny, name);
             return Err(UcError::PermissionDenied("MODIFY required".into()));
         }
         let updated = self.update_entity_by_id(ms, &target.id, |e| {
             e.comment = Some(comment.to_string());
             Ok(())
         })?;
-        self.record_audit(&ctx.principal, "updateComment", Some(&target.id), AuditDecision::Allow, &name.to_string());
+        self.record_audit(&ctx.principal, "updateComment", Some(&target.id), AuditDecision::Allow, name);
         Ok(updated)
     }
 
@@ -990,7 +991,7 @@ impl UnityCatalog {
             ent.updated_at_ms = now;
             Ok(fx.upsert(tx, ent, ChangeOp::Update))
         })?;
-        self.record_audit(&ctx.principal, "renameSecurable", Some(&renamed.id), AuditDecision::Allow, &format!("{name} -> {new_name}"));
+        self.record_audit(&ctx.principal, "renameSecurable", Some(&renamed.id), AuditDecision::Allow, format!("{name} -> {new_name}"));
         Ok(renamed)
     }
 
@@ -1016,7 +1017,7 @@ impl UnityCatalog {
             e.set_workspace_bindings(&list);
             Ok(())
         })?;
-        self.record_audit(&ctx.principal, "setCatalogBindings", Some(&target.id), AuditDecision::Allow, &format!("{list:?}"));
+        self.record_audit(&ctx.principal, "setCatalogBindings", Some(&target.id), AuditDecision::Allow, format!("{list:?}"));
         Ok(())
     }
 
@@ -1039,7 +1040,7 @@ impl UnityCatalog {
         let full = self.chain_from_entity(ms, target.clone())?;
         let who = self.authz_context(ms, &ctx.principal)?;
         if !Self::authz_of(&full).has_admin_authority(&who) {
-            self.record_audit(&ctx.principal, "dropSecurable", Some(&target.id), AuditDecision::Deny, &name.to_string());
+            self.record_audit(&ctx.principal, "dropSecurable", Some(&target.id), AuditDecision::Deny, name);
             return Err(UcError::PermissionDenied("admin authority required to drop".into()));
         }
         let now = self.now_ms();
@@ -1048,7 +1049,7 @@ impl UnityCatalog {
             Self::soft_delete_recursive(tx, ms, &target.id, now, fx, &mut count, 0)?;
             Ok(count)
         })?;
-        self.record_audit(&ctx.principal, "dropSecurable", Some(&target.id), AuditDecision::Allow, &format!("{name} ({count} entities)"));
+        self.record_audit(&ctx.principal, "dropSecurable", Some(&target.id), AuditDecision::Allow, format!("{name} ({count} entities)"));
         Ok(count)
     }
 

@@ -91,7 +91,7 @@ impl UnityCatalog {
         let who = self.authz_context(ms, &ctx.principal)?;
         let authz = Self::authz_of(&full);
         if !(authz.has_admin_authority(&who) || authz.has_privilege(&who, crate::authz::Privilege::Modify)) {
-            self.record_audit(&ctx.principal, "setTag", Some(&target.id), AuditDecision::Deny, &name.to_string());
+            self.record_audit(&ctx.principal, "setTag", Some(&target.id), AuditDecision::Deny, name);
             return Err(UcError::PermissionDenied("MODIFY required to tag".into()));
         }
         self.update_entity_by_id(ms, &target.id, |e| {
@@ -99,7 +99,7 @@ impl UnityCatalog {
             Ok(())
         })?;
         self.publish_simple(ms, &target, ChangeOp::TagChange);
-        self.record_audit(&ctx.principal, "setTag", Some(&target.id), AuditDecision::Allow, &name.to_string());
+        self.record_audit(&ctx.principal, "setTag", Some(&target.id), AuditDecision::Allow, name);
         Ok(())
     }
 
@@ -166,14 +166,14 @@ impl UnityCatalog {
         let full = self.chain_from_entity(ms, target.clone())?;
         let who = self.authz_context(ms, &ctx.principal)?;
         if !Self::authz_of(&full).has_admin_authority(&who) {
-            self.record_audit(&ctx.principal, action, Some(&target.id), AuditDecision::Deny, &table.to_string());
+            self.record_audit(&ctx.principal, action, Some(&target.id), AuditDecision::Deny, table);
             return Err(UcError::PermissionDenied("admin authority required for policies".into()));
         }
         self.update_entity_by_id(ms, &target.id, |e| {
             f(e);
             Ok(())
         })?;
-        self.record_audit(&ctx.principal, action, Some(&target.id), AuditDecision::Allow, &table.to_string());
+        self.record_audit(&ctx.principal, action, Some(&target.id), AuditDecision::Allow, table);
         Ok(())
     }
 
@@ -253,7 +253,7 @@ impl UnityCatalog {
             at_version: 0,
             timestamp_ms: self.now_ms(),
         });
-        self.record_audit(&ctx.principal, "addLineage", Some(&down.id), AuditDecision::Allow, &format!("{upstream} -> {downstream}"));
+        self.record_audit(&ctx.principal, "addLineage", Some(&down.id), AuditDecision::Allow, format!("{upstream} -> {downstream}"));
         Ok(())
     }
 

@@ -201,7 +201,7 @@ impl UnityCatalog {
             ent.updated_at_ms = now;
             Ok(fx.upsert(tx, ent, ChangeOp::Update))
         })?;
-        self.record_audit(&ctx.principal, "mirrorTable", Some(&mirrored.id), AuditDecision::Allow, &format!("{federated_catalog}.{schema_name}.{}", meta.name));
+        self.record_audit(&ctx.principal, "mirrorTable", Some(&mirrored.id), AuditDecision::Allow, format!("{federated_catalog}.{schema_name}.{}", meta.name));
         Ok(mirrored)
     }
 

@@ -36,7 +36,7 @@ impl UnityCatalog {
         let full = self.chain_from_entity(ms, target.clone())?;
         let who = self.authz_context(ms, &ctx.principal)?;
         if !Self::authz_of(&full).has_admin_authority(&who) {
-            self.record_audit(&ctx.principal, "grant", Some(&target.id), AuditDecision::Deny, &format!("{privilege} to {grantee}"));
+            self.record_audit(&ctx.principal, "grant", Some(&target.id), AuditDecision::Deny, format!("{privilege} to {grantee}"));
             return Err(UcError::PermissionDenied(
                 "admin authority required to grant".into(),
             ));
@@ -48,7 +48,7 @@ impl UnityCatalog {
         // Grant changes are metadata changes: surface them on the event
         // stream for discovery consumers.
         self.publish_grant_event(ms, &target.id, target.kind, &target.name);
-        self.record_audit(&ctx.principal, "grant", Some(&target.id), AuditDecision::Allow, &format!("{privilege} to {grantee}"));
+        self.record_audit(&ctx.principal, "grant", Some(&target.id), AuditDecision::Allow, format!("{privilege} to {grantee}"));
         Ok(())
     }
 
@@ -68,7 +68,7 @@ impl UnityCatalog {
         let full = self.chain_from_entity(ms, target.clone())?;
         let who = self.authz_context(ms, &ctx.principal)?;
         if !Self::authz_of(&full).has_admin_authority(&who) {
-            self.record_audit(&ctx.principal, "revoke", Some(&target.id), AuditDecision::Deny, &format!("{privilege} from {grantee}"));
+            self.record_audit(&ctx.principal, "revoke", Some(&target.id), AuditDecision::Deny, format!("{privilege} from {grantee}"));
             return Err(UcError::PermissionDenied(
                 "admin authority required to revoke".into(),
             ));
@@ -78,7 +78,7 @@ impl UnityCatalog {
             Ok(())
         })?;
         self.publish_grant_event(ms, &target.id, target.kind, &target.name);
-        self.record_audit(&ctx.principal, "revoke", Some(&target.id), AuditDecision::Allow, &format!("{privilege} from {grantee}"));
+        self.record_audit(&ctx.principal, "revoke", Some(&target.id), AuditDecision::Allow, format!("{privilege} from {grantee}"));
         Ok(())
     }
 
@@ -161,11 +161,7 @@ impl UnityCatalog {
 
     fn publish_grant_event(&self, ms: &Uid, id: &Uid, kind: crate::types::SecurableKind, name: &str) {
         // Event version: read the cache's current version best-effort.
-        let version = {
-            let arc = self.cache.for_metastore(ms);
-            let v = arc.lock().version;
-            v
-        };
+        let version = self.cache.for_metastore(ms).version();
         self.events.publish(crate::events::MetadataChangeEvent {
             seq: 0,
             metastore: ms.clone(),

@@ -34,13 +34,13 @@ use parking_lot::RwLock;
 use uc_cloudstore::faults::{points, FaultPlan};
 use uc_cloudstore::latency::{LatencyModel, OpClass};
 use uc_cloudstore::{AccessLevel, Clock, ObjectStore, RootCredential, StoragePath, TempCredential};
-use uc_obs::{Counter, Obs, SpanGuard};
+use uc_obs::{Counter, Histogram, Obs, SpanGuard};
 use uc_txdb::{Db, ReadTxn, TxError, WriteTxn};
 
 use crate::audit::{AuditDecision, AuditLog};
 use crate::authz::decision::{AuthzContext, AuthzNode, SecurableAuthz};
 use crate::cache::ttl::TtlCache;
-use crate::cache::{read_ms_version, CacheConfig, NodeCache};
+use crate::cache::{read_ms_version, CacheConfig, MsCache, NodeCache};
 use crate::error::{UcError, UcResult};
 use crate::events::{ChangeOp, EventBus, MetadataChangeEvent};
 use crate::ids::Uid;
@@ -215,6 +215,16 @@ pub struct UnityCatalog {
     pub(crate) audit: AuditLog,
     pub(crate) events: EventBus,
     pub(crate) stats: ServiceStats,
+    /// Per-op metric handles for [`UnityCatalog::api_enter`], resolved once
+    /// per op name so the hot path skips the registry's name lookup (a
+    /// mutex + string format per call otherwise).
+    api_instruments: RwLock<std::collections::HashMap<String, ApiInstruments>>,
+}
+
+#[derive(Clone)]
+struct ApiInstruments {
+    count: Counter,
+    latency: Histogram,
 }
 
 impl UnityCatalog {
@@ -223,7 +233,8 @@ impl UnityCatalog {
         Arc::new(UnityCatalog {
             node_id: node_id.to_string(),
             db,
-            cache: NodeCache::new(config.cache.clone()),
+            cache: NodeCache::wired(config.cache.clone(), config.obs.registry()),
+            api_instruments: RwLock::new(std::collections::HashMap::new()),
             cred_cache: TtlCache::new(clock.clone(), config.cred_ttl_ms),
             principal_cache: TtlCache::new(clock.clone(), 60_000),
             roots: RwLock::new(std::collections::HashMap::new()),
@@ -308,9 +319,26 @@ impl UnityCatalog {
     /// returned guard for the duration of the request.
     pub(crate) fn api_enter(&self, op: &str) -> SpanGuard {
         self.stats.api_calls.fetch_add(1, Ordering::Relaxed);
-        self.config.obs.counter(&format!("catalog.{op}.count")).inc();
+        // Resolve the per-op counter + latency histogram once per op name;
+        // afterwards a call is a shared read-lock probe instead of two
+        // registry lookups (mutex + `format!` each).
+        let cached = self.api_instruments.read().get(op).cloned();
+        let instruments = cached.unwrap_or_else(|| {
+            self.api_instruments
+                .write()
+                .entry(op.to_string())
+                .or_insert_with(|| ApiInstruments {
+                    count: self.config.obs.counter(&format!("catalog.{op}.count")),
+                    latency: self.config.obs.histogram(&format!("catalog.{op}.latency_ms")),
+                })
+                .clone()
+        });
+        instruments.count.inc();
         self.config.api_latency.apply(OpClass::Control);
-        self.config.obs.span_timed("catalog", op)
+        self.config
+            .obs
+            .tracer()
+            .span_timed("catalog", op, Some(instruments.latency))
     }
 
     pub(crate) fn record_audit(
@@ -319,7 +347,7 @@ impl UnityCatalog {
         action: &str,
         securable: Option<&Uid>,
         decision: AuditDecision,
-        detail: &str,
+        detail: impl std::fmt::Display,
     ) {
         self.audit.record(
             self.now_ms(),
@@ -327,7 +355,7 @@ impl UnityCatalog {
             action,
             securable,
             decision,
-            detail,
+            detail.to_string(),
             uc_obs::current_trace_id(),
         );
     }
@@ -364,23 +392,10 @@ impl UnityCatalog {
         self.db_entity_by_id(rt, ms, &id)
     }
 
-    fn install_in_cache(
-        &self,
-        c: &mut crate::cache::MsCache,
-        ms: &Uid,
-        ent: &Arc<Entity>,
-        at_version: u64,
-    ) {
+    fn install_in_cache(&self, c: &MsCache, ms: &Uid, ent: &Arc<Entity>, at_version: u64) {
         let nk = keys::name_key(ms, ent.parent.as_ref(), ent.kind.name_group(), &ent.name);
         let pk = ent.storage_path.as_ref().map(|p| keys::path_key(ms, p));
-        c.insert(
-            ent.clone(),
-            at_version,
-            nk,
-            pk,
-            &self.cache.stats,
-            self.config.cache.max_entries,
-        );
+        c.insert(ent.clone(), at_version, nk, pk);
     }
 
     /// Look up an entity by a fully-built name-index key.
@@ -393,32 +408,57 @@ impl UnityCatalog {
             let rt = self.db.begin_read();
             return self.db_entity_by_name(&rt, ms, name_key);
         }
-        let cache_arc = self.cache.for_metastore(ms);
+        let cache = self.cache.for_metastore(ms);
+        self.entity_by_name_key_in(ms, &cache, name_key)
+    }
+
+    /// [`UnityCatalog::entity_by_name_key`] against an already-resolved
+    /// metastore cache (callers that loop hold the `Arc` once). Requires
+    /// the cache to be enabled.
+    ///
+    /// The hit path takes no exclusive lock: an index probe, a seqlock
+    /// read of the version pin, and a sharded snapshot read. Misses read
+    /// the database at one snapshot, then serialize on the metastore's
+    /// write gate to reconcile/install.
+    pub(crate) fn entity_by_name_key_in(
+        &self,
+        ms: &Uid,
+        cache: &MsCache,
+        name_key: &str,
+    ) -> UcResult<Option<Arc<Entity>>> {
+        let mut missed = false;
         for _ in 0..8 {
-            {
-                let mut c = cache_arc.lock();
-                if let Some(id) = c.id_by_name(name_key) {
-                    let ver = c.version;
-                    if let Some(hit) = c.get_at(&id, ver) {
-                        self.cache.stats.hits.fetch_add(1, Ordering::Relaxed);
-                        return Ok(hit);
-                    }
+            if let Some(id) = cache.id_by_name(name_key) {
+                let ver = cache.version();
+                if let Some(hit) = cache.get_at(&id, ver) {
+                    self.cache.stats.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(hit);
                 }
             }
-            self.cache.stats.misses.fetch_add(1, Ordering::Relaxed);
+            // One logical lookup counts one miss, however many times a
+            // stale snapshot sends it around the loop (`stale_retries`
+            // counts those).
+            if !missed {
+                missed = true;
+                self.cache.stats.misses.fetch_add(1, Ordering::Relaxed);
+            }
             let rt = self.db.begin_read();
             let db_ver = read_ms_version(&rt, ms);
             let found = self.db_entity_by_name(&rt, ms, name_key)?;
-            let mut c = cache_arc.lock();
-            match db_ver.cmp(&c.version) {
-                std::cmp::Ordering::Less => continue, // stale snapshot; retry
+            let _gate = cache.write_gate();
+            match db_ver.cmp(&cache.version()) {
+                std::cmp::Ordering::Less => {
+                    // Stale snapshot (pin advanced past it); retry.
+                    self.cache.stats.stale_retries.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
                 std::cmp::Ordering::Greater => {
-                    self.cache.reconcile(ms, &mut c, &self.db, db_ver, rt.snapshot_csn())
+                    self.cache.reconcile(ms, cache, &self.db, db_ver, rt.snapshot_csn())
                 }
                 std::cmp::Ordering::Equal => {}
             }
             if let Some(ent) = &found {
-                self.install_in_cache(&mut c, ms, ent, db_ver);
+                self.install_in_cache(cache, ms, ent, db_ver);
             }
             return Ok(found);
         }
@@ -432,30 +472,45 @@ impl UnityCatalog {
             let rt = self.db.begin_read();
             return self.db_entity_by_id(&rt, ms, id);
         }
-        let cache_arc = self.cache.for_metastore(ms);
+        let cache = self.cache.for_metastore(ms);
+        self.entity_by_id_in(ms, &cache, id)
+    }
+
+    /// [`UnityCatalog::entity_by_id`] against an already-resolved metastore
+    /// cache; same locking discipline as [`Self::entity_by_name_key_in`].
+    pub(crate) fn entity_by_id_in(
+        &self,
+        ms: &Uid,
+        cache: &MsCache,
+        id: &Uid,
+    ) -> UcResult<Option<Arc<Entity>>> {
+        let mut missed = false;
         for _ in 0..8 {
-            {
-                let mut c = cache_arc.lock();
-                let ver = c.version;
-                if let Some(hit) = c.get_at(id, ver) {
-                    self.cache.stats.hits.fetch_add(1, Ordering::Relaxed);
-                    return Ok(hit);
-                }
+            let ver = cache.version();
+            if let Some(hit) = cache.get_at(id, ver) {
+                self.cache.stats.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(hit);
             }
-            self.cache.stats.misses.fetch_add(1, Ordering::Relaxed);
+            if !missed {
+                missed = true;
+                self.cache.stats.misses.fetch_add(1, Ordering::Relaxed);
+            }
             let rt = self.db.begin_read();
             let db_ver = read_ms_version(&rt, ms);
             let found = self.db_entity_by_id(&rt, ms, id)?;
-            let mut c = cache_arc.lock();
-            match db_ver.cmp(&c.version) {
-                std::cmp::Ordering::Less => continue,
+            let _gate = cache.write_gate();
+            match db_ver.cmp(&cache.version()) {
+                std::cmp::Ordering::Less => {
+                    self.cache.stats.stale_retries.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
                 std::cmp::Ordering::Greater => {
-                    self.cache.reconcile(ms, &mut c, &self.db, db_ver, rt.snapshot_csn())
+                    self.cache.reconcile(ms, cache, &self.db, db_ver, rt.snapshot_csn())
                 }
                 std::cmp::Ordering::Equal => {}
             }
             if let Some(ent) = &found {
-                self.install_in_cache(&mut c, ms, ent, db_ver);
+                self.install_in_cache(cache, ms, ent, db_ver);
             }
             return Ok(found);
         }
@@ -471,13 +526,12 @@ impl UnityCatalog {
         ms: &Uid,
         path: &StoragePath,
     ) -> UcResult<Option<(Arc<Entity>, StoragePath)>> {
-        if self.config.cache.enabled {
-            let cache_arc = self.cache.for_metastore(ms);
-            let mut c = cache_arc.lock();
+        let cache = self.config.cache.enabled.then(|| self.cache.for_metastore(ms));
+        if let Some(c) = &cache {
+            let ver = c.version();
             let mut candidate = Some(path.clone());
             while let Some(p) = candidate {
                 if let Some(id) = c.id_by_path(&keys::path_key(ms, &p.to_string())) {
-                    let ver = c.version;
                     if let Some(Some(hit)) = c.get_at(&id, ver) {
                         self.cache.stats.hits.fetch_add(1, Ordering::Relaxed);
                         return Ok(Some((hit, p)));
@@ -493,12 +547,11 @@ impl UnityCatalog {
         };
         let found = self.db_entity_by_id(&rt, ms, &id)?;
         if let Some(ent) = &found {
-            if self.config.cache.enabled {
+            if let Some(c) = &cache {
                 let db_ver = read_ms_version(&rt, ms);
-                let cache_arc = self.cache.for_metastore(ms);
-                let mut c = cache_arc.lock();
-                if db_ver == c.version {
-                    self.install_in_cache(&mut c, ms, ent, db_ver);
+                let _gate = c.write_gate();
+                if db_ver == c.version() {
+                    self.install_in_cache(c, ms, ent, db_ver);
                 }
             }
             Ok(Some((ent.clone(), registered)))
@@ -539,20 +592,24 @@ impl UnityCatalog {
                     // a later read or reconcile observes db_ver > version.
                     let skip_cache = self.config.faults.should_inject(points::CATALOG_CACHE_SKIP);
                     if self.config.cache.enabled && !skip_cache {
-                        let mut c = cache_arc.lock();
-                        if c.version != cur {
-                            self.cache.reconcile(ms, &mut c, &self.db, cur + 1, csn);
+                        let _gate = cache_arc.write_gate();
+                        if cache_arc.version() != cur {
+                            self.cache.reconcile(ms, &cache_arc, &self.db, cur + 1, csn);
                         }
                         for nk in &fx.dropped_names {
-                            c.remove_name_mapping(nk);
+                            cache_arc.remove_name_mapping(nk);
                         }
+                        // Install effects first, advance the pin last:
+                        // concurrent readers at the old pin can't see the
+                        // new versions, and readers after the advance see
+                        // all of them.
                         for ent in &fx.upserts {
-                            self.install_in_cache(&mut c, ms, ent, cur + 1);
+                            self.install_in_cache(&cache_arc, ms, ent, cur + 1);
                         }
                         for id in &fx.tombstones {
-                            c.insert_tombstone(id, cur + 1);
+                            cache_arc.insert_tombstone(id, cur + 1);
                         }
-                        c.advance(cur + 1, csn);
+                        cache_arc.advance(cur + 1, csn);
                     }
                     let now = self.now_ms();
                     for (id, kind, name, op) in fx.events {
@@ -619,23 +676,27 @@ impl UnityCatalog {
         leaf_group: &str,
     ) -> UcResult<Vec<Arc<Entity>>> {
         let not_found = || UcError::NotFound(name.to_string());
+        // Resolve the metastore cache once for the whole chain walk instead
+        // of re-probing the node-level map per segment.
+        let cache = self.config.cache.enabled.then(|| self.cache.for_metastore(ms));
+        let lookup = |nk: &str| match &cache {
+            Some(c) => self.entity_by_name_key_in(ms, c, nk),
+            None => {
+                let rt = self.db.begin_read();
+                self.db_entity_by_name(&rt, ms, nk)
+            }
+        };
         if name.len() == 1 && leaf_group != "catalog" {
-            let ent = self
-                .entity_by_name_key(ms, &keys::name_key(ms, Some(ms), leaf_group, name.catalog()))?
+            let ent = lookup(&keys::name_key(ms, Some(ms), leaf_group, name.catalog()))?
                 .ok_or_else(not_found)?;
             return Ok(vec![ent]);
         }
-        let cat = self
-            .entity_by_name_key(ms, &keys::name_key(ms, None, "catalog", name.catalog()))?
+        let cat = lookup(&keys::name_key(ms, None, "catalog", name.catalog()))?
             .ok_or_else(not_found)?;
         if name.len() == 1 {
             return Ok(vec![cat]);
         }
-        let sch = self
-            .entity_by_name_key(
-                ms,
-                &keys::name_key(ms, Some(&cat.id), "schema", name.schema().unwrap()),
-            )?
+        let sch = lookup(&keys::name_key(ms, Some(&cat.id), "schema", name.schema().unwrap()))?
             .ok_or_else(not_found)?;
         if name.len() == 2 {
             return Ok(vec![sch, cat]);
@@ -647,26 +708,18 @@ impl UnityCatalog {
         } else {
             leaf_group
         };
-        let leaf = self
-            .entity_by_name_key(
-                ms,
-                &keys::name_key(ms, Some(&sch.id), third_group, name.asset().unwrap()),
-            )?
+        let leaf = lookup(&keys::name_key(ms, Some(&sch.id), third_group, name.asset().unwrap()))?
             .ok_or_else(not_found)?;
         if name.len() == 3 {
             return Ok(vec![leaf, sch, cat]);
         }
-        let version = self
-            .entity_by_name_key(
-                ms,
-                &keys::name_key(
-                    ms,
-                    Some(&leaf.id),
-                    SecurableKind::ModelVersion.name_group(),
-                    &name.parts[3],
-                ),
-            )?
-            .ok_or_else(not_found)?;
+        let version = lookup(&keys::name_key(
+            ms,
+            Some(&leaf.id),
+            SecurableKind::ModelVersion.name_group(),
+            &name.parts[3],
+        ))?
+        .ok_or_else(not_found)?;
         Ok(vec![version, leaf, sch, cat])
     }
 
@@ -689,10 +742,10 @@ impl UnityCatalog {
         }
         let rt = self.db.begin_read();
         let db_ver = crate::cache::read_ms_version(&rt, ms);
-        let cache_arc = self.cache.for_metastore(ms);
-        let mut c = cache_arc.lock();
-        if db_ver > c.version {
-            self.cache.reconcile(ms, &mut c, &self.db, db_ver, rt.snapshot_csn());
+        let cache = self.cache.for_metastore(ms);
+        let _gate = cache.write_gate();
+        if db_ver > cache.version() {
+            self.cache.reconcile(ms, &cache, &self.db, db_ver, rt.snapshot_csn());
         }
     }
 
@@ -702,11 +755,30 @@ impl UnityCatalog {
         ms: &Uid,
         ent: Arc<Entity>,
     ) -> UcResult<Vec<Arc<Entity>>> {
-        let mut chain = vec![ent];
+        self.extend_chain(ms, vec![ent])
+    }
+
+    /// Extend an already-resolved chain (leaf first) up to and including
+    /// the metastore entity, continuing the parent walk from the chain's
+    /// last element. Callers that resolved `[leaf, …, catalog]` via
+    /// [`Self::lookup_chain`] reuse those entities instead of re-walking
+    /// the cache from the leaf.
+    pub(crate) fn extend_chain(
+        &self,
+        ms: &Uid,
+        mut chain: Vec<Arc<Entity>>,
+    ) -> UcResult<Vec<Arc<Entity>>> {
+        let cache = self.config.cache.enabled.then(|| self.cache.for_metastore(ms));
+        let lookup = |id: &Uid| match &cache {
+            Some(c) => self.entity_by_id_in(ms, c, id),
+            None => {
+                let rt = self.db.begin_read();
+                self.db_entity_by_id(&rt, ms, id)
+            }
+        };
         let mut guard = 0;
         while let Some(parent_id) = chain.last().unwrap().parent.clone() {
-            let parent = self
-                .entity_by_id(ms, &parent_id)?
+            let parent = lookup(&parent_id)?
                 .ok_or_else(|| UcError::Database(format!("dangling parent {parent_id}")))?;
             chain.push(parent);
             guard += 1;
@@ -716,8 +788,7 @@ impl UnityCatalog {
         }
         // Append the metastore entity if the chain didn't reach it.
         if chain.last().unwrap().kind != SecurableKind::Metastore {
-            let ms_ent = self
-                .entity_by_id(ms, ms)?
+            let ms_ent = lookup(ms)?
                 .ok_or_else(|| UcError::NotFound(format!("metastore {ms}")))?;
             chain.push(ms_ent);
         }
@@ -726,14 +797,28 @@ impl UnityCatalog {
 
     /// The caller's authorization context within a metastore.
     pub(crate) fn authz_context(&self, ms: &Uid, principal: &str) -> UcResult<AuthzContext> {
-        let record = self.principal_record(principal)?;
-        let groups: std::collections::HashSet<String> = record.groups.into_iter().collect();
         let ms_ent = self
             .entity_by_id(ms, ms)?
             .ok_or_else(|| UcError::NotFound(format!("metastore {ms}")))?;
-        let admins = ms_ent.metastore_admins();
+        self.authz_context_with(&ms_ent, principal)
+    }
+
+    /// [`Self::authz_context`] when the caller already holds the metastore
+    /// entity (e.g. at the end of a completed chain) — skips one lookup.
+    pub(crate) fn authz_context_with(
+        &self,
+        ms_ent: &Entity,
+        principal: &str,
+    ) -> UcResult<AuthzContext> {
+        let record = self.principal_record(principal)?;
+        let groups: std::collections::HashSet<String> = record.groups.into_iter().collect();
+        // Short-circuit the owner check before parsing the admin list out
+        // of the metastore entity's properties.
         let is_admin = ms_ent.owner == principal
-            || admins.iter().any(|a| a == principal || groups.contains(a));
+            || ms_ent
+                .metastore_admins()
+                .iter()
+                .any(|a| a == principal || groups.contains(a));
         Ok(AuthzContext {
             principal: principal.to_string(),
             groups,
@@ -743,7 +828,7 @@ impl UnityCatalog {
 
     /// Fetch (with TTL caching) a principal's record.
     pub(crate) fn principal_record(&self, principal: &str) -> UcResult<PrincipalRecord> {
-        if let Some(rec) = self.principal_cache.get(&principal.to_string()) {
+        if let Some(rec) = self.principal_cache.get(principal) {
             return Ok(rec);
         }
         let rt = self.db.begin_read();

@@ -58,20 +58,20 @@ impl UnityCatalog {
         let who = self.authz_context(ms, &ctx.principal)?;
         let mut out = Vec::with_capacity(refs.len());
         for name in refs {
-            let chain = self.lookup_chain(ms, name, "relation")?;
-            let entity = chain[0].clone();
-            let full = self.chain_from_entity(ms, entity.clone())?;
+            // Reuse the resolved chain for the ancestor walk and evaluate
+            // access over the borrowed entities (no AuthzNode copies).
+            let full = self.extend_chain(ms, self.lookup_chain(ms, name, "relation")?)?;
+            let entity = full[0].clone();
             self.enforce_workspace_binding(ctx, &full)?;
-            let authz = Self::authz_of(&full);
-            if !authz.can_read_data(&who, Privilege::Select) {
-                self.record_audit(&ctx.principal, "resolveForQuery", Some(&entity.id), AuditDecision::Deny, &name.to_string());
+            if !crate::authz::decision::can_read_data(&full, &who, Privilege::Select) {
+                self.record_audit(&ctx.principal, "resolveForQuery", Some(&entity.id), AuditDecision::Deny, name);
                 return Err(UcError::PermissionDenied(format!(
                     "SELECT (plus USE on containers) required on {name}"
                 )));
             }
             let resolved =
                 self.resolve_entity(ctx, ms, &who, entity, &full, want_credentials, 0)?;
-            self.record_audit(&ctx.principal, "resolveForQuery", Some(&resolved.entity.id), AuditDecision::Allow, &name.to_string());
+            self.record_audit(&ctx.principal, "resolveForQuery", Some(&resolved.entity.id), AuditDecision::Allow, name);
             out.push(resolved);
         }
         Ok(out)
@@ -186,13 +186,13 @@ impl UnityCatalog {
         let who = self.authz_context(ms, &ctx.principal)?;
         let authz = Self::authz_of(&full);
         if !authz.can_read_data(&who, Privilege::Execute) {
-            self.record_audit(&ctx.principal, "resolveModelVersion", Some(&entity.id), AuditDecision::Deny, &name.to_string());
+            self.record_audit(&ctx.principal, "resolveModelVersion", Some(&entity.id), AuditDecision::Deny, name);
             return Err(UcError::PermissionDenied(format!(
                 "EXECUTE (plus USE on containers) required on {model}"
             )));
         }
         let read_credential = Some(self.mint_for_entity(ms, &entity, AccessLevel::Read)?);
-        self.record_audit(&ctx.principal, "resolveModelVersion", Some(&entity.id), AuditDecision::Allow, &name.to_string());
+        self.record_audit(&ctx.principal, "resolveModelVersion", Some(&entity.id), AuditDecision::Allow, name);
         Ok(ResolvedSecurable {
             schema: None,
             fgac: FgacPolicies::default(),

@@ -113,7 +113,7 @@ impl UnityCatalog {
             );
             Ok(())
         })?;
-        self.record_audit(&ctx.principal, "addToShare", Some(&share.id), AuditDecision::Allow, &table.to_string());
+        self.record_audit(&ctx.principal, "addToShare", Some(&share.id), AuditDecision::Allow, table);
         Ok(())
     }
 
@@ -271,7 +271,7 @@ impl UnityCatalog {
         let full = self.chain_from_entity(ms, table.clone())?;
         let who = self.authz_context(ms, &ctx.principal)?;
         if !Self::authz_of(&full).can_read_data(&who, Privilege::Select) {
-            self.record_audit(&ctx.principal, "loadTableAsIceberg", Some(&table.id), AuditDecision::Deny, &name.to_string());
+            self.record_audit(&ctx.principal, "loadTableAsIceberg", Some(&table.id), AuditDecision::Deny, name);
             return Err(UcError::PermissionDenied(format!("SELECT required on {name}")));
         }
         if table.has_fgac() && !ctx.is_trusted_engine() {
@@ -284,7 +284,7 @@ impl UnityCatalog {
             UcError::UnsupportedOperation(format!("{name} has no storage"))
         })?)
         .map_err(|e| UcError::Storage(e.to_string()))?;
-        self.record_audit(&ctx.principal, "loadTableAsIceberg", Some(&table.id), AuditDecision::Allow, &name.to_string());
+        self.record_audit(&ctx.principal, "loadTableAsIceberg", Some(&table.id), AuditDecision::Allow, name);
         Ok(snapshot_to_iceberg(&snapshot, &path, self.now_ms()))
     }
 

@@ -31,9 +31,16 @@ pub(crate) struct VersionChain {
 }
 
 impl VersionChain {
-    /// The version visible at `snapshot`, if any.
+    /// The version visible at `snapshot`, if any. Versions are appended in
+    /// commit order, so CSNs ascend and visibility is a binary search —
+    /// chains for hot keys (e.g. the metastore version row) grow long.
     pub fn visible_at(&self, snapshot: u64) -> Option<&Version> {
-        self.versions.iter().rev().find(|v| v.csn <= snapshot)
+        let idx = self.versions.partition_point(|v| v.csn <= snapshot);
+        if idx == 0 {
+            None
+        } else {
+            Some(&self.versions[idx - 1])
+        }
     }
 
     /// CSN of the newest version, 0 if the chain is empty.
