@@ -779,6 +779,110 @@ mod tests {
     }
 
     #[test]
+    fn lru_tick_order_is_total_across_shards() {
+        // The access tick is one global atomic, so recency forms a total
+        // order no matter which shard an entry hashes to: a batch eviction
+        // must drop the globally oldest entries, never "oldest per shard".
+        let (c, _) = cache_with(12);
+        for i in 0..12 {
+            c.insert(
+                entity(&format!("e{i}"), &format!("n{i}")),
+                1,
+                format!("nk/n{i}"),
+                Some(format!("pk/p{i}")),
+            );
+        }
+        // Touch a subset spread across shards (4 shards; ids hash apart),
+        // making everything *not* touched strictly older.
+        let touched = [0usize, 3, 5, 8, 11];
+        for i in touched {
+            assert!(c.get_at(&Uid::from(format!("e{i}").as_str()), 1).is_some());
+        }
+        // Two more inserts push len past the cap and trigger one batch
+        // eviction of the oldest (cap/10 + excess) entries.
+        insert(&c, "e12", "n12", 1);
+        insert(&c, "e13", "n13", 1);
+        for i in touched {
+            assert!(
+                c.get_at(&Uid::from(format!("e{i}").as_str()), 1).is_some(),
+                "recently touched e{i} must survive eviction"
+            );
+            assert!(c.id_by_name(&format!("nk/n{i}")).is_some());
+        }
+        // Every evicted entry must be globally older than every survivor
+        // was at eviction time — i.e. all victims come from the untouched
+        // set, and their secondary index entries are cleaned.
+        let evicted: Vec<usize> = (0..14)
+            .filter(|i| c.get_at(&Uid::from(format!("e{i}").as_str()), 1).is_none())
+            .collect();
+        assert!(!evicted.is_empty(), "inserting past the cap must evict");
+        for i in &evicted {
+            assert!(!touched.contains(i), "touched e{i} evicted before older entries");
+            assert!(c.id_by_name(&format!("nk/n{i}")).is_none());
+            assert!(c.id_by_path(&format!("pk/p{i}")).is_none());
+        }
+        // The newest inserts are by definition the most recent ticks.
+        assert!(c.get_at(&Uid::from("e13"), 1).is_some());
+    }
+
+    #[test]
+    fn eviction_racing_readers_never_tears_the_pin() {
+        // Evictions take shard write locks while readers probe shards and
+        // read the seqlock pin. A reader must never observe a torn
+        // (version, csn) pair or a panic, no matter how eviction and pin
+        // advance interleave with its probes.
+        let (c, stats) = cache_with(16);
+        let c = std::sync::Arc::new(c);
+        let writer = {
+            let c = c.clone();
+            std::thread::spawn(move || {
+                for v in 1..=4_000u64 {
+                    let _gate = c.write_gate();
+                    // Insert with a fresh id each round: len keeps crossing
+                    // the cap, so evict_lru runs constantly.
+                    c.insert(
+                        entity(&format!("w{v}"), &format!("wn{v}")),
+                        v,
+                        format!("nk/wn{v}"),
+                        Some(format!("pk/wp{v}")),
+                    );
+                    c.advance(v, v);
+                }
+            })
+        };
+        let mut readers = Vec::new();
+        for r in 0..3 {
+            let c = c.clone();
+            readers.push(std::thread::spawn(move || {
+                let mut last = 0u64;
+                loop {
+                    let (v, csn) = c.pin();
+                    assert_eq!(v, csn, "torn pin observed by reader {r}");
+                    assert!(v >= last, "pin went backwards under eviction");
+                    last = v;
+                    // Probe entries that may be mid-eviction: any outcome
+                    // (hit at some version ≤ asked, cached miss, absent) is
+                    // legal; what matters is no torn state and no deadlock.
+                    let probe = Uid::from(format!("w{}", v.max(1)).as_str());
+                    if let Some(Some(hit)) = c.get_at(&probe, v) {
+                        assert!(hit.name.starts_with("wn"));
+                    }
+                    if v >= 4_000 {
+                        break;
+                    }
+                    std::hint::spin_loop();
+                }
+            }));
+        }
+        writer.join().unwrap();
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert!(stats.evictions.get() > 0, "the race must actually exercise eviction");
+        assert!(c.entry_count() <= 16 + 16 / 10 + 1, "cap respected after the storm");
+    }
+
+    #[test]
     fn shard_count_rounds_to_power_of_two_and_one_shard_works() {
         let stats = CacheStats::default();
         let c = MsCache::new(1, 1000, stats.clone());

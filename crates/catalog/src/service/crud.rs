@@ -429,6 +429,20 @@ impl UnityCatalog {
         let now = self.now_ms();
         let leaf = spec.name.asset().unwrap().to_string();
         let created = self.write_ms(ms, |tx, _ver, fx| {
+            // Re-validate the parent inside the transaction: the chain was
+            // resolved from the cache, and the schema may have been dropped
+            // concurrently. Without this read (which also lands in the
+            // transaction's validated read set) the create would succeed
+            // and orphan the table under a soft-deleted schema — the
+            // history checker caught exactly this interleaving.
+            let live_parent = tx
+                .get(T_ENTITY, &keys::ent_key(ms, &schema_ent.id))
+                .map(|raw| Entity::decode(&raw))
+                .transpose()?
+                .is_some_and(|e| e.is_active());
+            if !live_parent {
+                return Err(UcError::NotFound(spec.name.to_string()));
+            }
             let nk = keys::name_key(ms, Some(&schema_ent.id), SecurableKind::Table.name_group(), &leaf);
             if tx.get(T_NAME, &nk).is_some() {
                 return Err(UcError::AlreadyExists(spec.name.to_string()));
@@ -840,13 +854,20 @@ impl UnityCatalog {
         let mut out = Vec::new();
         for (_, id_raw) in rt.scan_prefix(T_NAME, &prefix) {
             let id = Uid::from_string(String::from_utf8(id_raw.to_vec()).unwrap_or_default());
-            if let Some(ent) = self.entity_by_id(ms, &id)? {
+            // Resolve entities at the scan's own snapshot, not through the
+            // cache: the cache may have advanced past the scan, and mixing
+            // the two yields a listing no single metastore version ever
+            // held (a concurrently dropped child vanishes from the scan's
+            // results while a concurrently created one stays invisible).
+            // The history checker flags such composite listings.
+            if let Some(ent) = self.db_entity_by_id(&rt, ms, &id)? {
                 let full = self.chain_from_entity(ms, ent.clone())?;
                 if Self::authz_of(&full).can_see(&who) {
                     out.push(ent);
                 }
             }
         }
+        super::history_read_event(crate::cache::read_ms_version(&rt, ms));
         Ok(out)
     }
 

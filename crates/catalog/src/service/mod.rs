@@ -33,6 +33,7 @@ use bytes::Bytes;
 use parking_lot::RwLock;
 use uc_cloudstore::faults::{points, FaultPlan};
 use uc_cloudstore::latency::{LatencyModel, OpClass};
+use uc_cloudstore::sched;
 use uc_cloudstore::{AccessLevel, Clock, ObjectStore, RootCredential, StoragePath, TempCredential};
 use uc_obs::{Counter, Histogram, Obs, SpanGuard};
 use uc_txdb::{Db, ReadTxn, TxError, WriteTxn};
@@ -47,6 +48,17 @@ use crate::ids::Uid;
 use crate::model::entity::{Entity, PrincipalRecord};
 use crate::model::keys::{self, T_ENTITY, T_MSVER, T_NAME, T_PRINCIPAL};
 use crate::types::{FullName, SecurableKind};
+
+/// Annotate the active request span with the metastore version a read
+/// was served at. The uc-check history recorder consumes these
+/// `history.read` events to reconstruct each operation's observed
+/// snapshot window. One thread-local probe and no formatting when no
+/// span is active, so the cached hit path stays cheap.
+fn history_read_event(version: u64) {
+    if uc_obs::current_span_id().is_some() {
+        uc_obs::span_event("history.read", &format!("version={version}"));
+    }
+}
 
 /// Node configuration.
 #[derive(Clone)]
@@ -428,10 +440,13 @@ impl UnityCatalog {
     ) -> UcResult<Option<Arc<Entity>>> {
         let mut missed = false;
         for _ in 0..8 {
+            // Yield outside the write gate: a parked client holds no lock.
+            sched::yield_point(sched::points::READ_LOOKUP);
             if let Some(id) = cache.id_by_name(name_key) {
                 let ver = cache.version();
                 if let Some(hit) = cache.get_at(&id, ver) {
                     self.cache.stats.hits.fetch_add(1, Ordering::Relaxed);
+                    history_read_event(ver);
                     return Ok(hit);
                 }
             }
@@ -460,9 +475,11 @@ impl UnityCatalog {
             if let Some(ent) = &found {
                 self.install_in_cache(cache, ms, ent, db_ver);
             }
+            history_read_event(db_ver);
             return Ok(found);
         }
         let rt = self.db.begin_read();
+        history_read_event(read_ms_version(&rt, ms));
         self.db_entity_by_name(&rt, ms, name_key)
     }
 
@@ -486,9 +503,11 @@ impl UnityCatalog {
     ) -> UcResult<Option<Arc<Entity>>> {
         let mut missed = false;
         for _ in 0..8 {
+            sched::yield_point(sched::points::READ_LOOKUP);
             let ver = cache.version();
             if let Some(hit) = cache.get_at(id, ver) {
                 self.cache.stats.hits.fetch_add(1, Ordering::Relaxed);
+                history_read_event(ver);
                 return Ok(hit);
             }
             if !missed {
@@ -512,9 +531,11 @@ impl UnityCatalog {
             if let Some(ent) = &found {
                 self.install_in_cache(cache, ms, ent, db_ver);
             }
+            history_read_event(db_ver);
             return Ok(found);
         }
         let rt = self.db.begin_read();
+        history_read_event(read_ms_version(&rt, ms));
         self.db_entity_by_id(&rt, ms, id)
     }
 
@@ -575,6 +596,12 @@ impl UnityCatalog {
         let cache_arc = self.cache.for_metastore(ms);
         let mut attempts = 0;
         loop {
+            // Interleaving-exploration yields bracket the attempt: before
+            // the snapshot is taken, before the commit, and (below) after
+            // the commit but before the cache apply. All are placed outside
+            // the write gate and the DB commit lock so a parked client
+            // never wedges the running one. No-ops outside scheduled runs.
+            sched::yield_point(sched::points::WRITE_BEGIN);
             let mut tx = self.db.begin_write();
             let cur: u64 = tx
                 .get(T_MSVER, ms.as_str())
@@ -582,10 +609,25 @@ impl UnityCatalog {
                 .and_then(|s| s.parse().ok())
                 .unwrap_or(0);
             let mut fx = WriteEffects::default();
-            let out = f(&mut tx, cur, &mut fx)?;
+            let out = match f(&mut tx, cur, &mut fx) {
+                Ok(out) => out,
+                Err(e) => {
+                    // The closure decided at metastore version `cur`; the
+                    // history checker verifies the error against the model
+                    // state at exactly that version.
+                    uc_obs::span_event("history.abort", &format!("version={cur}"));
+                    return Err(e);
+                }
+            };
             tx.put(T_MSVER, ms.as_str(), Bytes::from((cur + 1).to_string()));
+            sched::yield_point(sched::points::WRITE_PRECOMMIT);
             match tx.commit() {
                 Ok(csn) => {
+                    uc_obs::span_event(
+                        "history.commit",
+                        &format!("version={} csn={csn}", cur + 1),
+                    );
+                    sched::yield_point(sched::points::WRITE_POSTCOMMIT);
                     // CATALOG_CACHE_SKIP models a node crashing between the
                     // database commit and its write-through cache update:
                     // the commit is durable but this node's cache lags until

@@ -1,0 +1,56 @@
+//! CI quick gate for the interleaving explorer.
+//!
+//! Runs a fixed seed set in both scheduler modes, printing each run's
+//! fingerprint (schedule trace + canonical history) to stdout so CI can
+//! diff two invocations byte-for-byte. Then proves the checker has teeth:
+//! with commit validation weakened, at least one seed must produce a
+//! violation. Exits non-zero on any clean-run violation or if the
+//! weakened runs all pass.
+
+use uc_check::explorer::{run_one, sched_seed, RunConfig};
+use uc_cloudstore::sched::SchedMode;
+
+fn main() {
+    let base = sched_seed(0xC0FFEE);
+    let modes = [
+        ("random_walk", SchedMode::RandomWalk),
+        ("pct", SchedMode::Pct { depth: 3 }),
+    ];
+    let mut failed = false;
+
+    for offset in 0..4u64 {
+        let seed = base.wrapping_add(offset);
+        for (mode_name, mode) in modes {
+            let out = run_one(&RunConfig::new(seed, mode));
+            println!("=== seed={seed} mode={mode_name} ===");
+            print!("{}", out.fingerprint());
+            if !out.violations.is_empty() {
+                failed = true;
+                eprintln!("VIOLATIONS at seed={seed} mode={mode_name}:");
+                for v in &out.violations {
+                    eprintln!("  {v}");
+                }
+            }
+        }
+    }
+
+    // Teeth: weakened commit validation must be caught on some seed.
+    let mut teeth = false;
+    for offset in 0..8u64 {
+        let mut cfg = RunConfig::new(base.wrapping_add(offset), SchedMode::RandomWalk);
+        cfg.weaken_commit = true;
+        if !run_one(&cfg).violations.is_empty() {
+            teeth = true;
+            break;
+        }
+    }
+    if !teeth {
+        eprintln!("checker has no teeth: weakened commit validation went undetected");
+        failed = true;
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+    eprintln!("check_quick: all clean runs passed; weakened run detected");
+}

@@ -1,0 +1,201 @@
+//! The deterministic interleaving explorer.
+//!
+//! One run = one seeded [`Scheduler`] driving `clients` cooperative client
+//! threads through a planned workload against a fresh in-memory world.
+//! Both the interleaving (the scheduler trace) and the outcome (the
+//! recorded [`History`]) are pure functions of the [`RunConfig`], so a
+//! failing run replays exactly from its seed — set `UC_SCHED_SEED` to pin
+//! one, mirroring `UC_CHAOS_SEED` in the chaos suite.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use uc_catalog::service::{Context, UcConfig, UnityCatalog};
+use uc_cloudstore::faults::FaultPlan;
+use uc_cloudstore::sched::{points, yield_point, Scheduler, SchedMode};
+use uc_cloudstore::{Clock, LatencyModel, ObjectStore, StsService};
+use uc_obs::{Obs, TraceRecord};
+use uc_txdb::{Db, DbConfig};
+
+use crate::checker::{check, Violation};
+use crate::history::{assemble, DriverRow, History};
+use crate::workload::{exec_op, initial_model, plan_ops, seed_world};
+
+const ADMIN: &str = "root";
+
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    pub seed: u64,
+    pub clients: usize,
+    pub ops_per_client: usize,
+    pub mode: SchedMode,
+    /// Test-only: disable the transaction commit validation to prove the
+    /// checker catches the resulting lost-update/duplicate-version runs.
+    pub weaken_commit: bool,
+}
+
+impl RunConfig {
+    pub fn new(seed: u64, mode: SchedMode) -> RunConfig {
+        RunConfig { seed, clients: 3, ops_per_client: 12, mode, weaken_commit: false }
+    }
+}
+
+#[derive(Clone, Debug)]
+pub struct RunOutput {
+    /// The scheduler's step-by-step interleaving trace.
+    pub schedule: String,
+    pub history: History,
+    pub violations: Vec<Violation>,
+}
+
+impl RunOutput {
+    /// Byte-stable fingerprint: schedule trace + canonical history.
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "schedule:\n{}history:\n{}",
+            self.schedule,
+            self.history.canonical_text()
+        )
+    }
+}
+
+/// Resolve the explorer seed: `UC_SCHED_SEED` env override or the default.
+/// Prints the seed so any failure is replayable.
+pub fn sched_seed(default: u64) -> u64 {
+    let seed = std::env::var("UC_SCHED_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default);
+    eprintln!("UC_SCHED_SEED={seed}");
+    seed
+}
+
+/// Execute one fully-deterministic exploration run and check its history.
+pub fn run_one(cfg: &RunConfig) -> RunOutput {
+    // --- world ---------------------------------------------------------
+    let plan = FaultPlan::disabled();
+    let clock = Clock::manual(0);
+    let obs_clock = clock.clone();
+    let obs = Obs::with_clock_fn(Arc::new(move || obs_clock.now_ms()));
+    let sts = StsService::new(clock).with_faults(plan.clone()).with_obs(obs.clone());
+    let store = ObjectStore::with_faults(sts, LatencyModel::zero(), plan.clone())
+        .with_obs(obs.clone());
+    let db = Db::new(DbConfig { faults: plan.clone(), obs: obs.clone(), ..Default::default() });
+    let uc = UnityCatalog::new(
+        db.clone(),
+        store.clone(),
+        UcConfig { faults: plan, obs: obs.clone(), ..Default::default() },
+        "node-0",
+    );
+    let ms = uc.create_metastore(ADMIN, "check", "us-west-2").unwrap();
+    let ctx = Context::user(ADMIN);
+    seed_world(&uc, &ctx, &ms);
+    if cfg.weaken_commit {
+        db.set_unsafe_skip_commit_validation(true);
+    }
+
+    // --- base version probe (own span, so its reads are recorded) ------
+    let base_version = {
+        let span = obs.span("check", "probe");
+        let _ = span;
+        let probe_trace = uc_obs::current_trace_id().expect("probe span active");
+        uc.get_table(&ctx, &ms, "main.s.seed0").unwrap();
+        drop(span);
+        max_read_version(&obs.tracer().records(), probe_trace)
+            .expect("probe recorded a read version")
+    };
+
+    // --- concurrent phase under the scheduler --------------------------
+    let steps_hint = (cfg.clients * cfg.ops_per_client * 8) as u64;
+    let sched = Scheduler::new(cfg.seed, cfg.clients, cfg.mode, steps_hint);
+    let plans = plan_ops(cfg.seed, cfg.clients, cfg.ops_per_client);
+    let rows: Arc<Mutex<Vec<DriverRow>>> = Arc::new(Mutex::new(Vec::new()));
+    let seq = Arc::new(AtomicU64::new(0));
+
+    let mut handles = Vec::new();
+    for (i, ops) in plans.into_iter().enumerate() {
+        let sched = sched.clone();
+        let uc = uc.clone();
+        let ctx = ctx.clone();
+        let ms = ms.clone();
+        let obs = obs.clone();
+        let rows = rows.clone();
+        let seq = seq.clone();
+        handles.push(std::thread::spawn(move || {
+            sched.register_current(i);
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                for (k, op) in ops.iter().enumerate() {
+                    yield_point(points::OP_START);
+                    // The baton serializes clients, so fetch_add observes a
+                    // deterministic global op order.
+                    let s = seq.fetch_add(1, Ordering::SeqCst);
+                    let span = obs.span("check", &format!("c{i}.op{k}"));
+                    let trace_id = uc_obs::current_trace_id().expect("op span active");
+                    let resp = exec_op(&uc, &ctx, &ms, op);
+                    drop(span);
+                    rows.lock().push(DriverRow {
+                        seq: s,
+                        client: i,
+                        op: op.clone(),
+                        resp,
+                        trace_id,
+                    });
+                }
+            }));
+            // Always hand the baton back, even on panic, or the run hangs.
+            uc_cloudstore::sched::finish_current();
+            if let Err(p) = result {
+                resume_unwind(p);
+            }
+        }));
+    }
+    sched.run_to_completion();
+    for h in handles {
+        h.join().expect("client thread panicked");
+    }
+
+    // --- assemble & check ----------------------------------------------
+    let records = obs.tracer().records();
+    let rows = Arc::try_unwrap(rows).expect("rows still shared").into_inner();
+    let history = assemble(base_version, rows, &records);
+    let violations = check(&history, &initial_model());
+    RunOutput { schedule: sched.trace_text(), history, violations }
+}
+
+fn max_read_version(records: &[TraceRecord], trace_id: u64) -> Option<u64> {
+    records
+        .iter()
+        .filter_map(|r| match r {
+            TraceRecord::Event { trace_id: t, name, detail, .. }
+                if *t == trace_id && name == "history.read" =>
+            {
+                detail
+                    .split_whitespace()
+                    .find_map(|tok| tok.strip_prefix("version=")?.parse().ok())
+            }
+            _ => None,
+        })
+        .max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_client_run_is_clean_and_deterministic() {
+        let cfg = RunConfig {
+            seed: 1,
+            clients: 1,
+            ops_per_client: 8,
+            mode: SchedMode::RandomWalk,
+            weaken_commit: false,
+        };
+        let a = run_one(&cfg);
+        let b = run_one(&cfg);
+        assert_eq!(a.violations, vec![], "{:#?}", a.violations);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+}

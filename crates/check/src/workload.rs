@@ -1,0 +1,242 @@
+//! Seeded multi-client catalog workloads for the interleaving explorer.
+//!
+//! Every op is drawn from a deterministic xorshift stream keyed by the run
+//! seed, so a `(seed, clients, ops_per_client)` triple fully determines
+//! *what* each client does; the [`uc_cloudstore::sched::Scheduler`]
+//! determines *in what order*.
+
+use std::sync::Arc;
+
+use uc_catalog::service::crud::TableSpec;
+use uc_catalog::service::{Context, UnityCatalog};
+use uc_catalog::types::{FullName, TableFormat};
+use uc_catalog::Uid;
+use uc_delta::value::{DataType, Field, Schema};
+
+use crate::model::{ModelOp, ModelState};
+
+const SCHEMAS: [&str; 2] = ["s", "s2"];
+const TABLES: [&str; 4] = ["t0", "t1", "t2", "t3"];
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        let mixed = splitmix64(seed ^ 0x5eed_5eed_5eed_5eed);
+        Rng(if mixed == 0 { 0x9e37_79b9_7f4a_7c15 } else { mixed })
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// External-table path for a (schema, table) pair. `t3` and `t2` share a
+/// deliberate prefix overlap so the one-asset-per-path rule is exercised.
+pub fn path_for(schema: &str, table: &str) -> String {
+    match table {
+        "t3" => "s3://lake/ext/shared".to_string(),
+        "t2" => "s3://lake/ext/shared/sub".to_string(),
+        _ => format!("s3://lake/ext/{schema}/{table}"),
+    }
+}
+
+/// Deterministically plan every client's op sequence for a run.
+pub fn plan_ops(seed: u64, clients: usize, ops_per_client: usize) -> Vec<Vec<ModelOp>> {
+    (0..clients)
+        .map(|c| {
+            let mut rng = Rng::new(seed.wrapping_add(0x1000 * (c as u64 + 1)));
+            (0..ops_per_client)
+                .map(|k| {
+                    let schema = if rng.below(4) < 3 { SCHEMAS[0] } else { SCHEMAS[1] };
+                    let table = TABLES[rng.below(4) as usize];
+                    match rng.below(100) {
+                        0..=24 => ModelOp::CreateTable {
+                            schema: schema.into(),
+                            name: table.into(),
+                            path: path_for(schema, table),
+                        },
+                        25..=44 => ModelOp::GetTable { schema: schema.into(), name: table.into() },
+                        45..=59 => ModelOp::UpdateComment {
+                            schema: schema.into(),
+                            name: table.into(),
+                            comment: format!("c{c}_{k}"),
+                        },
+                        60..=69 => {
+                            let mut target = TABLES[rng.below(4) as usize];
+                            if target == table {
+                                target = TABLES[(TABLES.iter().position(|t| *t == table).unwrap()
+                                    + 1)
+                                    % TABLES.len()];
+                            }
+                            ModelOp::RenameTable {
+                                schema: schema.into(),
+                                name: table.into(),
+                                new_name: target.into(),
+                            }
+                        }
+                        70..=84 => ModelOp::DropTable { schema: schema.into(), name: table.into() },
+                        85..=89 => ModelOp::ListTables { schema: schema.into() },
+                        90..=94 => ModelOp::CreateSchema { name: SCHEMAS[1].into() },
+                        _ => ModelOp::DropSchema { name: SCHEMAS[1].into() },
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn int_schema() -> Schema {
+    Schema::new(vec![Field::new("x", DataType::Int)])
+}
+
+fn digest_err(e: &uc_catalog::UcError) -> String {
+    use uc_catalog::UcError;
+    match e {
+        UcError::NotFound(_) => "err:not_found".into(),
+        UcError::AlreadyExists(_) => "err:already_exists".into(),
+        UcError::PathConflict { .. } => "err:path_conflict".into(),
+        other => format!("err:other:{other}"),
+    }
+}
+
+/// Execute one planned op against the live catalog, producing the same
+/// response digest format as [`ModelState::apply`].
+pub fn exec_op(uc: &UnityCatalog, ctx: &Context, ms: &Uid, op: &ModelOp) -> String {
+    match op {
+        ModelOp::CreateSchema { name } => match uc.create_schema(ctx, ms, "main", name) {
+            Ok(ent) => format!("ok:schema:{}", ent.name),
+            Err(e) => digest_err(&e),
+        },
+        ModelOp::DropSchema { name } => {
+            let full = FullName::parse(&format!("main.{name}")).unwrap();
+            match uc.drop_securable(ctx, ms, &full, "schema") {
+                Ok(n) => format!("ok:dropped:{n}"),
+                Err(e) => digest_err(&e),
+            }
+        }
+        ModelOp::CreateTable { schema, name, path } => {
+            let spec = TableSpec::external(
+                &format!("main.{schema}.{name}"),
+                int_schema(),
+                path,
+                TableFormat::Delta,
+            )
+            .expect("valid table spec");
+            match uc.create_table(ctx, ms, spec) {
+                Ok(ent) => format!("ok:table:{}", ent.name),
+                Err(e) => digest_err(&e),
+            }
+        }
+        ModelOp::GetTable { schema, name } => {
+            match uc.get_table(ctx, ms, &format!("main.{schema}.{name}")) {
+                Ok(ent) => format!(
+                    "ok:get:{}:comment={}:path={}",
+                    ent.name,
+                    ent.comment.as_deref().unwrap_or("-"),
+                    ent.storage_path.as_deref().unwrap_or("-")
+                ),
+                Err(e) => digest_err(&e),
+            }
+        }
+        ModelOp::UpdateComment { schema, name, comment } => {
+            let full = FullName::parse(&format!("main.{schema}.{name}")).unwrap();
+            match uc.update_comment(ctx, ms, &full, "relation", comment) {
+                Ok(ent) => format!(
+                    "ok:comment:{}:{}",
+                    ent.name,
+                    ent.comment.as_deref().unwrap_or("-")
+                ),
+                Err(e) => digest_err(&e),
+            }
+        }
+        ModelOp::RenameTable { schema, name, new_name } => {
+            let full = FullName::parse(&format!("main.{schema}.{name}")).unwrap();
+            match uc.rename_securable(ctx, ms, &full, "relation", new_name) {
+                Ok(ent) => format!("ok:renamed:{}", ent.name),
+                Err(e) => digest_err(&e),
+            }
+        }
+        ModelOp::DropTable { schema, name } => {
+            let full = FullName::parse(&format!("main.{schema}.{name}")).unwrap();
+            match uc.drop_securable(ctx, ms, &full, "relation") {
+                Ok(n) => format!("ok:dropped:{n}"),
+                Err(e) => digest_err(&e),
+            }
+        }
+        ModelOp::ListTables { schema } => {
+            let full = FullName::parse(&format!("main.{schema}")).unwrap();
+            match uc.list_children(ctx, ms, &full, None) {
+                Ok(children) => {
+                    let mut names: Vec<String> =
+                        children.iter().map(|e| e.name.clone()).collect();
+                    names.sort_unstable();
+                    format!("ok:list:[{}]", names.join(","))
+                }
+                Err(e) => digest_err(&e),
+            }
+        }
+    }
+}
+
+/// Build the world's seed content through the live catalog: catalog `main`,
+/// schema `s`, and one external probe table `main.s.seed0`.
+pub fn seed_world(uc: &Arc<UnityCatalog>, ctx: &Context, ms: &Uid) {
+    uc.create_catalog(ctx, ms, "main").unwrap();
+    uc.create_schema(ctx, ms, "main", "s").unwrap();
+    let spec = TableSpec::external(
+        "main.s.seed0",
+        int_schema(),
+        "s3://lake/ext/s/seed0",
+        TableFormat::Delta,
+    )
+    .unwrap();
+    uc.create_table(ctx, ms, spec).unwrap();
+}
+
+/// The sequential-model mirror of [`seed_world`]'s end state.
+pub fn initial_model() -> ModelState {
+    let mut m = ModelState::new();
+    let s = m.seed_schema("s");
+    m.seed_table(s, "seed0", "s3://lake/ext/s/seed0");
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic_per_seed() {
+        let a = plan_ops(7, 3, 20);
+        let b = plan_ops(7, 3, 20);
+        let c = plan_ops(8, 3, 20);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 3);
+        assert!(a.iter().all(|ops| ops.len() == 20));
+    }
+
+    #[test]
+    fn shared_paths_overlap_by_design() {
+        assert!(crate::model::paths_overlap(&path_for("s", "t3"), &path_for("s2", "t2")));
+        assert!(!crate::model::paths_overlap(&path_for("s", "t0"), &path_for("s2", "t0")));
+    }
+}

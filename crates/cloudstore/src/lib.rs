@@ -18,6 +18,9 @@
 //!   model a remote object store.
 //! * [`FaultPlan`] — seeded, deterministic fault injection shared across
 //!   the storage, database, and catalog layers for replayable chaos tests.
+//! * [`Scheduler`] — seeded cooperative scheduling of multi-client
+//!   workloads through named yield points, extending FaultPlan determinism
+//!   from "when ops fail" to "in what order ops run".
 //!
 //! Authorization model: each bucket is registered with a *root credential*
 //! (held only by the catalog service in the full system). Clients never see
@@ -31,6 +34,7 @@ pub mod error;
 pub mod faults;
 pub mod latency;
 pub mod path;
+pub mod sched;
 pub mod store;
 
 pub use clock::Clock;
@@ -39,4 +43,5 @@ pub use error::{StorageError, StorageResult};
 pub use faults::{FaultEvent, FaultMode, FaultPlan};
 pub use latency::{LatencyModel, OpClass};
 pub use path::StoragePath;
+pub use sched::{SchedMode, Scheduler};
 pub use store::{ObjectMeta, ObjectStore};

@@ -1,7 +1,7 @@
 //! The database handle: versioned storage, commit sequencing, GC.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -97,6 +97,10 @@ pub(crate) struct DbInner {
     pub stats: DbStats,
     pub faults: FaultPlan,
     pub obs: Obs,
+    /// Test-only mutation switch: when set, commits skip serializability
+    /// validation entirely. Exists so the history checker can prove it
+    /// detects the resulting lost-update/duplicate-version anomalies.
+    pub weaken_validation: AtomicBool,
 }
 
 /// Shareable database handle. Cloning shares the storage — the model for
@@ -119,6 +123,7 @@ impl Db {
                 stats: DbStats::wired(config.obs.registry()),
                 faults: config.faults,
                 obs: config.obs,
+                weaken_validation: AtomicBool::new(false),
             }),
         }
     }
@@ -172,6 +177,15 @@ impl Db {
     /// Observability handle this database records into.
     pub fn obs(&self) -> &Obs {
         &self.inner.obs
+    }
+
+    /// Test-only: disable (or restore) commit-time serializability
+    /// validation. With validation off, concurrent writers silently lose
+    /// updates — the deliberate wound `uc-check` must detect. Never call
+    /// this outside checker "teeth" tests.
+    #[doc(hidden)]
+    pub fn set_unsafe_skip_commit_validation(&self, skip: bool) {
+        self.inner.weaken_validation.store(skip, Ordering::Relaxed);
     }
 
     /// Read one row outside any transaction, at the latest committed state.

@@ -207,10 +207,16 @@ impl WriteTxn {
             });
         }
 
+        // Interleaving-exploration yield: placed before the commit lock so
+        // a parked client never holds it. A no-op outside scheduled runs.
+        uc_cloudstore::sched::yield_point(uc_cloudstore::sched::points::TXDB_COMMIT);
+
         let _commit_guard = inner.commit_lock.lock();
 
         // --- Validation phase (under commit lock; no commits can interleave).
-        {
+        // The weaken switch exists only to prove the history checker spots
+        // the anomalies validation prevents; see Db::set_unsafe_skip_commit_validation.
+        if !inner.weaken_validation.load(std::sync::atomic::Ordering::Relaxed) {
             let tables = inner.tables.read();
             let conflicting_key = |table: &str, key: &str| -> bool {
                 tables
