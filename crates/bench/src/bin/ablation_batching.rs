@@ -5,7 +5,7 @@
 //! metadata, authorization, FGAC, credentials — versus paying the
 //! network hop per securable.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use uc_bench::{fmt_dur, print_table, World, WorldConfig, ADMIN};
 use uc_catalog::service::crud::TableSpec;
@@ -43,7 +43,7 @@ fn main() {
 
         // batched: one call resolves view + all bases + credentials
         let trusted = uc_catalog::service::Context::trusted(ADMIN, "dbr");
-        let t0 = Instant::now();
+        let t0 = uc_bench::Stopwatch::start();
         let resolved = world
             .uc
             .resolve_for_query(&trusted, &world.ms, &[FullName::parse(&view).unwrap()], true)
@@ -53,7 +53,7 @@ fn main() {
         let batched_calls = 1;
 
         // unbatched: one metadata call + one credential call per securable
-        let t0 = Instant::now();
+        let t0 = uc_bench::Stopwatch::start();
         for dep in &deps {
             world.uc.get_securable(&trusted, &world.ms, dep, "relation").unwrap();
             world

@@ -6,7 +6,6 @@
 //! entities reprocessed) and wall time for both strategies across a
 //! series of incremental updates.
 
-use std::time::Instant;
 
 use uc_bench::{fmt_dur, print_table, World, WorldConfig, ADMIN};
 use uc_catalog::service::crud::TableSpec;
@@ -46,10 +45,10 @@ fn main() {
             .uc
             .create_table(&ctx, &world.ms, TableSpec::managed(&format!("main.s.new{round}"), schema.clone()).unwrap())
             .unwrap();
-        let t0 = Instant::now();
+        let t0 = uc_bench::Stopwatch::start();
         eventful.sync().unwrap();
         event_time += t0.elapsed();
-        let t0 = Instant::now();
+        let t0 = uc_bench::Stopwatch::start();
         poller.sync_by_polling().unwrap();
         poll_time += t0.elapsed();
         assert_eq!(eventful.search(ADMIN, &format!("new{round}")).unwrap().len(), 1);

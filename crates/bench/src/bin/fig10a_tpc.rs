@@ -13,7 +13,7 @@
 //!   HMS: one get_table per referenced table (direct DB), then scans with
 //!        credentials the client already holds (no vending, no checks).
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use uc_bench::{mean_std_ms, print_table, World, WorldConfig, ADMIN};
 use uc_catalog::service::crud::TableSpec;
@@ -113,7 +113,7 @@ fn run_query_uc(setup: &Setup, catalog: &str, q: &BenchQuery) -> Duration {
         .iter()
         .map(|t| FullName::parse(&format!("{catalog}.bench.{t}")).unwrap())
         .collect();
-    let t0 = Instant::now();
+    let t0 = uc_bench::Stopwatch::start();
     let resolved = setup
         .world
         .uc
@@ -131,7 +131,7 @@ fn run_query_uc(setup: &Setup, catalog: &str, q: &BenchQuery) -> Duration {
 
 /// One query through local HMS: per-table metadata reads + direct scans.
 fn run_query_hms(setup: &Setup, q: &BenchQuery, root: &Credential) -> Duration {
-    let t0 = Instant::now();
+    let t0 = uc_bench::Stopwatch::start();
     for t in &q.tables {
         let meta = setup.hms.get_table("bench", t).unwrap();
         let path = uc_cloudstore::StoragePath::parse(meta.location.as_ref().unwrap()).unwrap();

@@ -10,7 +10,7 @@
 //! scans touch many objects, compaction plus min/max pruning reduces the
 //! touched set to ~1.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use uc_bench::{fmt_bytes, fmt_dur, print_table, World, WorldConfig};
 use uc_catalog::service::crud::TableSpec;
@@ -63,7 +63,7 @@ fn main() {
         let span = (TOTAL_ROWS as f64 * selectivity) as i64;
         let lo = (TOTAL_ROWS as i64 - span) / 2;
         let pred = Expr::cmp("id", CmpOp::Ge, lo).and(Expr::cmp("id", CmpOp::Lt, lo + span));
-        let t0 = Instant::now();
+        let t0 = uc_bench::Stopwatch::start();
         let (rows, files) = table
             .scan_snapshot(&cred, &snapshot, Some(&pred), &uc_delta::expr::EvalContext::anonymous())
             .unwrap();
@@ -76,7 +76,7 @@ fn main() {
     let bytes_before = table.physical_bytes(&cred).unwrap();
 
     println!("running predictive optimization (OPTIMIZE to {OPTIMIZE_TARGET}-row files + VACUUM)…");
-    let t0 = Instant::now();
+    let t0 = uc_bench::Stopwatch::start();
     let opt = table.optimize(&cred, OPTIMIZE_TARGET).unwrap();
     let bytes_with_garbage = table.physical_bytes(&cred).unwrap();
     let vac = table.vacuum(&cred).unwrap();

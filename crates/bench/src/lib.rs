@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Shared harness for the figure-regeneration binaries and benches.
 //!
 //! Every table and figure in the paper's evaluation (§6) has a binary in
@@ -7,13 +8,16 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use uc_catalog::ids::Uid;
 use uc_catalog::service::{Context, UcConfig, UnityCatalog};
 use uc_cloudstore::{LatencyModel, ObjectStore, StsService, Clock};
 use uc_obs::{Histogram, Obs};
 use uc_txdb::{Db, DbConfig};
+
+pub mod timer;
+pub use timer::Stopwatch;
 
 pub use uc_obs as obs;
 pub use uc_workload as workload;
@@ -135,14 +139,14 @@ pub fn closed_loop(
     let total = AtomicU64::new(0);
     let total = &total;
     let latencies = Histogram::new();
-    let start = Instant::now();
+    let start = Stopwatch::start();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             let latencies = latencies.clone();
             scope.spawn(move || {
                 let mut n = 0u64;
                 while start.elapsed() < duration {
-                    let t0 = Instant::now();
+                    let t0 = Stopwatch::start();
                     op();
                     latencies.record(t0.elapsed().as_nanos() as u64);
                     n += 1;
@@ -219,7 +223,7 @@ pub fn parse_snapshot(text: &str) -> std::collections::BTreeMap<String, Snapshot
 
 /// Time a single closure.
 pub fn time_it(f: impl FnOnce()) -> Duration {
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     f();
     t0.elapsed()
 }

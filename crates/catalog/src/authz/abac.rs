@@ -48,7 +48,7 @@ pub struct AbacPolicy {
 
 impl AbacPolicy {
     pub fn encode(&self) -> bytes::Bytes {
-        bytes::Bytes::from(serde_json::to_vec(self).expect("policy serializes"))
+        bytes::Bytes::from(crate::jsonutil::to_vec(self))
     }
 
     pub fn decode(data: &[u8]) -> UcResult<Self> {

@@ -22,7 +22,7 @@ pub struct RowFilterPolicy {
 
 impl RowFilterPolicy {
     pub fn encode(&self) -> bytes::Bytes {
-        bytes::Bytes::from(serde_json::to_vec(self).expect("policy serializes"))
+        bytes::Bytes::from(crate::jsonutil::to_vec(self))
     }
 
     pub fn decode(data: &[u8]) -> UcResult<Self> {
@@ -44,7 +44,7 @@ pub struct ColumnMaskPolicy {
 
 impl ColumnMaskPolicy {
     pub fn encode(&self) -> bytes::Bytes {
-        bytes::Bytes::from(serde_json::to_vec(self).expect("policy serializes"))
+        bytes::Bytes::from(crate::jsonutil::to_vec(self))
     }
 
     pub fn decode(data: &[u8]) -> UcResult<Self> {

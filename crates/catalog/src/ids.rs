@@ -1,6 +1,5 @@
 //! Unique identifiers.
 
-use rand::RngCore;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -14,11 +13,11 @@ use std::fmt;
 pub struct Uid(String);
 
 impl Uid {
-    /// Generate a fresh random id.
+    /// Generate a fresh random id from the audited process-wide seed
+    /// stream (UC_SEED-pinnable; never ambient `thread_rng`).
     pub fn generate() -> Self {
-        let mut rng = rand::thread_rng();
-        let hi = rng.next_u64();
-        let lo = rng.next_u64();
+        let hi = uc_cloudstore::seed::next_u64();
+        let lo = uc_cloudstore::seed::next_u64();
         Uid(format!("{hi:016x}{lo:016x}"))
     }
 

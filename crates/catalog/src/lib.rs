@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Unity Catalog: an open, universal Lakehouse catalog — Rust reproduction.
 //!
 //! This crate implements the paper's primary contribution: a multi-tenant
@@ -36,6 +37,7 @@ pub mod cache;
 pub mod error;
 pub mod events;
 pub mod ids;
+pub(crate) mod jsonutil;
 pub mod lineage;
 pub mod model;
 pub mod service;

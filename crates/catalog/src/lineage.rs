@@ -26,7 +26,7 @@ pub struct LineageEdge {
 
 impl LineageEdge {
     pub fn encode(&self) -> bytes::Bytes {
-        bytes::Bytes::from(serde_json::to_vec(self).expect("edge serializes"))
+        bytes::Bytes::from(crate::jsonutil::to_vec(self))
     }
 
     pub fn decode(data: &[u8]) -> UcResult<Self> {

@@ -127,7 +127,7 @@ impl Entity {
 
     /// Serialize for storage.
     pub fn encode(&self) -> Bytes {
-        Bytes::from(serde_json::to_vec(self).expect("entity serializes"))
+        Bytes::from(crate::jsonutil::to_vec(self))
     }
 
     /// Deserialize from storage.
@@ -149,7 +149,7 @@ impl Entity {
     pub fn set_table_schema(&mut self, schema: &Schema) {
         self.properties.insert(
             props::SCHEMA.to_string(),
-            serde_json::to_string(schema).expect("schema serializes"),
+            crate::jsonutil::to_string(schema),
         );
     }
 
@@ -178,7 +178,7 @@ impl Entity {
         let raw: Vec<&str> = deps.iter().map(|d| d.as_str()).collect();
         self.properties.insert(
             props::DEPENDENCIES.to_string(),
-            serde_json::to_string(&raw).expect("deps serialize"),
+            crate::jsonutil::to_string(&raw),
         );
     }
 
@@ -259,7 +259,7 @@ impl Entity {
     pub fn set_row_filter(&mut self, policy: &crate::authz::fgac::RowFilterPolicy) {
         self.properties.insert(
             "fgac:filter".to_string(),
-            serde_json::to_string(policy).expect("policy serializes"),
+            crate::jsonutil::to_string(policy),
         );
     }
 
@@ -277,7 +277,7 @@ impl Entity {
     pub fn set_column_mask(&mut self, policy: &crate::authz::fgac::ColumnMaskPolicy) {
         self.properties.insert(
             format!("fgac:mask:{}", policy.column),
-            serde_json::to_string(policy).expect("policy serializes"),
+            crate::jsonutil::to_string(policy),
         );
     }
 
@@ -300,7 +300,7 @@ impl Entity {
     pub fn set_abac_policy(&mut self, policy: &crate::authz::abac::AbacPolicy) {
         self.properties.insert(
             format!("abac:{}", policy.name),
-            serde_json::to_string(policy).expect("policy serializes"),
+            crate::jsonutil::to_string(policy),
         );
     }
 
@@ -327,7 +327,7 @@ impl Entity {
         } else {
             self.properties.insert(
                 "workspace_bindings".to_string(),
-                serde_json::to_string(workspaces).expect("bindings serialize"),
+                crate::jsonutil::to_string(workspaces),
             );
         }
     }
@@ -343,7 +343,7 @@ impl Entity {
     pub fn set_metastore_admins(&mut self, admins: &[String]) {
         self.properties.insert(
             props::ADMINS.to_string(),
-            serde_json::to_string(admins).expect("admins serialize"),
+            crate::jsonutil::to_string(admins),
         );
     }
 }
@@ -356,7 +356,7 @@ pub struct PrincipalRecord {
 
 impl PrincipalRecord {
     pub fn encode(&self) -> Bytes {
-        Bytes::from(serde_json::to_vec(self).expect("principal serializes"))
+        Bytes::from(crate::jsonutil::to_vec(self))
     }
 
     pub fn decode(data: &[u8]) -> UcResult<PrincipalRecord> {

@@ -301,6 +301,7 @@ pub fn registry() -> &'static HashMap<SecurableKind, AssetTypeManifest> {
 
 /// Look up one kind's manifest. Every kind is registered.
 pub fn manifest(kind: SecurableKind) -> &'static AssetTypeManifest {
+    // uc-lint: allow(hygiene) -- the registry is total over SecurableKind; a miss is a code bug
     registry().get(&kind).expect("all kinds registered")
 }
 

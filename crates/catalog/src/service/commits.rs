@@ -58,6 +58,7 @@ impl UnityCatalog {
         let full = self.chain_from_entity(ms, entity.clone())?;
         let who = self.authz_context(ms, &ctx.principal)?;
         if !Self::authz_of(&full).can_read_data(&who, Privilege::Select) {
+            self.record_audit(&ctx.principal, "readTableCommit", Some(table_id), AuditDecision::Deny, "");
             return Err(UcError::PermissionDenied("SELECT required to read commits".into()));
         }
         Ok(entity)

@@ -108,6 +108,7 @@ impl UnityCatalog {
         let _api = self.api_enter("add_metastore_admin");
         let who = self.authz_context(ms, &ctx.principal)?;
         if !who.is_metastore_admin {
+            self.record_audit(&ctx.principal, "addMetastoreAdmin", Some(ms), AuditDecision::Deny, principal);
             return Err(UcError::PermissionDenied("metastore admin required".into()));
         }
         self.update_entity_by_id(ms, ms, |e| {
@@ -118,6 +119,7 @@ impl UnityCatalog {
             e.set_metastore_admins(&admins);
             Ok(())
         })?;
+        self.record_audit(&ctx.principal, "addMetastoreAdmin", Some(ms), AuditDecision::Allow, principal);
         Ok(())
     }
 
@@ -192,6 +194,7 @@ impl UnityCatalog {
         if !(who.is_metastore_admin
             || authz.has_privilege(&who, crate::authz::Privilege::CreateExternalLocation))
         {
+            self.record_audit(&ctx.principal, "createExternalLocation", Some(ms), AuditDecision::Deny, name);
             return Err(UcError::PermissionDenied(
                 "CREATE_EXTERNAL_LOCATION on metastore required".into(),
             ));
@@ -312,6 +315,13 @@ impl UnityCatalog {
     // ------------------------------------------------------------------
 
     /// Shared pre-flight for creating a leaf asset under a schema:
+    /// The leaf segment of a three-part name, as an owned string.
+    fn leaf_of(name: &FullName) -> UcResult<String> {
+        name.asset()
+            .map(|s| s.to_string())
+            .ok_or_else(|| UcError::InvalidArgument(format!("expected catalog.schema.name, got {name}")))
+    }
+
     /// resolves the parent chain and checks the create privilege.
     fn authorize_create_in_schema(
         &self,
@@ -325,15 +335,27 @@ impl UnityCatalog {
                 "expected catalog.schema.name, got {name}"
             )));
         }
-        let chain = self.lookup_chain(ms, &FullName::of(&[name.catalog(), name.schema().unwrap()]), "schema")?;
+        let Some(schema_name) = name.schema() else {
+            return Err(UcError::InvalidArgument(format!("expected catalog.schema.name, got {name}")));
+        };
+        let chain = self.lookup_chain(ms, &FullName::of(&[name.catalog(), schema_name]), "schema")?;
         let full = self.chain_from_entity(ms, chain[0].clone())?;
         let who = self.authz_context(ms, &ctx.principal)?;
         let authz = Self::authz_of(&full);
-        let needed = manifest(kind)
-            .create_privilege
-            .expect("leaf kinds declare a create privilege");
+        let Some(needed) = manifest(kind).create_privilege else {
+            return Err(UcError::UnsupportedOperation(format!("{kind} cannot be created in a schema")));
+        };
         if !(authz.has_admin_authority(&who) || authz.has_privilege(&who, needed)) {
-            self.record_audit(&ctx.principal, "create", Some(&chain[0].id), AuditDecision::Deny, name);
+            // Audit with the kind-specific action so the trail matches the
+            // op that was denied, not a catch-all verb.
+            let action = match kind {
+                SecurableKind::Table => "createTable",
+                SecurableKind::View => "createView",
+                SecurableKind::Volume => "createVolume",
+                SecurableKind::Function => "createFunction",
+                _ => "createRegisteredModel",
+            };
+            self.record_audit(&ctx.principal, action, Some(&chain[0].id), AuditDecision::Deny, name);
             return Err(UcError::PermissionDenied(format!(
                 "{needed} on schema required to create {kind}"
             )));
@@ -390,12 +412,14 @@ impl UnityCatalog {
                 {
                     return Ok(());
                 }
+                self.record_audit(&ctx.principal, "useExternalPath", Some(&loc.id), AuditDecision::Deny, path);
                 return Err(UcError::PermissionDenied(format!(
                     "no create privilege on external location {}",
                     loc.name
                 )));
             }
         }
+        self.record_audit(&ctx.principal, "useExternalPath", None, AuditDecision::Deny, path);
         Err(UcError::PermissionDenied(format!(
             "no external location covers {path}"
         )))
@@ -427,7 +451,7 @@ impl UnityCatalog {
             }
         }
         let now = self.now_ms();
-        let leaf = spec.name.asset().unwrap().to_string();
+        let leaf = Self::leaf_of(&spec.name)?;
         let created = self.write_ms(ms, |tx, _ver, fx| {
             // Re-validate the parent inside the transaction: the chain was
             // resolved from the cache, and the schema may have been dropped
@@ -510,7 +534,7 @@ impl UnityCatalog {
             )));
         }
         let now = self.now_ms();
-        let leaf = name.asset().unwrap().to_string();
+        let leaf = Self::leaf_of(name)?;
         let created = self.write_ms(ms, |tx, _ver, fx| {
             let nk = keys::name_key(ms, Some(&schema_ent.id), SecurableKind::Table.name_group(), &leaf);
             if tx.get(T_NAME, &nk).is_some() {
@@ -565,6 +589,7 @@ impl UnityCatalog {
             let dep_full = self.chain_from_entity(ms, dep_chain[0].clone())?;
             let authz = Self::authz_of(&dep_full);
             if !authz.can_read_data(&who, crate::authz::Privilege::Select) {
+                self.record_audit(&ctx.principal, "createView", Some(&dep_chain[0].id), AuditDecision::Deny, dep);
                 return Err(UcError::PermissionDenied(format!(
                     "view creator needs SELECT on {dep}"
                 )));
@@ -572,7 +597,7 @@ impl UnityCatalog {
             dep_ids.push(dep_chain[0].id.clone());
         }
         let now = self.now_ms();
-        let leaf = name.asset().unwrap().to_string();
+        let leaf = Self::leaf_of(name)?;
         let created = self.write_ms(ms, |tx, _ver, fx| {
             let nk = keys::name_key(ms, Some(&schema_ent.id), SecurableKind::View.name_group(), &leaf);
             if tx.get(T_NAME, &nk).is_some() {
@@ -613,7 +638,7 @@ impl UnityCatalog {
             self.authorize_external_path(ctx, ms, &parsed)?;
         }
         let now = self.now_ms();
-        let leaf = name.asset().unwrap().to_string();
+        let leaf = Self::leaf_of(name)?;
         let created = self.write_ms(ms, |tx, _ver, fx| {
             let nk = keys::name_key(ms, Some(&schema_ent.id), SecurableKind::Volume.name_group(), &leaf);
             if tx.get(T_NAME, &nk).is_some() {
@@ -656,7 +681,7 @@ impl UnityCatalog {
         let full = self.authorize_create_in_schema(ctx, ms, name, SecurableKind::Function)?;
         let schema_ent = full[0].clone();
         let now = self.now_ms();
-        let leaf = name.asset().unwrap().to_string();
+        let leaf = Self::leaf_of(name)?;
         let created = self.write_ms(ms, |tx, _ver, fx| {
             let nk = keys::name_key(ms, Some(&schema_ent.id), SecurableKind::Function.name_group(), &leaf);
             if tx.get(T_NAME, &nk).is_some() {
@@ -688,7 +713,7 @@ impl UnityCatalog {
         let full = self.authorize_create_in_schema(ctx, ms, name, SecurableKind::RegisteredModel)?;
         let schema_ent = full[0].clone();
         let now = self.now_ms();
-        let leaf = name.asset().unwrap().to_string();
+        let leaf = Self::leaf_of(name)?;
         let created = self.write_ms(ms, |tx, _ver, fx| {
             let nk = keys::name_key(ms, Some(&schema_ent.id), SecurableKind::RegisteredModel.name_group(), &leaf);
             if tx.get(T_NAME, &nk).is_some() {
@@ -796,7 +821,8 @@ impl UnityCatalog {
         // borrowed entities — this is the hottest read path in the service.
         let full = self.extend_chain(ms, self.lookup_chain(ms, name, leaf_group)?)?;
         self.enforce_workspace_binding(ctx, &full)?;
-        let who = self.authz_context_with(full.last().unwrap(), &ctx.principal)?;
+        let root_ent = full.last().ok_or_else(|| UcError::NotFound(name.to_string()))?;
+        let who = self.authz_context_with(root_ent, &ctx.principal)?;
         if !crate::authz::decision::can_see(&full, &who) {
             self.record_audit(&ctx.principal, "getSecurable", Some(&full[0].id), AuditDecision::Deny, name);
             // existence is hidden from unprivileged callers
@@ -1031,6 +1057,7 @@ impl UnityCatalog {
         let full = self.chain_from_entity(ms, target.clone())?;
         let who = self.authz_context(ms, &ctx.principal)?;
         if !Self::authz_of(&full).has_admin_authority(&who) {
+            self.record_audit(&ctx.principal, "setCatalogBindings", Some(&target.id), AuditDecision::Deny, catalog);
             return Err(UcError::PermissionDenied("admin authority required for bindings".into()));
         }
         let list: Vec<String> = workspaces.iter().map(|w| w.to_string()).collect();

@@ -111,6 +111,7 @@ impl UnityCatalog {
         name: &FullName,
         leaf_group: &str,
     ) -> UcResult<Vec<(String, String)>> {
+        let _api = self.api_enter("get_tags");
         let ent = self.get_securable(ctx, ms, name, leaf_group)?;
         Ok(ent.tags())
     }
@@ -310,6 +311,7 @@ impl UnityCatalog {
     /// Consume the change-event stream from an offset. Used by second-tier
     /// services; returns (events, next offset).
     pub fn events_since(&self, offset: u64) -> (Vec<MetadataChangeEvent>, u64) {
+        let _api = self.api_enter("events_since");
         self.events.since(offset)
     }
 

@@ -56,6 +56,7 @@ impl UnityCatalog {
         if !(who.is_metastore_admin
             || authz.has_privilege(&who, crate::authz::Privilege::CreateConnection))
         {
+            self.record_audit(&ctx.principal, "createConnection", Some(ms), AuditDecision::Deny, name);
             return Err(UcError::PermissionDenied("CREATE_CONNECTION required".into()));
         }
         let now = self.now_ms();
@@ -132,6 +133,7 @@ impl UnityCatalog {
         if !(authz.has_admin_authority(&who)
             || authz.has_privilege(&who, crate::authz::Privilege::CreateTable))
         {
+            self.record_audit(&ctx.principal, "mirrorTable", Some(&cat.id), AuditDecision::Deny, &meta.name);
             return Err(UcError::PermissionDenied(
                 "CREATE_TABLE on the federated catalog required to mirror".into(),
             ));

@@ -195,14 +195,14 @@ impl UnityCatalog {
         grantee: &str,
     ) -> UcResult<()> {
         let name = FullName::parse(table)?;
-        if name.len() != 3 {
+        let Some(schema_name) = name.schema().filter(|_| name.len() == 3) else {
             return Err(UcError::InvalidArgument("expected catalog.schema.table".into()));
-        }
+        };
         self.grant(ctx, ms, &FullName::of(&[name.catalog()]), "catalog", grantee, Privilege::UseCatalog)?;
         self.grant(
             ctx,
             ms,
-            &FullName::of(&[name.catalog(), name.schema().unwrap()]),
+            &FullName::of(&[name.catalog(), schema_name]),
             "schema",
             grantee,
             Privilege::UseSchema,

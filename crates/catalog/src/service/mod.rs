@@ -738,7 +738,10 @@ impl UnityCatalog {
         if name.len() == 1 {
             return Ok(vec![cat]);
         }
-        let sch = lookup(&keys::name_key(ms, Some(&cat.id), "schema", name.schema().unwrap()))?
+        let schema_name = name
+            .schema()
+            .ok_or_else(|| UcError::InvalidArgument(format!("malformed name {name}")))?;
+        let sch = lookup(&keys::name_key(ms, Some(&cat.id), "schema", schema_name))?
             .ok_or_else(not_found)?;
         if name.len() == 2 {
             return Ok(vec![sch, cat]);
@@ -750,7 +753,10 @@ impl UnityCatalog {
         } else {
             leaf_group
         };
-        let leaf = lookup(&keys::name_key(ms, Some(&sch.id), third_group, name.asset().unwrap()))?
+        let asset_name = name
+            .asset()
+            .ok_or_else(|| UcError::InvalidArgument(format!("malformed name {name}")))?;
+        let leaf = lookup(&keys::name_key(ms, Some(&sch.id), third_group, asset_name))?
             .ok_or_else(not_found)?;
         if name.len() == 3 {
             return Ok(vec![leaf, sch, cat]);
@@ -819,7 +825,7 @@ impl UnityCatalog {
             }
         };
         let mut guard = 0;
-        while let Some(parent_id) = chain.last().unwrap().parent.clone() {
+        while let Some(parent_id) = chain.last().and_then(|e| e.parent.clone()) {
             let parent = lookup(&parent_id)?
                 .ok_or_else(|| UcError::Database(format!("dangling parent {parent_id}")))?;
             chain.push(parent);
@@ -829,7 +835,7 @@ impl UnityCatalog {
             }
         }
         // Append the metastore entity if the chain didn't reach it.
-        if chain.last().unwrap().kind != SecurableKind::Metastore {
+        if chain.last().map(|e| e.kind) != Some(SecurableKind::Metastore) {
             let ms_ent = lookup(ms)?
                 .ok_or_else(|| UcError::NotFound(format!("metastore {ms}")))?;
             chain.push(ms_ent);

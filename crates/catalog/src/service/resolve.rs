@@ -101,6 +101,7 @@ impl UnityCatalog {
         }
         let fgac = self.effective_fgac(ms, who, &entity, full_chain)?;
         if !fgac.is_empty() && !ctx.is_trusted_engine() {
+            self.record_audit(&ctx.principal, "resolveForQuery", Some(&entity.id), AuditDecision::Deny, &entity.name);
             return Err(UcError::PermissionDenied(format!(
                 "{} carries fine-grained policies; a trusted engine (or the data \
                  filtering service) is required",
@@ -149,6 +150,7 @@ impl UnityCatalog {
         for policy in &policies {
             if let Some(allowed) = policy.evaluate_restriction(&entity_tags, &who.groups) {
                 if !allowed {
+                    self.record_audit(&who.principal, "resolveForQuery", None, AuditDecision::Deny, &entity.name);
                     return Err(UcError::PermissionDenied(format!(
                         "ABAC policy '{}' restricts access to {}",
                         policy.name, entity.name

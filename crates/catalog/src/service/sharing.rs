@@ -62,6 +62,7 @@ impl UnityCatalog {
         let who = self.authz_context(ms, &ctx.principal)?;
         let authz = Self::authz_of(&[self.get_metastore(ms)?]);
         if !(who.is_metastore_admin || authz.has_privilege(&who, Privilege::CreateShare)) {
+            self.record_audit(&ctx.principal, "createShare", Some(ms), AuditDecision::Deny, name);
             return Err(UcError::PermissionDenied("CREATE_SHARE required".into()));
         }
         let now = self.now_ms();
@@ -91,12 +92,14 @@ impl UnityCatalog {
         let full = self.chain_from_entity(ms, share.clone())?;
         let who = self.authz_context(ms, &ctx.principal)?;
         if !Self::authz_of(&full).has_admin_authority(&who) {
+            self.record_audit(&ctx.principal, "addToShare", Some(&share.id), AuditDecision::Deny, share_name);
             return Err(UcError::PermissionDenied("admin authority on share required".into()));
         }
         let table_chain = self.lookup_chain(ms, table, "relation")?;
         let table_ent = table_chain[0].clone();
         let table_full = self.chain_from_entity(ms, table_ent.clone())?;
         if !Self::authz_of(&table_full).can_read_data(&who, Privilege::Select) {
+            self.record_audit(&ctx.principal, "addToShare", Some(&table_ent.id), AuditDecision::Deny, table);
             return Err(UcError::PermissionDenied(format!(
                 "sharer needs SELECT on {table}"
             )));
@@ -109,7 +112,7 @@ impl UnityCatalog {
             tx.put(
                 T_SHAREMEM,
                 &keys::share_member_key(ms, &share_id, &table_id),
-                bytes::Bytes::from(serde_json::to_vec(&member).expect("member serializes")),
+                bytes::Bytes::from(crate::jsonutil::to_vec(&member)),
             );
             Ok(())
         })?;

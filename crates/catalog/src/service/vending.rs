@@ -51,7 +51,7 @@ impl UnityCatalog {
             self.record_audit(&ctx.principal, "generateTemporaryPathCredentials", None, AuditDecision::Deny, path);
             return Err(UcError::NotFound(format!("no asset governs path {path}")));
         };
-        self.vend_for_entity(ctx, ms, entity, access, "generateTemporaryCredentials", path)
+        self.vend_for_entity(ctx, ms, entity, access, "generateTemporaryPathCredentials", path)
     }
 
     /// Shared vending flow once the asset is known.

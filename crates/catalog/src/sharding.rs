@@ -31,6 +31,7 @@ impl ShardRouter {
         self.nodes
             .iter()
             .max_by_key(|n| rendezvous_weight(n.node_id(), ms.as_str()))
+            // uc-lint: allow(hygiene) -- the constructor asserts the fleet is non-empty
             .expect("non-empty")
             .clone()
     }

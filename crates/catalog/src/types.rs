@@ -174,7 +174,9 @@ pub fn validate_object_name(name: &str) -> UcResult<()> {
         )));
     }
     let mut chars = name.chars();
-    let first = chars.next().unwrap();
+    let Some(first) = chars.next() else {
+        return Err(UcError::InvalidArgument("empty object name".into()));
+    };
     if !(first.is_ascii_alphabetic() || first == '_') {
         return Err(UcError::InvalidArgument(format!(
             "name must start with a letter or underscore: {name:?}"

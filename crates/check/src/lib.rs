@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `uc-check`: deterministic interleaving explorer and snapshot-isolation
 //! history checker for the catalog stack.
 //!

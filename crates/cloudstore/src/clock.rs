@@ -41,6 +41,7 @@ impl Clock {
         match &self.inner {
             ClockInner::System => SystemTime::now()
                 .duration_since(UNIX_EPOCH)
+                // uc-lint: allow(hygiene) -- a pre-epoch system clock is unrecoverable environment corruption
                 .expect("system clock before unix epoch")
                 .as_millis() as u64,
             ClockInner::Manual(t) => t.load(Ordering::SeqCst),
@@ -51,6 +52,7 @@ impl Clock {
     /// advancing real time is a logic error in the caller.
     pub fn advance_ms(&self, delta_ms: u64) {
         match &self.inner {
+            // uc-lint: allow(hygiene) -- advancing the system clock is a documented caller logic error
             ClockInner::System => panic!("cannot advance the system clock"),
             ClockInner::Manual(t) => {
                 t.fetch_add(delta_ms, Ordering::SeqCst);

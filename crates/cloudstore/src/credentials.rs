@@ -13,7 +13,6 @@
 //! tokens cannot be forged or re-scoped without the service secret, and any
 //! tampering with scope/expiry invalidates the signature.
 
-use rand::RngCore;
 use serde::{Deserialize, Serialize};
 use uc_obs::Obs;
 
@@ -101,11 +100,11 @@ pub struct StsService {
 }
 
 impl StsService {
-    /// New service with a random secret and the given clock.
+    /// New service with a random secret (drawn from the audited seed
+    /// stream) and the given clock.
     pub fn new(clock: Clock) -> Self {
-        let mut rng = rand::thread_rng();
         StsService {
-            secret: rng.next_u64(),
+            secret: crate::seed::next_u64(),
             clock,
             faults: FaultPlan::disabled(),
             obs: Obs::disabled(),
@@ -139,8 +138,7 @@ impl StsService {
 
     /// Generate a fresh root credential for `bucket`.
     pub fn issue_root(&self, bucket: &str) -> RootCredential {
-        let mut rng = rand::thread_rng();
-        RootCredential { bucket: bucket.to_string(), secret: rng.next_u64() }
+        RootCredential { bucket: bucket.to_string(), secret: crate::seed::next_u64() }
     }
 
     /// Mint a token scoped to `scope` with `access`, valid for `ttl_ms`.
@@ -164,8 +162,7 @@ impl StsService {
             if self.faults.should_inject(points::STS_MINT) {
                 return Err(StorageError::Unavailable("injected fault: sts mint".into()));
             }
-            let mut rng = rand::thread_rng();
-            let nonce = rng.next_u64();
+            let nonce = crate::seed::next_u64();
             let expires_at_ms = self.clock.now_ms() + ttl_ms;
             let signature = self.sign(scope, access, expires_at_ms, nonce);
             Ok(TempCredential { scope: scope.clone(), access, expires_at_ms, nonce, signature })

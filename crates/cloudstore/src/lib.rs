@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Simulated multi-cloud object storage with STS-style temporary credentials.
 //!
 //! This crate is the substrate that stands in for Amazon S3 / Azure ADLS /
@@ -35,6 +36,7 @@ pub mod faults;
 pub mod latency;
 pub mod path;
 pub mod sched;
+pub mod seed;
 pub mod store;
 
 pub use clock::Clock;

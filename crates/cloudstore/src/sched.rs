@@ -232,6 +232,7 @@ impl Scheduler {
                 *runnable
                     .iter()
                     .max_by_key(|i| (st.priorities[**i], usize::MAX - **i))
+                    // uc-lint: allow(hygiene) -- the caller checked runnable is non-empty this iteration
                     .expect("nonempty runnable set")
             }
         }

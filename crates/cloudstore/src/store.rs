@@ -234,6 +234,7 @@ impl ObjectStore {
             let start = prefix.key().to_string();
             for (key, obj) in bucket.objects.range(start..) {
                 let path = StoragePath::new(prefix.scheme(), prefix.bucket(), key)
+                    // uc-lint: allow(hygiene) -- keys were validated by StoragePath::parse on put
                     .expect("stored keys are valid");
                 if !prefix.is_prefix_of(&path) {
                     if !key.starts_with(prefix.key()) {

@@ -26,6 +26,7 @@ pub fn encode_rows(schema: &Schema, rows: &[Row]) -> DeltaResult<Bytes> {
         schema.validate_row(row).map_err(DeltaError::Schema)?;
     }
     let file = DataFile { rows: rows.to_vec() };
+    // uc-lint: allow(hygiene) -- rows were schema-validated above; serialization is infallible
     Ok(Bytes::from(serde_json::to_vec(&file).expect("rows serialize")))
 }
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Second-tier discovery services (§4.4): search over catalog metadata.
 //!
 //! The discovery service is a *background* consumer of the core catalog:
@@ -105,32 +106,45 @@ impl DiscoveryService {
             // Later events for the same entity supersede earlier ones.
             touched.insert(ev.entity_id.clone(), ev.op);
         }
+        // Fetch updated entities *before* taking the index write lock:
+        // get_entity_by_id re-enters the catalog service (a yield point
+        // under the deterministic scheduler), and the index lock must not
+        // be held across it — readers would stall and the lock-order
+        // checker flags the inversion.
+        let mut fetched = Vec::with_capacity(touched.len());
+        let mut calls = 0u64;
+        for (id, op) in touched {
+            let ent = match op {
+                ChangeOp::Delete => None,
+                _ => {
+                    calls += 1;
+                    // A fetch that fails raced with a delete: drop below.
+                    self.uc.get_entity_by_id(&self.service_ctx, &self.ms, &id).ok()
+                }
+            };
+            fetched.push((id, op, ent));
+        }
         let mut state = self.state.write();
         state.stats.events_consumed += count as u64;
-        for (id, op) in touched {
-            match op {
-                ChangeOp::Delete => {
+        state.stats.catalog_calls += calls;
+        for (id, op, ent) in fetched {
+            match (op, ent) {
+                (ChangeOp::Delete, _) => {
                     Self::remove_doc(&mut state, &id);
                     state.stats.entities_removed += 1;
                 }
-                _ => {
-                    state.stats.catalog_calls += 1;
-                    match self.uc.get_entity_by_id(&self.service_ctx, &self.ms, &id) {
-                        Ok(ent) => {
-                            let doc = IndexedEntity {
-                                id: ent.id.clone(),
-                                kind: ent.kind,
-                                name: ent.name.clone(),
-                                comment: ent.comment.clone(),
-                                tags: ent.tags(),
-                            };
-                            Self::index_doc(&mut state, doc);
-                            state.stats.entities_indexed += 1;
-                        }
-                        // Raced with a delete: drop from the index.
-                        Err(_) => Self::remove_doc(&mut state, &id),
-                    }
+                (_, Some(ent)) => {
+                    let doc = IndexedEntity {
+                        id: ent.id.clone(),
+                        kind: ent.kind,
+                        name: ent.name.clone(),
+                        comment: ent.comment.clone(),
+                        tags: ent.tags(),
+                    };
+                    Self::index_doc(&mut state, doc);
+                    state.stats.entities_indexed += 1;
                 }
+                (_, None) => Self::remove_doc(&mut state, &id),
             }
         }
         state.next_offset = next;

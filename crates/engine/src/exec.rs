@@ -574,11 +574,11 @@ impl EngineSession {
             Ok(r) => r,
             // Untrusted engines delegate FGAC queries to the data
             // filtering service (§4.3.2) when one is attached.
-            Err(UcError::PermissionDenied(msg))
-                if msg.contains("trusted engine") && self.dfs.is_some() =>
-            {
-                let dfs = self.dfs.clone().unwrap();
-                return dfs.execute_select(&self.principal, query);
+            Err(UcError::PermissionDenied(msg)) if msg.contains("trusted engine") => {
+                match self.dfs.clone() {
+                    Some(dfs) => return dfs.execute_select(&self.principal, query),
+                    None => return Err(UcError::PermissionDenied(msg).into()),
+                }
             }
             Err(e) => return Err(e.into()),
         };

@@ -486,12 +486,12 @@ impl Parser {
             ObjectKind::Catalog => Ok(Statement::CreateCatalog { name: self.ident()? }),
             ObjectKind::Schema => {
                 let name = self.qualified_name()?;
-                if name.len() != 2 {
+                let Some(schema) = name.schema().filter(|_| name.len() == 2) else {
                     return Err(EngineError::Parse("CREATE SCHEMA needs catalog.schema".into()));
-                }
+                };
                 Ok(Statement::CreateSchema {
                     catalog: name.catalog().to_string(),
-                    name: name.schema().unwrap().to_string(),
+                    name: schema.to_string(),
                 })
             }
             ObjectKind::Table => {

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! A Hive-Metastore-style baseline catalog.
 //!
 //! This is the comparison system for the paper's evaluation (Fig 9,
@@ -186,6 +187,7 @@ impl HiveMetastore {
 }
 
 fn encode<T: Serialize>(value: &T) -> Bytes {
+    // uc-lint: allow(hygiene) -- HMS record types serialize infallibly; a failure here is a code bug
     Bytes::from(serde_json::to_vec(value).expect("hms record serializes"))
 }
 

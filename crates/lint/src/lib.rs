@@ -1,0 +1,314 @@
+#![forbid(unsafe_code)]
+//! uc-lint: workspace invariant linter for the Unity Catalog
+//! reproduction. Zero external dependencies: a lightweight Rust lexer +
+//! brace-matched item scanner feed four rule families (determinism, lock
+//! discipline, instrumentation coverage, hygiene) plus an `unsafe_code`
+//! gate. Output is byte-stable and sorted so CI can diff consecutive
+//! runs. See DESIGN.md §8 for the rule catalog and known limits.
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+pub mod scan;
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use config::Config;
+use rules::instrument::KnownOps;
+use rules::locks::{LockAcq, LockEdge};
+use rules::{Diagnostic, FileCtx, RULE_PRAGMA};
+
+#[derive(Debug, Default)]
+pub struct LintReport {
+    pub diagnostics: Vec<Diagnostic>,
+    /// Deduped, sorted lock-order graph lines: "held -> acquired  [file:line]".
+    pub lock_graph: Vec<String>,
+    /// Lock-class census lines: "class  [first-site] (N sites)". Classes
+    /// without nesting edges (pool, write gate) still appear here.
+    pub lock_classes: Vec<String>,
+    pub files_scanned: usize,
+    pub fns_scanned: usize,
+}
+
+impl LintReport {
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Render the byte-stable report. `with_graph` appends the inferred
+    /// lock-order graph artifact.
+    pub fn render(&self, with_graph: bool) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            let _ = writeln!(out, "{}:{}:{}:{}", d.file, d.line, d.rule, d.message);
+        }
+        if with_graph {
+            let _ = writeln!(out, "# lock classes ({})", self.lock_classes.len());
+            for c in &self.lock_classes {
+                let _ = writeln!(out, "{c}");
+            }
+            let _ = writeln!(out, "# lock-order graph ({} edges)", self.lock_graph.len());
+            for e in &self.lock_graph {
+                let _ = writeln!(out, "{e}");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "uc-lint: {} diagnostic(s), {} file(s), {} function(s)",
+            self.diagnostics.len(),
+            self.files_scanned,
+            self.fns_scanned
+        );
+        out
+    }
+}
+
+fn list_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        paths.push(entry.path());
+    }
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            list_rs_files(&p, out)?;
+        } else if p.extension().map(|e| e == "rs").unwrap_or(false) {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+fn rel_of(root: &Path, p: &Path) -> String {
+    p.strip_prefix(root)
+        .unwrap_or(p)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().to_string())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Cycle detection over the deduped acquisition graph. Returns the first
+/// cycle (by sorted order) as a class path, if any.
+fn find_cycle(edges: &BTreeMap<String, BTreeSet<String>>) -> Option<Vec<String>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        Unvisited,
+        InStack,
+        Done,
+    }
+    let nodes: Vec<&String> = edges.keys().collect();
+    let mut marks: BTreeMap<&str, Mark> = BTreeMap::new();
+    for n in &nodes {
+        marks.insert(n.as_str(), Mark::Unvisited);
+    }
+    fn dfs<'a>(
+        node: &'a str,
+        edges: &'a BTreeMap<String, BTreeSet<String>>,
+        marks: &mut BTreeMap<&'a str, Mark>,
+        stack: &mut Vec<&'a str>,
+    ) -> Option<Vec<String>> {
+        marks.insert(node, Mark::InStack);
+        stack.push(node);
+        if let Some(nexts) = edges.get(node) {
+            for next in nexts {
+                match marks.get(next.as_str()).copied().unwrap_or(Mark::Unvisited) {
+                    Mark::InStack => {
+                        let from = stack.iter().position(|n| *n == next.as_str()).unwrap_or(0);
+                        let mut cycle: Vec<String> =
+                            stack[from..].iter().map(|s| s.to_string()).collect();
+                        cycle.push(next.to_string());
+                        return Some(cycle);
+                    }
+                    Mark::Unvisited => {
+                        if let Some(c) = dfs(next.as_str(), edges, marks, stack) {
+                            return Some(c);
+                        }
+                    }
+                    Mark::Done => {}
+                }
+            }
+        }
+        stack.pop();
+        marks.insert(node, Mark::Done);
+        None
+    }
+    let mut stack = Vec::new();
+    for n in nodes {
+        if marks.get(n.as_str()).copied() == Some(Mark::Unvisited) {
+            if let Some(c) = dfs(n, edges, &mut marks, &mut stack) {
+                return Some(c);
+            }
+        }
+    }
+    None
+}
+
+/// Lint the workspace rooted at `root` (the directory holding Lint.toml
+/// and `crates/`). Scans every `crates/*/src/**/*.rs`.
+pub fn run(root: &Path) -> Result<LintReport, String> {
+    let cfg = match fs::read_to_string(root.join("Lint.toml")) {
+        Ok(text) => Config::parse(&text).map_err(|e| format!("Lint.toml: {e}"))?,
+        Err(_) => Config::default(),
+    };
+
+    // Known-ops table for the instrumentation rule, parsed from source so
+    // uc-lint needs no dependency on the catalog crate.
+    let known: Option<KnownOps> = cfg
+        .str("instrument", "audit_file")
+        .and_then(|p| fs::read_to_string(root.join(p)).ok())
+        .and_then(|src| rules::instrument::parse_known_ops(&lexer::lex(&src).tokens));
+
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = Vec::new();
+    let entries =
+        fs::read_dir(&crates_dir).map_err(|e| format!("read_dir {}: {e}", crates_dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let p = entry.path();
+        if p.is_dir() && p.join("src").is_dir() {
+            crate_dirs.push(p);
+        }
+    }
+    crate_dirs.sort();
+
+    let mut report = LintReport::default();
+    let mut raw_edges: Vec<LockEdge> = Vec::new();
+    let mut raw_acqs: Vec<LockAcq> = Vec::new();
+
+    for crate_dir in &crate_dirs {
+        let crate_name = crate_dir
+            .file_name()
+            .map(|n| n.to_string_lossy().to_string())
+            .unwrap_or_default();
+        let mut files = Vec::new();
+        list_rs_files(&crate_dir.join("src"), &mut files)?;
+        for path in files {
+            let rel = rel_of(root, &path);
+            let src =
+                fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+            let lexed = lexer::lex(&src);
+            let scanned = scan::scan(&lexed.tokens, &rel);
+            report.files_scanned += 1;
+            report.fns_scanned += scanned.fns.len();
+
+            let ctx = FileCtx {
+                rel_path: &rel,
+                crate_name: &crate_name,
+                tokens: &lexed.tokens,
+                scan: &scanned,
+                cfg: &cfg,
+            };
+
+            let mut file_diags: Vec<Diagnostic> = Vec::new();
+            rules::determinism::check(&ctx, &mut file_diags);
+            rules::hygiene::check(&ctx, &mut file_diags);
+            rules::locks::check(&ctx, &mut file_diags, &mut raw_edges, &mut raw_acqs);
+            rules::instrument::check(&ctx, known.as_ref(), &mut file_diags);
+            let is_crate_root = rel.ends_with("/src/lib.rs");
+            rules::check_unsafe(&ctx, is_crate_root, &mut file_diags);
+
+            // Pragma suppression: `// uc-lint: allow(rule) -- reason`
+            // covers its own line and the one below. Malformed pragmas
+            // and pragmas without a reason are themselves diagnostics.
+            let mut suppressed: BTreeMap<&str, BTreeSet<u32>> = BTreeMap::new();
+            for p in &lexed.pragmas {
+                if p.malformed {
+                    file_diags.push(ctx.diag(
+                        p.line,
+                        RULE_PRAGMA,
+                        "malformed uc-lint pragma (expected `// uc-lint: allow(rule, ...) -- reason`)"
+                            .to_string(),
+                    ));
+                    continue;
+                }
+                if !p.has_reason {
+                    file_diags.push(ctx.diag(
+                        p.line,
+                        RULE_PRAGMA,
+                        "uc-lint pragma requires a justification (`-- <reason>`)".to_string(),
+                    ));
+                    continue;
+                }
+                for rule in &p.rules {
+                    let lines = suppressed.entry(rule.as_str()).or_default();
+                    lines.insert(p.line);
+                    lines.insert(p.line + 1);
+                }
+            }
+            file_diags.retain(|d| {
+                d.rule == RULE_PRAGMA
+                    || !suppressed.get(d.rule).map(|l| l.contains(&d.line)).unwrap_or(false)
+            });
+            report.diagnostics.extend(file_diags);
+        }
+    }
+
+    // Lock-class census: one line per class with its first (sorted)
+    // acquisition site and total site count, so edge-free classes like
+    // `txdb.pool` and `catalog.gate` are still visible in the artifact.
+    raw_acqs.sort();
+    let mut by_class: BTreeMap<String, (String, u32, usize)> = BTreeMap::new();
+    for a in &raw_acqs {
+        by_class
+            .entry(a.class.clone())
+            .and_modify(|e| e.2 += 1)
+            .or_insert((a.file.clone(), a.line, 1));
+    }
+    for (class, (file, line, count)) in &by_class {
+        report
+            .lock_classes
+            .push(format!("{class}  [{file}:{line}] ({count} site(s))"));
+    }
+
+    // Lock-order graph artifact: dedupe edges by (held, acquired), keep
+    // the first site in sorted order, and run a cycle check.
+    raw_edges.sort();
+    let mut seen: BTreeSet<(String, String)> = BTreeSet::new();
+    let mut adj: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut first_site: BTreeMap<(String, String), (String, u32)> = BTreeMap::new();
+    for e in &raw_edges {
+        let key = (e.held.clone(), e.acquired.clone());
+        if seen.insert(key.clone()) {
+            report
+                .lock_graph
+                .push(format!("{} -> {}  [{}:{}]", e.held, e.acquired, e.file, e.line));
+            first_site.insert(key.clone(), (e.file.clone(), e.line));
+        }
+        adj.entry(e.held.clone()).or_default().insert(e.acquired.clone());
+    }
+    if let Some(cycle) = find_cycle(&adj) {
+        let site = cycle
+            .first()
+            .and_then(|a| cycle.get(1).map(|b| (a.clone(), b.clone())))
+            .and_then(|k| first_site.get(&k).cloned())
+            .unwrap_or_else(|| ("Lint.toml".to_string(), 1));
+        report.diagnostics.push(Diagnostic {
+            file: site.0,
+            line: site.1,
+            rule: rules::RULE_LOCKS,
+            message: format!("lock-order cycle: {}", cycle.join(" -> ")),
+        });
+    }
+
+    report.diagnostics.sort();
+    Ok(report)
+}
+
+/// Walk up from `start` to find the workspace root (the directory that
+/// contains `Lint.toml`, or failing that, `crates/`).
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        if d.join("Lint.toml").is_file() || d.join("crates").is_dir() {
+            return Some(d);
+        }
+        dir = d.parent().map(|p| p.to_path_buf());
+    }
+    None
+}

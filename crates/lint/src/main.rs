@@ -1,0 +1,57 @@
+//! `cargo run -p uc-lint [-- --root <dir>] [--lock-graph]`
+//!
+//! Lints every `crates/*/src/**/*.rs` under the workspace root, prints
+//! sorted `file:line:rule:message` diagnostics, and exits non-zero when
+//! any diagnostic fires. `--lock-graph` appends the inferred lock
+//! acquisition-order graph artifact. Output is byte-stable: CI runs the
+//! tool twice and diffs.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut with_graph = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--lock-graph" => with_graph = true,
+            "--help" | "-h" => {
+                println!("usage: uc-lint [--root <dir>] [--lock-graph]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("uc-lint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match uc_lint::find_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("uc-lint: no workspace root (Lint.toml or crates/) found");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    match uc_lint::run(&root) {
+        Ok(report) => {
+            print!("{}", report.render(with_graph));
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("uc-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

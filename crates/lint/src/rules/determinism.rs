@@ -1,0 +1,62 @@
+//! Determinism rule: ambient time, ambient RNG, and environment reads
+//! are forbidden outside the allowlisted clock/seed modules. Seeded
+//! replay (UC_CHAOS_SEED / UC_SCHED_SEED) only works if every source of
+//! nondeterminism flows through the injected `Clock`, the `FaultPlan`
+//! streams, or the audited `seed` module.
+
+use super::{is_ident, is_punct, Diagnostic, FileCtx, RULE_DETERMINISM};
+
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    let allow = ctx.cfg.list("determinism", "allow_files");
+    if allow.iter().any(|f| f == ctx.rel_path) {
+        return;
+    }
+    let toks = ctx.tokens;
+    for i in 0..toks.len() {
+        if ctx.scan.test_mask[i] {
+            continue;
+        }
+        let t = &toks[i];
+        // SystemTime::now / Instant::now
+        if (is_ident(t, "SystemTime") || is_ident(t, "Instant"))
+            && i + 2 < toks.len()
+            && is_punct(&toks[i + 1], "::")
+            && is_ident(&toks[i + 2], "now")
+        {
+            out.push(ctx.diag(
+                t.line,
+                RULE_DETERMINISM,
+                format!("ambient time source `{}::now` (use the injected Clock)", t.text),
+            ));
+        }
+        // thread_rng() / from_entropy()
+        if (is_ident(t, "thread_rng") || is_ident(t, "from_entropy"))
+            && i + 1 < toks.len()
+            && is_punct(&toks[i + 1], "(")
+        {
+            out.push(ctx.diag(
+                t.line,
+                RULE_DETERMINISM,
+                format!("ambient RNG `{}` (use a seeded stream or uc_cloudstore::seed)", t.text),
+            ));
+        }
+        // env::var / env::var_os / env::vars — bins parse their own config
+        // from the environment by design, so they are exempt.
+        if !ctx.scan.is_bin
+            && is_ident(t, "env")
+            && i + 2 < toks.len()
+            && is_punct(&toks[i + 1], "::")
+            && matches!(toks[i + 2].text.as_str(), "var" | "var_os" | "vars" | "vars_os")
+            && toks[i + 2].kind == crate::lexer::Kind::Ident
+        {
+            out.push(ctx.diag(
+                t.line,
+                RULE_DETERMINISM,
+                format!(
+                    "environment read `env::{}` outside allowlisted seed/clock modules",
+                    toks[i + 2].text
+                ),
+            ));
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Hygiene rule: library code must not `unwrap`/`expect`/`panic!` its
+//! way out of recoverable situations, and must not print to stdio —
+//! failures flow through typed `UcError`s and telemetry through uc-obs.
+//! Bins and `#[cfg(test)]` regions are exempt; whole crates can be
+//! exempted via `[hygiene] allow_crates` (harness crates, with reasons
+//! documented in Lint.toml).
+
+use super::{is_punct, Diagnostic, FileCtx, RULE_HYGIENE};
+use crate::lexer::Kind;
+
+const BANNED_MACROS: &[&str] =
+    &["panic", "dbg", "println", "print", "eprintln", "eprint", "todo", "unimplemented"];
+
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if ctx.scan.is_bin {
+        return;
+    }
+    let allow = ctx.cfg.list("hygiene", "allow_crates");
+    if allow.iter().any(|c| c == ctx.crate_name) {
+        return;
+    }
+    let toks = ctx.tokens;
+    for i in 0..toks.len() {
+        if ctx.scan.test_mask[i] {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind != Kind::Ident {
+            continue;
+        }
+        // .unwrap( / .expect(
+        if (t.text == "unwrap" || t.text == "expect")
+            && i > 0
+            && is_punct(&toks[i - 1], ".")
+            && i + 1 < toks.len()
+            && is_punct(&toks[i + 1], "(")
+        {
+            out.push(ctx.diag(
+                t.line,
+                RULE_HYGIENE,
+                format!("`.{}()` in library code (return a typed UcError instead)", t.text),
+            ));
+        }
+        // panic!( … println!( …
+        if BANNED_MACROS.contains(&t.text.as_str())
+            && i + 1 < toks.len()
+            && is_punct(&toks[i + 1], "!")
+        {
+            out.push(ctx.diag(
+                t.line,
+                RULE_HYGIENE,
+                format!("`{}!` in library code (use uc-obs or typed errors)", t.text),
+            ));
+        }
+    }
+}

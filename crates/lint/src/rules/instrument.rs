@@ -1,0 +1,246 @@
+//! Instrumentation-coverage rule. Every public entry point on the
+//! catalog service must open a span via `api_enter("op")` (directly, or
+//! by delegating to a same-file function that does), the op string must
+//! exist in the audit module's `KNOWN_OPS` table, audit action literals
+//! must belong to that op's allowed set, and any function that denies
+//! with `PermissionDenied` must also record an `AuditDecision::Deny`.
+//!
+//! Known false negatives (DESIGN.md §8): actions passed as variables are
+//! not checked (`vend_for_entity`-style helpers), the Deny check is
+//! function-granular (one audited deny path satisfies it for the whole
+//! function), and cross-file delegation needs a pragma.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use super::{is_ident, is_punct, Diagnostic, FileCtx, RULE_INSTRUMENT};
+use crate::lexer::{Kind, Token};
+
+/// op → allowed audit actions, parsed out of the audit module source.
+pub type KnownOps = BTreeMap<String, Vec<String>>;
+
+/// Extract the `KNOWN_OPS: &[(&str, &[&str])]` table from the audit
+/// module's token stream. Returns None when the table is absent.
+pub fn parse_known_ops(tokens: &[Token]) -> Option<KnownOps> {
+    let kw = tokens.iter().position(|t| is_ident(t, "KNOWN_OPS"))?;
+    // Skip the type annotation (`: &[(&str, &[&str])]`) — walk the
+    // *initializer*, which starts after the `=`.
+    let start = (kw..tokens.len()).find(|&i| is_punct(&tokens[i], "="))?;
+    let mut ops = KnownOps::new();
+    let mut depth = 0i64;
+    let mut i = start;
+    let mut current: Option<(String, Vec<String>)> = None;
+    // Walk the initializer: entries look like `("op", &["a", "b"])`.
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if is_punct(t, "[") {
+            depth += 1;
+        } else if is_punct(t, "]") {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if is_punct(t, "(") && depth == 1 {
+            current = Some((String::new(), Vec::new()));
+        } else if is_punct(t, ")") && depth == 1 {
+            if let Some((op, actions)) = current.take() {
+                if !op.is_empty() {
+                    ops.insert(op, actions);
+                }
+            }
+        } else if t.kind == Kind::Str {
+            if let Some((op, actions)) = current.as_mut() {
+                if op.is_empty() {
+                    *op = t.text.clone();
+                } else {
+                    actions.push(t.text.clone());
+                }
+            }
+        } else if is_punct(t, ";") && depth == 0 && i > start {
+            break;
+        }
+        i += 1;
+    }
+    if ops.is_empty() {
+        None
+    } else {
+        Some(ops)
+    }
+}
+
+/// Find the op string of a direct `api_enter("...")` call in a token
+/// range, if any.
+fn direct_api_op(toks: &[Token], range: (usize, usize)) -> Option<(String, u32)> {
+    let (open, close) = range;
+    for i in open..close {
+        if is_ident(&toks[i], "api_enter")
+            && i + 2 < close
+            && is_punct(&toks[i + 1], "(")
+            && toks[i + 2].kind == Kind::Str
+        {
+            return Some((toks[i + 2].text.clone(), toks[i + 2].line));
+        }
+    }
+    None
+}
+
+/// Split a call's argument tokens into top-level comma-separated args.
+/// `open` indexes the `(`. Returns (args, index_after_close).
+fn call_args(toks: &[Token], open: usize) -> (Vec<Vec<usize>>, usize) {
+    let mut args: Vec<Vec<usize>> = vec![Vec::new()];
+    let mut depth = 0i64;
+    let mut i = open;
+    while i < toks.len() {
+        let t = &toks[i];
+        if is_punct(t, "(") || is_punct(t, "[") || is_punct(t, "{") {
+            depth += 1;
+            if depth > 1 {
+                if let Some(last) = args.last_mut() {
+                    last.push(i);
+                }
+            }
+        } else if is_punct(t, ")") || is_punct(t, "]") || is_punct(t, "}") {
+            depth -= 1;
+            if depth == 0 {
+                return (args, i + 1);
+            }
+            if let Some(last) = args.last_mut() {
+                last.push(i);
+            }
+        } else if is_punct(t, ",") && depth == 1 {
+            args.push(Vec::new());
+        } else if depth >= 1 {
+            if let Some(last) = args.last_mut() {
+                last.push(i);
+            }
+        }
+        i += 1;
+    }
+    (args, i)
+}
+
+pub fn check(ctx: &FileCtx<'_>, known: Option<&KnownOps>, out: &mut Vec<Diagnostic>) {
+    let entry_files = ctx.cfg.list("instrument", "entry_files");
+    if !entry_files.iter().any(|f| f == ctx.rel_path) {
+        return;
+    }
+    let Some(known) = known else {
+        out.push(ctx.diag(
+            1,
+            RULE_INSTRUMENT,
+            "audit module KNOWN_OPS table not found; cannot check instrumentation".to_string(),
+        ));
+        return;
+    };
+    let impl_type = ctx.cfg.str("instrument", "impl_type").unwrap_or_default();
+    let global_actions: BTreeSet<&str> =
+        known.values().flat_map(|v| v.iter().map(|s| s.as_str())).collect();
+    let toks = ctx.tokens;
+
+    // Same-file functions that instrument directly — delegation targets.
+    let mut instrumented: BTreeSet<&str> = BTreeSet::new();
+    for f in &ctx.scan.fns {
+        if let Some(body) = f.body {
+            if direct_api_op(toks, body).is_some() {
+                instrumented.insert(f.name.as_str());
+            }
+        }
+    }
+
+    for f in &ctx.scan.fns {
+        let Some((open, close)) = f.body else { continue };
+        if ctx.scan.test_mask[open] {
+            continue;
+        }
+        let direct = direct_api_op(toks, (open, close));
+        let is_entry = f.is_pub && f.impl_type.as_deref() == Some(impl_type.as_str());
+
+        if is_entry && direct.is_none() {
+            let delegates = (open..close).any(|i| {
+                toks[i].kind == Kind::Ident
+                    && i + 1 < close
+                    && is_punct(&toks[i + 1], "(")
+                    && toks[i].text != f.name
+                    && instrumented.contains(toks[i].text.as_str())
+            });
+            if !delegates {
+                out.push(ctx.diag(
+                    f.line,
+                    RULE_INSTRUMENT,
+                    format!("pub entry point `{}` does not call api_enter (directly or via a same-file delegate)", f.name),
+                ));
+            }
+        }
+        if let Some((op, op_line)) = &direct {
+            if !known.contains_key(op) {
+                out.push(ctx.diag(
+                    *op_line,
+                    RULE_INSTRUMENT,
+                    format!("api op \"{op}\" is not in audit::KNOWN_OPS"),
+                ));
+            }
+        }
+
+        // (a) Every literal action handed to record_audit must be a known
+        // action — catches ad-hoc names like "create" that exist in no
+        // op's allowed set.
+        let mut i = open;
+        while i < close {
+            if is_ident(&toks[i], "record_audit") && i + 1 < close && is_punct(&toks[i + 1], "(") {
+                let (args, after) = call_args(toks, i + 1);
+                // record_audit(principal, action, entity, decision, detail)
+                if let Some(arg) = args.get(1) {
+                    if let [only] = arg.as_slice() {
+                        if toks[*only].kind == Kind::Str {
+                            let action = toks[*only].text.as_str();
+                            if !global_actions.contains(action) {
+                                out.push(ctx.diag(
+                                    toks[*only].line,
+                                    RULE_INSTRUMENT,
+                                    format!("audit action \"{action}\" is not in audit::KNOWN_OPS"),
+                                ));
+                            }
+                        }
+                    }
+                }
+                i = after;
+                continue;
+            }
+            i += 1;
+        }
+        // (b) In an op-bearing function, any string literal that IS a
+        // known audit action must be allowed for that op — catches
+        // cross-op mixups even when the action travels through a helper
+        // (e.g. vend_for_entity) rather than record_audit directly.
+        if let Some((op, _)) = &direct {
+            if let Some(allowed) = known.get(op) {
+                for t in toks.iter().take(close).skip(open) {
+                    if t.kind == Kind::Str
+                        && global_actions.contains(t.text.as_str())
+                        && !allowed.iter().any(|a| a == &t.text)
+                    {
+                        out.push(ctx.diag(
+                            t.line,
+                            RULE_INSTRUMENT,
+                            format!(
+                                "audit action \"{}\" does not match api op \"{op}\" (allowed: {})",
+                                t.text,
+                                allowed.join(", ")
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+
+        // Deny paths must audit: PermissionDenied without any Deny token.
+        let has_denied = (open..close).any(|i| is_ident(&toks[i], "PermissionDenied"));
+        let has_deny_audit = (open..close).any(|i| is_ident(&toks[i], "Deny"));
+        if has_denied && !has_deny_audit {
+            out.push(ctx.diag(
+                f.line,
+                RULE_INSTRUMENT,
+                format!("`{}` constructs PermissionDenied without auditing a Deny decision", f.name),
+            ));
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Lock-discipline rule. Tracks lock-guard lifetimes per function body
+//! (a conservative, brace-scoped model of Rust drop semantics) and flags:
+//!
+//!   * guards live across `yield_point(..)` — a held lock would leak into
+//!     the deterministic scheduler's interleaving search;
+//!   * guards live across a zero-arg `.commit()` — the txdb commit path
+//!     takes `commit_lock` + `tables` internally, so arriving with a lock
+//!     held nests foreign guards under catalog/service locks;
+//!   * guards live across calls named in `[locks] yieldful_calls` —
+//!     catalog read APIs that hit sched yield points internally;
+//!   * acquisitions that invert the pinned `[locks] order` list, and
+//!     same-class nesting (self-deadlock with non-reentrant locks).
+//!
+//! Every (held → acquired) pair is also recorded as a lock-order graph
+//! edge; the driver dedupes, sorts, and emits the graph as an artifact
+//! and runs a cycle check over it.
+//!
+//! Known false negatives (documented in DESIGN.md §8): guard liveness is
+//! function-local (a guard passed to or acquired by a callee is
+//! invisible), and a temporary guard is considered dead once any block
+//! that opened after the acquisition closes.
+
+use super::{is_ident, is_punct, Diagnostic, FileCtx, RULE_LOCKS};
+use crate::lexer::Kind;
+
+/// One inferred acquisition-order edge: `held` was live when `acquired`
+/// was taken.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LockEdge {
+    pub held: String,
+    pub acquired: String,
+    pub file: String,
+    pub line: u32,
+}
+
+/// One observed acquisition site. The driver censuses these so the graph
+/// artifact names every lock class the workspace touches — classes with
+/// no nesting edges (the pool, the per-metastore write gate) still appear
+/// as nodes, proving the linter tracked them.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LockAcq {
+    pub class: String,
+    pub file: String,
+    pub line: u32,
+}
+
+#[derive(Debug)]
+struct Guard {
+    class: String,
+    name: Option<String>,
+    bind_depth: i64,
+    line: u32,
+}
+
+const GUARD_METHODS: &[&str] = &["read", "write", "lock", "try_lock"];
+
+fn rank_of(order: &[String], class: &str) -> Option<usize> {
+    order.iter().position(|c| c == class)
+}
+
+pub fn check(
+    ctx: &FileCtx<'_>,
+    out: &mut Vec<Diagnostic>,
+    edges: &mut Vec<LockEdge>,
+    acqs: &mut Vec<LockAcq>,
+) {
+    let receivers = ctx.cfg.list("locks", "guard_receivers");
+    let order = ctx.cfg.list("locks", "order");
+    let yieldful = ctx.cfg.list("locks", "yieldful_calls");
+    let toks = ctx.tokens;
+
+    for f in &ctx.scan.fns {
+        let Some((open, close)) = f.body else { continue };
+        if ctx.scan.test_mask[open] {
+            continue;
+        }
+        let mut guards: Vec<Guard> = Vec::new();
+        let mut depth: i64 = 1;
+        let mut pending_let: Option<(String, i64)> = None;
+        let mut i = open + 1;
+        while i < close {
+            let t = &toks[i];
+            if is_punct(t, "{") {
+                depth += 1;
+                i += 1;
+                continue;
+            }
+            if is_punct(t, "}") {
+                depth -= 1;
+                guards.retain(|g| {
+                    if g.name.is_some() {
+                        depth >= g.bind_depth
+                    } else {
+                        depth > g.bind_depth
+                    }
+                });
+                i += 1;
+                continue;
+            }
+            if is_punct(t, ";") {
+                guards.retain(|g| !(g.name.is_none() && g.bind_depth == depth));
+                pending_let = None;
+                i += 1;
+                continue;
+            }
+            // `let [mut] name =` opens a candidate guard binding.
+            if is_ident(t, "let") {
+                let mut j = i + 1;
+                if j < close && is_ident(&toks[j], "mut") {
+                    j += 1;
+                }
+                if j + 1 < close
+                    && toks[j].kind == Kind::Ident
+                    && is_punct(&toks[j + 1], "=")
+                {
+                    pending_let = Some((toks[j].text.clone(), depth));
+                }
+                i += 1;
+                continue;
+            }
+            // `drop(name)` releases a named guard early.
+            if is_ident(t, "drop")
+                && i + 2 < close
+                && is_punct(&toks[i + 1], "(")
+                && toks[i + 2].kind == Kind::Ident
+            {
+                let victim = &toks[i + 2].text;
+                guards.retain(|g| g.name.as_deref() != Some(victim.as_str()));
+                i += 3;
+                continue;
+            }
+            // Yield-point / commit / yieldful-call hazards while any
+            // guard is live.
+            if !guards.is_empty() && t.kind == Kind::Ident && i + 1 < close {
+                let callish = is_punct(&toks[i + 1], "(");
+                if callish && t.text == "yield_point" {
+                    for g in &guards {
+                        out.push(ctx.diag(
+                            t.line,
+                            RULE_LOCKS,
+                            format!("guard `{}` (line {}) held across sched yield point", g.class, g.line),
+                        ));
+                    }
+                } else if callish
+                    && t.text == "commit"
+                    && i > 0
+                    && is_punct(&toks[i - 1], ".")
+                    && i + 2 < close
+                    && is_punct(&toks[i + 2], ")")
+                {
+                    for g in &guards {
+                        out.push(ctx.diag(
+                            t.line,
+                            RULE_LOCKS,
+                            format!("guard `{}` (line {}) held across txdb commit", g.class, g.line),
+                        ));
+                    }
+                } else if callish && yieldful.iter().any(|y| y == &t.text) {
+                    for g in &guards {
+                        out.push(ctx.diag(
+                            t.line,
+                            RULE_LOCKS,
+                            format!(
+                                "guard `{}` (line {}) held across yielding call `{}()`",
+                                g.class, g.line, t.text
+                            ),
+                        ));
+                    }
+                }
+            }
+            // Acquisition site: `.read()` / `.write()` / `.lock()` /
+            // `.try_lock()` on a configured receiver, `.write_gate()`,
+            // or `.acquire()` on a pool.
+            let acq_class = if t.kind == Kind::Ident
+                && i > 0
+                && is_punct(&toks[i - 1], ".")
+                && i + 2 < close
+                && is_punct(&toks[i + 1], "(")
+                && is_punct(&toks[i + 2], ")")
+            {
+                if t.text == "write_gate" {
+                    Some(format!("{}.gate", ctx.crate_name))
+                } else if t.text == "acquire"
+                    && i >= 2
+                    && is_ident(&toks[i - 2], "pool")
+                {
+                    Some(format!("{}.pool", ctx.crate_name))
+                } else if GUARD_METHODS.contains(&t.text.as_str())
+                    && i >= 2
+                    && toks[i - 2].kind == Kind::Ident
+                    && receivers.iter().any(|r| r == &toks[i - 2].text)
+                {
+                    Some(format!("{}.{}", ctx.crate_name, toks[i - 2].text))
+                } else {
+                    None
+                }
+            } else {
+                None
+            };
+            if let Some(class) = acq_class {
+                acqs.push(LockAcq {
+                    class: class.clone(),
+                    file: ctx.rel_path.to_string(),
+                    line: t.line,
+                });
+                for g in &guards {
+                    if g.class == class {
+                        out.push(ctx.diag(
+                            t.line,
+                            RULE_LOCKS,
+                            format!(
+                                "acquires `{}` while already holding a `{}` guard (line {})",
+                                class, g.class, g.line
+                            ),
+                        ));
+                        continue;
+                    }
+                    edges.push(LockEdge {
+                        held: g.class.clone(),
+                        acquired: class.clone(),
+                        file: ctx.rel_path.to_string(),
+                        line: t.line,
+                    });
+                    if let (Some(rh), Some(ra)) =
+                        (rank_of(&order, &g.class), rank_of(&order, &class))
+                    {
+                        if rh > ra {
+                            out.push(ctx.diag(
+                                t.line,
+                                RULE_LOCKS,
+                                format!(
+                                    "lock order inversion: acquires `{}` while holding `{}` (pinned order puts `{}` first)",
+                                    class, g.class, class
+                                ),
+                            ));
+                        }
+                    }
+                }
+                // Bind the new guard: chained (`.read().get(..)`) means a
+                // temporary; a pending `let` means a named binding.
+                let chained = i + 3 < close && is_punct(&toks[i + 3], ".");
+                if chained || pending_let.is_none() {
+                    guards.push(Guard { class, name: None, bind_depth: depth, line: t.line });
+                } else if let Some((name, let_depth)) = pending_let.take() {
+                    guards.push(Guard {
+                        class,
+                        name: Some(name),
+                        bind_depth: let_depth,
+                        line: t.line,
+                    });
+                }
+            }
+            i += 1;
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Instrumentation fixtures: entry points on `Service` (the fixture's
+//! configured impl_type).
+
+impl Service {
+    pub fn get_table(&self, name: &str) -> Result<Table, Error> {
+        let _api = self.api_enter("get_table"); // instrumented: no diagnostic
+        self.fetch(name)
+    }
+
+    pub fn delegated(&self) -> u32 {
+        self.inner_entry() // same-file delegation: no diagnostic
+    }
+
+    fn inner_entry(&self) -> u32 {
+        let _api = self.api_enter("get_table");
+        7
+    }
+
+    pub fn uninstrumented(&self) -> u32 {
+        19 // fn at line 19: pub entry point without api_enter
+    }
+
+    pub fn ghost(&self) {
+        let _api = self.api_enter("ghost_op"); // line 24: op not in KNOWN_OPS
+    }
+
+    pub fn create_table(&self, name: &str) -> Result<Table, Error> {
+        let _api = self.api_enter("create_table");
+        self.record_audit("alice", "getTable", name); // line 29: action belongs to get_table, not create_table
+        self.record_audit("alice", "madeUp", name); // line 30: action in no op's allowed set
+        self.fetch(name)
+    }
+
+    pub fn deny_without_audit(&self, name: &str) -> Result<Table, Error> {
+        let _api = self.api_enter("get_table"); // fn at line 34: PermissionDenied below, no Deny audit
+        if name.is_empty() {
+            return Err(Error::PermissionDenied("no".into()));
+        }
+        self.fetch(name)
+    }
+
+    fn fetch(&self, _name: &str) -> Result<Table, Error> {
+        Err(Error::NotFound)
+    }
+}

@@ -1,0 +1,7 @@
+//! Fixture audit module: the KNOWN_OPS table the instrumentation rule
+//! parses from source. Two ops, three actions total.
+
+pub const KNOWN_OPS: &[(&str, &[&str])] = &[
+    ("create_table", &["createTable", "useExternalPath"]),
+    ("get_table", &["getTable"]),
+];

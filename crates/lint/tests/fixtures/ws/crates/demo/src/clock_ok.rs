@@ -1,0 +1,8 @@
+//! Allowlisted in the fixture Lint.toml (`[determinism] allow_files`):
+//! the ambient clock read below must produce NO diagnostic.
+
+use std::time::SystemTime;
+
+pub fn now() -> SystemTime {
+    SystemTime::now()
+}

@@ -1,0 +1,20 @@
+//! Determinism fixtures: each marked line is a true positive.
+
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> SystemTime {
+    SystemTime::now() // line 6: ambient wall clock
+}
+
+pub fn tick() -> Instant {
+    Instant::now() // line 10: ambient monotonic clock
+}
+
+pub fn roll() -> u64 {
+    let mut rng = thread_rng(); // line 14: ambient RNG
+    rng.next_u64()
+}
+
+pub fn config() -> Option<String> {
+    std::env::var("DEMO_FLAG").ok() // line 19: environment read
+}

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `uc-obs`: unified tracing + metrics plane for the Unity Catalog
 //! reproduction.
 //!
@@ -55,6 +56,7 @@ impl Obs {
     /// Live metrics and tracing, timestamped from the system clock.
     pub fn enabled() -> Self {
         let clock: ClockFn = Arc::new(|| {
+            // uc-lint: allow(determinism) -- Obs::enabled() is the explicit system-clock constructor
             std::time::SystemTime::now()
                 .duration_since(std::time::UNIX_EPOCH)
                 .map(|d| d.as_millis() as u64)

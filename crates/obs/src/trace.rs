@@ -31,6 +31,7 @@ pub type ClockFn = Arc<dyn Fn() -> u64 + Send + Sync>;
 
 fn system_clock() -> ClockFn {
     Arc::new(|| {
+        // uc-lint: allow(determinism) -- the documented system-clock default; tests install a virtual clock
         std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_millis() as u64)

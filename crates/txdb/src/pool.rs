@@ -77,6 +77,7 @@ impl ConnectionPool {
     pub fn acquire(&self) -> Permit {
         let mut available = self.inner.available.lock();
         if *available == 0 {
+            // uc-lint: allow(determinism) -- measures real blocking wait for the pool.wait_ns metric
             let start = Instant::now();
             while *available == 0 {
                 self.inner.cond.wait(&mut available);

@@ -188,7 +188,9 @@ impl Population {
                 (true, true, false) => SchemaClass::TablesAndVolumes,
                 _ => SchemaClass::Other,
             };
-            counts.iter_mut().find(|(c, _)| *c == class).unwrap().1 += 1;
+            if let Some(entry) = counts.iter_mut().find(|(c, _)| *c == class) {
+                entry.1 += 1;
+            }
         }
         counts
             .into_iter()
@@ -209,7 +211,9 @@ impl Population {
         for asset in self.all_assets() {
             if let Some(tt) = asset.table_type {
                 total += 1;
-                counts.iter_mut().find(|(t, _)| *t == tt).unwrap().1 += 1;
+                if let Some(entry) = counts.iter_mut().find(|(t, _)| *t == tt) {
+                    entry.1 += 1;
+                }
             }
         }
         counts
@@ -230,7 +234,9 @@ impl Population {
         for asset in self.all_assets() {
             if let Some(f) = asset.format {
                 total += 1;
-                counts.iter_mut().find(|(t, _)| *t == f).unwrap().1 += 1;
+                if let Some(entry) = counts.iter_mut().find(|(t, _)| *t == f) {
+                    entry.1 += 1;
+                }
             }
         }
         counts

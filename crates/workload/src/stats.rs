@@ -7,7 +7,7 @@ pub fn quantile(data: &[f64], q: f64) -> f64 {
         return 0.0;
     }
     let mut sorted: Vec<f64> = data.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(f64::total_cmp);
     let q = q.clamp(0.0, 1.0);
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
@@ -23,7 +23,7 @@ pub fn quantile(data: &[f64], q: f64) -> f64 {
 /// Empirical CDF evaluated at `points`: fraction of samples ≤ each point.
 pub fn cdf_points(data: &[f64], points: &[f64]) -> Vec<(f64, f64)> {
     let mut sorted: Vec<f64> = data.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(f64::total_cmp);
     points
         .iter()
         .map(|&p| {
