@@ -135,22 +135,38 @@ pub fn closed_loop(
     duration: Duration,
     op: impl Fn() + Send + Sync,
 ) -> LoadSummary {
+    closed_loop_indexed(threads, duration, |_, _| op())
+}
+
+/// [`closed_loop`], passing each invocation its worker index and that
+/// worker's iteration number. This is how a sweep derives per-request
+/// variety (which table to hit) without any shared state: a shared
+/// `AtomicU64` "next request" counter — the obvious alternative — puts
+/// one contended cache line *inside the measured region* and caps the
+/// very scaling the harness exists to measure.
+pub fn closed_loop_indexed(
+    threads: usize,
+    duration: Duration,
+    op: impl Fn(usize, u64) + Send + Sync,
+) -> LoadSummary {
     let op = &op;
     let total = AtomicU64::new(0);
     let total = &total;
     let latencies = Histogram::new();
     let start = Stopwatch::start();
     std::thread::scope(|scope| {
-        for _ in 0..threads {
+        for t in 0..threads {
             let latencies = latencies.clone();
             scope.spawn(move || {
                 let mut n = 0u64;
                 while start.elapsed() < duration {
                     let t0 = Stopwatch::start();
-                    op();
+                    op(t, n);
                     latencies.record(t0.elapsed().as_nanos() as u64);
                     n += 1;
                 }
+                // One shared add per worker per run, outside the timed
+                // region — not per request.
                 total.fetch_add(n, Ordering::Relaxed);
             });
         }

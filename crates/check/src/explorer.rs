@@ -34,11 +34,24 @@ pub struct RunConfig {
     /// Test-only: disable the transaction commit validation to prove the
     /// checker catches the resulting lost-update/duplicate-version runs.
     pub weaken_commit: bool,
+    /// Extra scheduler clients that do nothing but drain the audit lanes
+    /// and fold the metric stripes (`AuditLog::flush` + metrics snapshot),
+    /// so the explorer schedules those merges adversarially *between* the
+    /// real clients' commits. The snapshot-isolation verdict must not
+    /// depend on when a flush lands.
+    pub flush_clients: usize,
 }
 
 impl RunConfig {
     pub fn new(seed: u64, mode: SchedMode) -> RunConfig {
-        RunConfig { seed, clients: 3, ops_per_client: 12, mode, weaken_commit: false }
+        RunConfig {
+            seed,
+            clients: 3,
+            ops_per_client: 12,
+            mode,
+            weaken_commit: false,
+            flush_clients: 0,
+        }
     }
 }
 
@@ -109,8 +122,9 @@ pub fn run_one(cfg: &RunConfig) -> RunOutput {
     };
 
     // --- concurrent phase under the scheduler --------------------------
-    let steps_hint = (cfg.clients * cfg.ops_per_client * 8) as u64;
-    let sched = Scheduler::new(cfg.seed, cfg.clients, cfg.mode, steps_hint);
+    let total_clients = cfg.clients + cfg.flush_clients;
+    let steps_hint = (total_clients * cfg.ops_per_client * 8) as u64;
+    let sched = Scheduler::new(cfg.seed, total_clients, cfg.mode, steps_hint);
     let plans = plan_ops(cfg.seed, cfg.clients, cfg.ops_per_client);
     let rows: Arc<Mutex<Vec<DriverRow>>> = Arc::new(Mutex::new(Vec::new()));
     let seq = Arc::new(AtomicU64::new(0));
@@ -146,6 +160,32 @@ pub fn run_one(cfg: &RunConfig) -> RunOutput {
                 }
             }));
             // Always hand the baton back, even on panic, or the run hangs.
+            uc_cloudstore::sched::finish_current();
+            if let Err(p) = result {
+                resume_unwind(p);
+            }
+        }));
+    }
+    // Flusher clients: each scheduler pass drains the audit lanes (which
+    // yields at `points::AUDIT_FLUSH` before taking the merge lock) and
+    // folds a metrics snapshot (which yields at `points::OBS_FOLD`), so
+    // the explorer deliberately lands merges between the real clients'
+    // commit steps. They produce no history rows; their only legal effect
+    // is on *when* telemetry is merged, never on what the checker sees.
+    for j in 0..cfg.flush_clients {
+        let sched = sched.clone();
+        let uc = uc.clone();
+        let iters = cfg.ops_per_client;
+        let client_idx = cfg.clients + j;
+        handles.push(std::thread::spawn(move || {
+            sched.register_current(client_idx);
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                for _ in 0..iters {
+                    yield_point(points::OP_START);
+                    uc.audit_log().flush();
+                    let _ = uc.metrics_snapshot();
+                }
+            }));
             uc_cloudstore::sched::finish_current();
             if let Err(p) = result {
                 resume_unwind(p);
@@ -193,6 +233,7 @@ mod tests {
             ops_per_client: 8,
             mode: SchedMode::RandomWalk,
             weaken_commit: false,
+            flush_clients: 0,
         };
         let a = run_one(&cfg);
         let b = run_one(&cfg);

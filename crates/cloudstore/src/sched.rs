@@ -54,6 +54,13 @@ pub mod points {
     pub const WRITE_POSTCOMMIT: &str = "write.postcommit";
     /// Transactional commit entry, before the commit lock is taken.
     pub const TXDB_COMMIT: &str = "txdb.commit";
+    /// Immediately before the audit log's lane-merge flush drains the
+    /// per-thread append lanes into canonical order — the window where a
+    /// concurrent writer's record may land in this batch or the next.
+    pub const AUDIT_FLUSH: &str = "audit.flush";
+    /// Immediately before a metrics snapshot folds the striped
+    /// counter/histogram cells — the analogous window for telemetry.
+    pub const OBS_FOLD: &str = "obs.fold";
 }
 
 /// Interleaving selection strategy.

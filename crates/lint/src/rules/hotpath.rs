@@ -1,0 +1,60 @@
+//! Hot-path lock ban. The cached-read fast path — `api_enter` through the
+//! audit append — runs once per lookup, so one shared exclusive lock
+//! anywhere on it re-serializes the entire read side (the Fig 10 knee the
+//! audit-lane/counter-stripe sharding removed). `[hotpath] functions`
+//! in Lint.toml lists those functions as `<rel_path>::<fn_name>`; any
+//! guard-returning acquisition (`.read()` / `.write()` / `.lock()` /
+//! `.try_lock()` / `.write_gate()` / `.acquire()`) inside one is a
+//! diagnostic unless suppressed with a reasoned
+//! `// uc-lint: allow(hotpath)` pragma (per-thread lanes and miss-path
+//! gates are legitimate and documented at their sites).
+//!
+//! This is a textual, function-local check like the rest of uc-lint: it
+//! cannot see locks taken by callees. Its job is to stop the *easy*
+//! regression — someone adding a map or log behind a mutex directly in a
+//! hot function — and to force a written justification for everything
+//! else.
+
+use super::{is_punct, Diagnostic, FileCtx, RULE_HOTPATH};
+use crate::lexer::Kind;
+
+/// Method names whose call returns (or stands for) a lock guard.
+const ACQ_METHODS: &[&str] = &["read", "write", "lock", "try_lock", "write_gate", "acquire"];
+
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    let listed = ctx.cfg.list("hotpath", "functions");
+    if listed.is_empty() {
+        return;
+    }
+    let toks = ctx.tokens;
+    for f in &ctx.scan.fns {
+        let key = format!("{}::{}", ctx.rel_path, f.name);
+        if !listed.iter().any(|l| l == &key) {
+            continue;
+        }
+        let Some((open, close)) = f.body else { continue };
+        if ctx.scan.test_mask[open] {
+            continue;
+        }
+        let mut i = open + 1;
+        while i < close {
+            let t = &toks[i];
+            if t.kind == Kind::Ident
+                && is_punct(&toks[i - 1], ".")
+                && i + 1 < close
+                && is_punct(&toks[i + 1], "(")
+                && ACQ_METHODS.contains(&t.text.as_str())
+            {
+                out.push(ctx.diag(
+                    t.line,
+                    RULE_HOTPATH,
+                    format!(
+                        "`.{}()` acquisition inside hot-path function `{}` (api_enter→audit must take no shared exclusive lock; suppress with a reasoned allow(hotpath) pragma if provably uncontended)",
+                        t.text, f.name
+                    ),
+                ));
+            }
+            i += 1;
+        }
+    }
+}

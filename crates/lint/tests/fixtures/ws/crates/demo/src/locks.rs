@@ -49,3 +49,8 @@ pub fn pooled(pool: &Pool, ms: &Gate) {
     let gate = ms.write_gate(); // census: demo.gate
     drop(gate);
 }
+
+pub fn hot_read(a: &S) {
+    let guard = a.state.read(); // hotpath: listed function takes a lock without a pragma
+    drop(guard);
+}

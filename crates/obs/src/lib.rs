@@ -33,7 +33,7 @@ pub mod trace;
 
 use std::sync::Arc;
 
-pub use metrics::{Counter, Gauge, Histogram, Instrument, Registry, HISTOGRAM_BUCKETS};
+pub use metrics::{thread_slot, Counter, Gauge, Histogram, Instrument, Registry, HISTOGRAM_BUCKETS};
 pub use trace::{current_span_id, current_trace_id, span_event, ClockFn, SpanGuard, TraceRecord, Tracer};
 
 /// The per-deployment observability handle: one metrics registry plus one
@@ -114,6 +114,14 @@ impl Obs {
     pub fn span_timed(&self, layer: &str, name: &str) -> SpanGuard {
         let h = self.histogram(&format!("{layer}.{name}.latency_ms"));
         self.tracer.span_timed(layer, name, Some(h))
+    }
+
+    /// Open a root span with a caller-pinned trace ID (latency recorded
+    /// like [`Obs::span_timed`]). See [`Tracer::span_pinned`] for when
+    /// pinning is the right tool.
+    pub fn span_pinned(&self, layer: &str, name: &str, trace_id: u64) -> SpanGuard {
+        let h = self.histogram(&format!("{layer}.{name}.latency_ms"));
+        self.tracer.span_pinned(layer, name, trace_id, Some(h))
     }
 
     /// Deterministic text snapshot of every instrument (sorted by name).

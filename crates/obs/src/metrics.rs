@@ -8,26 +8,76 @@
 //! one canonical order — snapshots of deterministic workloads diff cleanly
 //! in CI.
 //!
-//! Hot-path cost: an instrument handle is an `Arc` around atomics; callers
-//! that care pre-create handles at construction time and pay one relaxed
-//! atomic op per record. Looking an instrument up by name takes the
-//! registry mutex and is meant for setup code and exporters.
+//! Hot-path cost: an instrument handle is an `Arc` around *striped*
+//! atomics — each recording thread writes its own cache-line-padded cell,
+//! selected by [`thread_slot`], so concurrent recorders never contend on
+//! one line. Reads fold the stripes: a counter's value is the sum of its
+//! stripes and a histogram's buckets are summed cell-wise, so every folded
+//! quantity is independent of which thread recorded what. That makes
+//! snapshots of deterministic workloads byte-identical regardless of
+//! thread count — the determinism discipline (DESIGN.md §6) survives the
+//! sharding. Looking an instrument up by name takes the registry mutex
+//! and is meant for setup code and exporters.
 
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 
-/// Monotonic counter.
+/// Process-wide thread-slot allocator: the first time a thread asks for
+/// its slot it takes the next integer, forever. Stripe selection is
+/// `slot % STRIPES`, so up to `STRIPES` concurrent threads get private
+/// cache lines and slot reuse beyond that only costs sharing, never
+/// correctness.
+static NEXT_SLOT: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static SLOT: usize = NEXT_SLOT.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Small dense integer identifying the calling thread, assigned on first
+/// use in arrival order. Used to pick a counter/histogram stripe and an
+/// audit lane; never rendered into any snapshot (absolute slot values are
+/// schedule-dependent, folded quantities are not).
+pub fn thread_slot() -> usize {
+    SLOT.with(|s| *s)
+}
+
+/// Number of stripes in a [`Counter`]. Chosen to cover typical bench
+/// thread counts without contention while keeping the fold cheap.
+pub const COUNTER_STRIPES: usize = 16;
+
+/// Number of stripes in a [`Histogram`] — heavier per stripe (65 buckets),
+/// so fewer of them.
+pub const HISTOGRAM_STRIPES: usize = 8;
+
+/// One cache line per stripe: adjacent stripes must not false-share.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct PaddedU64 {
+    cell: AtomicU64,
+}
+
+/// Monotonic counter, striped across [`COUNTER_STRIPES`] cache-padded
+/// cells. Writers touch only their own stripe; `get` folds the stripes by
+/// summation, which is order- and placement-independent.
 ///
 /// The `fetch_add`/`load` methods mirror [`AtomicU64`]'s signatures so a
 /// struct field can migrate from `AtomicU64` to `Counter` without touching
 /// call sites (the memory-ordering argument is accepted and ignored; all
-/// counter traffic is relaxed).
-#[derive(Debug, Clone, Default)]
+/// counter traffic is relaxed). `fetch_add` returns the prior value of the
+/// *caller's stripe* — the global prior is unknowable without a fold, and
+/// no caller in this workspace uses the return value across threads.
+#[derive(Debug, Clone)]
 pub struct Counter {
-    cell: Arc<AtomicU64>,
+    stripes: Arc<[PaddedU64; COUNTER_STRIPES]>,
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Counter { stripes: Arc::new(std::array::from_fn(|_| PaddedU64::default())) }
+    }
 }
 
 impl Counter {
@@ -35,30 +85,38 @@ impl Counter {
         Counter::default()
     }
 
+    #[inline]
+    fn my_stripe(&self) -> &AtomicU64 {
+        &self.stripes[thread_slot() % COUNTER_STRIPES].cell
+    }
+
     pub fn inc(&self) {
-        self.cell.fetch_add(1, Ordering::Relaxed);
+        self.my_stripe().fetch_add(1, Ordering::Relaxed);
     }
 
     pub fn add(&self, n: u64) {
-        self.cell.fetch_add(n, Ordering::Relaxed);
+        self.my_stripe().fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Folded value: the sum over all stripes.
     pub fn get(&self) -> u64 {
-        self.cell.load(Ordering::Relaxed)
+        self.stripes.iter().map(|s| s.cell.load(Ordering::Relaxed)).fold(0, u64::wrapping_add)
     }
 
-    /// Drop-in for `AtomicU64::fetch_add`.
+    /// Drop-in for `AtomicU64::fetch_add` (returns the caller-stripe prior).
     pub fn fetch_add(&self, n: u64, _order: Ordering) -> u64 {
-        self.cell.fetch_add(n, Ordering::Relaxed)
+        self.my_stripe().fetch_add(n, Ordering::Relaxed)
     }
 
-    /// Drop-in for `AtomicU64::load`.
+    /// Drop-in for `AtomicU64::load` (folded value).
     pub fn load(&self, _order: Ordering) -> u64 {
         self.get()
     }
 }
 
-/// Instantaneous signed value (queue depths, cache sizes).
+/// Instantaneous signed value (queue depths, cache sizes). Gauges are
+/// last-writer-wins, so striping would change semantics; they stay a
+/// single cell and off the hot path.
 #[derive(Debug, Clone, Default)]
 pub struct Gauge {
     cell: Arc<AtomicI64>,
@@ -86,25 +144,42 @@ impl Gauge {
 /// to `u64::MAX`.
 pub const HISTOGRAM_BUCKETS: usize = 65;
 
+/// One histogram stripe, cache-line-aligned at its head. The bucket array
+/// spans many lines regardless; alignment keeps the hot `count`/`sum`/`max`
+/// words of adjacent stripes apart.
 #[derive(Debug)]
-struct HistogramInner {
+#[repr(align(64))]
+struct HistogramStripe {
     buckets: [AtomicU64; HISTOGRAM_BUCKETS],
     count: AtomicU64,
     sum: AtomicU64,
     max: AtomicU64,
 }
 
+impl Default for HistogramStripe {
+    fn default() -> Self {
+        HistogramStripe {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
 /// Log₂-bucketed histogram of non-negative integer samples (typically
-/// milliseconds of virtual time or nanoseconds of wall time).
+/// milliseconds of virtual time or nanoseconds of wall time), striped
+/// across [`HISTOGRAM_STRIPES`] cells like [`Counter`].
 ///
 /// Bucket 0 holds exactly the value 0; bucket `i ≥ 1` holds values in
 /// `[2^(i-1), 2^i - 1]`. Percentiles are reported as the upper bound of
 /// the bucket containing the requested rank, clamped to the exact
 /// observed maximum — a deterministic function of the recorded samples,
-/// independent of recording order.
+/// independent of recording order *and* of which stripe each sample
+/// landed in (folds are sums and maxes).
 #[derive(Debug, Clone)]
 pub struct Histogram {
-    inner: Arc<HistogramInner>,
+    stripes: Arc<[HistogramStripe; HISTOGRAM_STRIPES]>,
 }
 
 impl Default for Histogram {
@@ -115,14 +190,7 @@ impl Default for Histogram {
 
 impl Histogram {
     pub fn new() -> Self {
-        Histogram {
-            inner: Arc::new(HistogramInner {
-                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-                count: AtomicU64::new(0),
-                sum: AtomicU64::new(0),
-                max: AtomicU64::new(0),
-            }),
-        }
+        Histogram { stripes: Arc::new(std::array::from_fn(|_| HistogramStripe::default())) }
     }
 
     /// Bucket index a value lands in.
@@ -144,24 +212,32 @@ impl Histogram {
     }
 
     pub fn record(&self, value: u64) {
-        let inner = &self.inner;
-        inner.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
-        inner.count.fetch_add(1, Ordering::Relaxed);
-        inner.sum.fetch_add(value, Ordering::Relaxed);
-        inner.max.fetch_max(value, Ordering::Relaxed);
+        let stripe = &self.stripes[thread_slot() % HISTOGRAM_STRIPES];
+        stripe.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        stripe.count.fetch_add(1, Ordering::Relaxed);
+        stripe.sum.fetch_add(value, Ordering::Relaxed);
+        stripe.max.fetch_max(value, Ordering::Relaxed);
     }
 
     pub fn count(&self) -> u64 {
-        self.inner.count.load(Ordering::Relaxed)
+        self.stripes.iter().map(|s| s.count.load(Ordering::Relaxed)).sum()
     }
 
     pub fn sum(&self) -> u64 {
-        self.inner.sum.load(Ordering::Relaxed)
+        self.stripes
+            .iter()
+            .map(|s| s.sum.load(Ordering::Relaxed))
+            .fold(0, u64::wrapping_add)
     }
 
     /// Exact maximum recorded value (0 if empty).
     pub fn max(&self) -> u64 {
-        self.inner.max.load(Ordering::Relaxed)
+        self.stripes.iter().map(|s| s.max.load(Ordering::Relaxed)).max().unwrap_or(0)
+    }
+
+    /// Folded occupancy of one bucket across all stripes.
+    fn bucket(&self, i: usize) -> u64 {
+        self.stripes.iter().map(|s| s.buckets[i].load(Ordering::Relaxed)).sum()
     }
 
     /// Quantile estimate: upper bound of the bucket holding the sample of
@@ -176,7 +252,7 @@ impl Histogram {
         let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
         let mut cumulative = 0u64;
         for i in 0..HISTOGRAM_BUCKETS {
-            cumulative += self.inner.buckets[i].load(Ordering::Relaxed);
+            cumulative += self.bucket(i);
             if cumulative >= rank {
                 return Self::bucket_upper_bound(i).min(self.max());
             }
@@ -271,7 +347,8 @@ impl Registry {
 
     /// Human-readable snapshot with one line per instrument, sorted by
     /// name. Byte-identical across runs whenever the recorded values are
-    /// deterministic (virtual-clock workloads).
+    /// deterministic (virtual-clock workloads) — stripe folds erase which
+    /// thread recorded what, so thread count doesn't perturb the bytes.
     pub fn text_snapshot(&self) -> String {
         let map = self.instruments.lock();
         let mut out = String::from("# uc-obs metrics snapshot\n");
@@ -320,6 +397,35 @@ mod tests {
         let c = Counter::new();
         assert_eq!(c.fetch_add(3, Ordering::Relaxed), 0);
         assert_eq!(c.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn thread_slots_are_stable_per_thread() {
+        let a = thread_slot();
+        assert_eq!(a, thread_slot(), "a thread keeps its slot");
+        let b = std::thread::spawn(thread_slot).join().unwrap();
+        assert_ne!(a, b, "distinct threads get distinct slots");
+    }
+
+    #[test]
+    fn striped_counter_folds_across_threads() {
+        let c = Counter::new();
+        let h = Histogram::new();
+        std::thread::scope(|s| {
+            for _ in 0..24 {
+                // More threads than stripes: folds must survive slot reuse.
+                s.spawn(|| {
+                    for v in 1..=50u64 {
+                        c.add(2);
+                        h.record(v);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 24 * 50 * 2);
+        assert_eq!(h.count(), 24 * 50);
+        assert_eq!(h.sum(), 24 * (50 * 51 / 2));
+        assert_eq!(h.max(), 50);
     }
 
     #[test]
@@ -404,6 +510,31 @@ mod tests {
         assert_eq!(lines, sorted, "snapshot lines are in canonical order");
         assert!(s1.contains("alpha.op.count{tenant=a} counter 1"));
         assert!(s1.contains("alpha.op.latency_ms histogram count=1 sum=5 p50=5 p95=5 p99=5 max=5"));
+    }
+
+    #[test]
+    fn snapshot_is_thread_placement_independent() {
+        // The same multiset of recordings, delivered single-threaded vs
+        // spread over many threads, must render identical bytes: folds
+        // erase stripe placement.
+        let single = Registry::new();
+        let spread = Registry::new();
+        for v in 0..64u64 {
+            single.counter("fold.op.count").add(v);
+            single.histogram("fold.op.latency_ms").record(v);
+        }
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let r = spread.clone();
+                s.spawn(move || {
+                    for v in (t * 8)..(t * 8 + 8) {
+                        r.counter("fold.op.count").add(v);
+                        r.histogram("fold.op.latency_ms").record(v);
+                    }
+                });
+            }
+        });
+        assert_eq!(single.text_snapshot(), spread.text_snapshot());
     }
 
     #[test]

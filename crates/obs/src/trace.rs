@@ -224,6 +224,49 @@ impl Tracer {
         }
     }
 
+    /// Open a *root* span with a caller-chosen trace ID, ignoring any span
+    /// already active on this thread. Harnesses that drive many logical
+    /// operations concurrently use this to pin each operation's trace ID
+    /// to its (thread, iteration) coordinates, so anything merged by trace
+    /// ID downstream (the audit log's canonical order) is a function of
+    /// the workload, not of the schedule. Pinned IDs should start at a
+    /// high base (e.g. `1 << 32`) to stay clear of the sequential
+    /// allocator used by [`Tracer::span`].
+    pub fn span_pinned(
+        &self,
+        layer: &str,
+        name: &str,
+        trace_id: u64,
+        histogram: Option<Histogram>,
+    ) -> SpanGuard {
+        if !self.inner.enabled {
+            return SpanGuard { ctx: None };
+        }
+        let span_id = self.inner.next_span_id.fetch_add(1, Ordering::Relaxed);
+        let start_ms = self.now_ms();
+        self.push(TraceRecord::SpanStart {
+            trace_id,
+            span_id,
+            parent_id: 0,
+            layer: layer.to_string(),
+            name: name.to_string(),
+            ts_ms: start_ms,
+        });
+        CURRENT.with(|stack| {
+            stack.borrow_mut().push(ActiveSpan { tracer: self.clone(), trace_id, span_id })
+        });
+        SpanGuard {
+            ctx: Some(SpanCtx {
+                tracer: self.clone(),
+                trace_id,
+                span_id,
+                start_ms,
+                status: None,
+                histogram,
+            }),
+        }
+    }
+
     /// Records accumulated so far, in append order.
     pub fn records(&self) -> Vec<TraceRecord> {
         self.inner.log.lock().records.clone()
@@ -420,6 +463,32 @@ mod tests {
         assert!(matches!(records[3], TraceRecord::SpanEnd { span_id, .. } if span_id == inner_id));
         assert!(matches!(records[4], TraceRecord::SpanEnd { span_id, ts_ms: 5, .. } if span_id == outer_id));
         assert_eq!(current_trace_id(), None, "stack fully unwound");
+    }
+
+    #[test]
+    fn pinned_spans_carry_the_chosen_trace_id() {
+        let tracer = manual_tracer(Arc::new(AtomicU64::new(0)));
+        const PIN: u64 = (1 << 32) + 7;
+        {
+            let s = tracer.span_pinned("bench", "op", PIN, None);
+            assert_eq!(s.trace_id(), Some(PIN));
+            assert_eq!(current_trace_id(), Some(PIN));
+            {
+                let child = tracer.span("txdb", "commit");
+                assert_eq!(child.trace_id(), Some(PIN), "children join the pinned trace");
+            }
+        }
+        assert_eq!(current_trace_id(), None, "stack fully unwound");
+        // A pinned span is always a root, even under an active span.
+        {
+            let _outer = tracer.span("l", "outer");
+            let pinned = tracer.span_pinned("bench", "op", PIN + 1, None);
+            assert_eq!(pinned.trace_id(), Some(PIN + 1));
+        }
+        assert!(tracer.records().iter().any(|r| matches!(
+            r,
+            TraceRecord::SpanStart { trace_id, parent_id: 0, .. } if *trace_id == PIN + 1
+        )));
     }
 
     #[test]

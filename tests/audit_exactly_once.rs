@@ -1,0 +1,146 @@
+//! Double-count hazard suite: a request that retries internally must hit
+//! the audit log and the op counters **exactly once**.
+//!
+//! The audit append and the per-op counter bump both live on the sharded
+//! hot path now (per-thread lanes, striped counters), and the write path
+//! retries commit conflicts inside the same request. The hazard: if the
+//! audit record or the `catalog.<op>.count` increment sat inside the
+//! retry loop, an injected conflict would double-audit (an auditor would
+//! see two `createTable` grants for one table) or double-count (rps
+//! dashboards would inflate under contention). Property-tested across
+//! conflict counts, with the shrunk boundary case pinned.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use uc_catalog::audit::AuditDecision;
+use uc_catalog::service::crud::TableSpec;
+use uc_catalog::service::{Context, UcConfig, UnityCatalog};
+use uc_cloudstore::faults::{points, FaultMode, FaultPlan};
+use uc_cloudstore::{Clock, LatencyModel, ObjectStore, StsService};
+use uc_delta::value::{DataType, Field, Schema};
+use uc_obs::Obs;
+use uc_txdb::{Db, DbConfig};
+
+const ADMIN: &str = "admin";
+
+struct FaultyWorld {
+    plan: FaultPlan,
+    uc: Arc<UnityCatalog>,
+    ms: uc_catalog::ids::Uid,
+    obs: Obs,
+}
+
+fn faulty_world() -> FaultyWorld {
+    let plan = FaultPlan::seeded(7);
+    let clock = Clock::manual(0);
+    let obs_clock = clock.clone();
+    let obs = Obs::with_clock_fn(Arc::new(move || obs_clock.now_ms()));
+    let sts = StsService::new(clock).with_faults(plan.clone()).with_obs(obs.clone());
+    let store =
+        ObjectStore::with_faults(sts, LatencyModel::zero(), plan.clone()).with_obs(obs.clone());
+    let db = Db::new(DbConfig { faults: plan.clone(), obs: obs.clone(), ..Default::default() });
+    let uc = UnityCatalog::new(
+        db,
+        store.clone(),
+        UcConfig { faults: plan.clone(), obs: obs.clone(), ..Default::default() },
+        "node-0",
+    );
+    let ms = uc.create_metastore(ADMIN, "retry", "us-west-2").unwrap();
+    let ctx = Context::user(ADMIN);
+    let root = store.create_bucket("lake");
+    uc.create_storage_credential(&ctx, &ms, "lake_cred", &root).unwrap();
+    uc.set_metastore_root(&ctx, &ms, "s3://lake/managed").unwrap();
+    uc.create_catalog(&ctx, &ms, "main").unwrap();
+    uc.create_schema(&ctx, &ms, "main", "s").unwrap();
+    FaultyWorld { plan, uc, ms, obs }
+}
+
+fn int_schema() -> Schema {
+    Schema::new(vec![Field::new("x", DataType::Int)])
+}
+
+/// Create one table while the first `conflicts` commit attempts abort,
+/// and assert the request audits exactly once, counts exactly once, and
+/// retried exactly `conflicts` times.
+fn assert_exactly_once(w: &FaultyWorld, table: &str, conflicts: u32) {
+    let ctx = Context::user(ADMIN);
+    let audits_before = w
+        .uc
+        .audit_log()
+        .query(|r| r.action == "createTable" && r.decision == AuditDecision::Allow)
+        .len();
+    let count_before = w.obs.counter("catalog.create_table.count").get();
+    let retries_before = w
+        .uc
+        .service_stats()
+        .write_retries
+        .load(std::sync::atomic::Ordering::Relaxed);
+
+    w.plan.arm(points::TXDB_COMMIT_CONFLICT, FaultMode::FirstN(conflicts as u64));
+    let name = format!("main.s.{table}");
+    w.uc
+        .create_table(&ctx, &w.ms, TableSpec::managed(&name, int_schema()).unwrap())
+        .unwrap();
+    w.plan.disarm(points::TXDB_COMMIT_CONFLICT);
+
+    let audits_after = w
+        .uc
+        .audit_log()
+        .query(|r| r.action == "createTable" && r.decision == AuditDecision::Allow)
+        .len();
+    let count_after = w.obs.counter("catalog.create_table.count").get();
+    let retries_after = w
+        .uc
+        .service_stats()
+        .write_retries
+        .load(std::sync::atomic::Ordering::Relaxed);
+
+    assert_eq!(
+        audits_after - audits_before,
+        1,
+        "a createTable that retried {conflicts} conflict(s) must audit exactly once"
+    );
+    assert_eq!(
+        count_after - count_before,
+        1,
+        "catalog.create_table.count must rise by exactly 1 across {conflicts} retry(ies)"
+    );
+    assert_eq!(
+        retries_after - retries_before,
+        conflicts as u64,
+        "each injected conflict is one recorded retry"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Across 0–4 injected commit conflicts, every request stays
+    /// exactly-once in the audit log and the op counters.
+    #[test]
+    fn retried_requests_audit_and_count_exactly_once(
+        conflicts in 0u32..5,
+        salt in 0u32..1000,
+    ) {
+        let w = faulty_world();
+        assert_exactly_once(&w, &format!("t_{salt}_{conflicts}"), conflicts);
+    }
+}
+
+/// Pinned regression (the shrunk boundary from the property above): the
+/// maximum in-budget retry burst must still audit and count once.
+#[test]
+fn four_conflict_burst_audits_once() {
+    let w = faulty_world();
+    assert_exactly_once(&w, "t_pinned", 4);
+}
+
+/// Two sequential faulted requests stay independent: the second request's
+/// exactly-once accounting is unaffected by the first one's retries.
+#[test]
+fn back_to_back_retry_storms_stay_exactly_once() {
+    let w = faulty_world();
+    assert_exactly_once(&w, "t_first", 3);
+    assert_exactly_once(&w, "t_second", 2);
+}

@@ -163,6 +163,66 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------
+// 7. Adversarial telemetry flushes must not move the verdict
+// ---------------------------------------------------------------------
+
+/// Flusher clients drain the sharded audit lanes and fold the metric
+/// stripes at scheduler-chosen points *between* the real clients' commit
+/// steps (the `audit.flush` / `obs.fold` yield points). The merge must be
+/// a pure observer: every seed that runs clean without flushers runs
+/// clean with them, and the checker's history is identical op for op.
+#[test]
+fn adversarial_flushes_do_not_change_verdicts() {
+    let base = sched_seed(0);
+    for offset in 0..6u64 {
+        for mode in MODES {
+            let seed = base.wrapping_add(offset);
+            let plain = run_one(&RunConfig::new(seed, mode));
+            let mut cfg = RunConfig::new(seed, mode);
+            cfg.flush_clients = 2;
+            let flushed = run_one(&cfg);
+            // The extra clients reshuffle the interleaving (that's the
+            // point), so histories differ run to run — but the checker's
+            // verdict may not: clean stays clean.
+            assert!(
+                plain.violations.is_empty(),
+                "seed {seed} mode {mode:?} (no flushers): {:#?}",
+                plain.violations
+            );
+            assert!(
+                flushed.violations.is_empty(),
+                "seed {seed} mode {mode:?} (2 flushers): {:#?}",
+                flushed.violations
+            );
+            // The client-visible history shape must be unperturbed: the
+            // flushers add no ops and steal no commit versions.
+            assert_eq!(
+                flushed.history.ops.len(),
+                cfg.clients * cfg.ops_per_client,
+                "seed {seed} mode {mode:?}: flushers leaked ops into the history"
+            );
+            // And the flushers must actually have run under the scheduler:
+            // their steps appear in the interleaving trace.
+            assert_ne!(
+                flushed.schedule, plain.schedule,
+                "seed {seed} mode {mode:?}: flush clients never entered the schedule"
+            );
+        }
+    }
+}
+
+/// A flush-heavy run is still deterministic: same seed, same flusher
+/// count → byte-identical fingerprint.
+#[test]
+fn flush_heavy_runs_replay_byte_identical() {
+    let mut cfg = RunConfig::new(4242, SchedMode::Pct { depth: 3 });
+    cfg.flush_clients = 3;
+    let a = run_one(&cfg);
+    let b = run_one(&cfg);
+    assert_eq!(a.fingerprint(), b.fingerprint());
+}
+
 /// Pinned replay of the proptest corpus case in
 /// `tests/check_histories.proptest-regressions` (the vendored proptest
 /// shim is generator-only and does not read that file, so the case is

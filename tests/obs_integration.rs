@@ -205,6 +205,112 @@ fn rest_metrics_accessor_exposes_every_layer() {
     assert_eq!(text, w.uc.metrics_snapshot());
 }
 
+/// Run a fixed read-heavy workload with `threads` concurrent clients and
+/// return the canonical audit text (uid-normalized) plus the metrics
+/// snapshot. The world is deterministic — reseeded RNG, manual clock
+/// frozen at 0, trace IDs pinned per logical op — so the *content* of
+/// both artifacts is a pure function of the workload, and the thread
+/// count only changes interleaving, which the sharded audit merge and the
+/// striped counter folds must erase.
+fn thread_variant_snapshot(threads: usize) -> (String, String) {
+    const SEED: u64 = 991;
+    const TABLES: usize = 8;
+    const OPS_PER_THREAD: u64 = 12;
+    // Pinned trace IDs start above 2^32 so they can't collide with the
+    // tracer's sequential allocator.
+    const BASE: u64 = 1 << 40;
+    uc_cloudstore::seed::reseed(SEED);
+    let w = observed_world(SEED);
+    let ctx = Context::user(ADMIN);
+    w.uc.create_catalog(&ctx, &w.ms, "main").unwrap();
+    w.uc.create_schema(&ctx, &w.ms, "main", "s").unwrap();
+    let names: Vec<String> = (0..TABLES).map(|i| format!("main.s.t{i}")).collect();
+    for name in &names {
+        w.uc
+            .create_table(&ctx, &w.ms, TableSpec::managed(name, int_schema()).unwrap())
+            .unwrap();
+        w.uc.get_table(&ctx, &w.ms, name).unwrap(); // warm the cache
+    }
+
+    // Concurrent read-only phase. The total op set {(t, k)} is fixed;
+    // `threads` only controls how it is distributed over OS threads, and
+    // each op pins its own trace ID so the canonical merge key
+    // (timestamp, trace) is identical across distributions.
+    let total_ops = 16u64; // divisible by 1, 4, and 16
+    let per_thread = total_ops / threads as u64 * OPS_PER_THREAD;
+    std::thread::scope(|scope| {
+        for t in 0..threads as u64 {
+            let uc = w.uc.clone();
+            let ms = w.ms.clone();
+            let obs = w.obs.clone();
+            let ctx = ctx.clone();
+            let names = &names;
+            scope.spawn(move || {
+                for k in 0..per_thread {
+                    let op = t * per_thread + k; // globally unique op index
+                    let _span = obs.span_pinned("bench", "get_table", BASE + op);
+                    uc.get_table(&ctx, &ms, &names[op as usize % TABLES]).unwrap();
+                }
+            });
+        }
+    });
+
+    let audit = normalize_uids(&w.uc.audit_log().canonical_text());
+    let metrics = w.uc.metrics_snapshot();
+    (audit, metrics)
+}
+
+/// Replace each 32-hex uid token by its first-appearance index. Parallel
+/// tests in this binary share the process-global seed stream, so uids can
+/// differ between two otherwise-identical worlds; ordering cannot (the
+/// canonical merge key never involves uids), which is exactly what the
+/// normalized text checks.
+fn normalize_uids(text: &str) -> String {
+    let mut map: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    let mut out = String::with_capacity(text.len());
+    let mut token = String::new();
+    let flush = |token: &mut String,
+                 out: &mut String,
+                 map: &mut std::collections::HashMap<String, usize>| {
+        if token.len() == 32 && token.chars().all(|c| c.is_ascii_hexdigit()) {
+            let next = map.len();
+            let id = *map.entry(token.clone()).or_insert(next);
+            out.push_str(&format!("uid{id}"));
+        } else {
+            out.push_str(token);
+        }
+        token.clear();
+    };
+    for c in text.chars() {
+        if c.is_ascii_alphanumeric() {
+            token.push(c);
+        } else {
+            flush(&mut token, &mut out, &mut map);
+            out.push(c);
+        }
+    }
+    flush(&mut token, &mut out, &mut map);
+    out
+}
+
+/// The byte-stability contract for the sharded hot path: the canonical
+/// audit log and the metrics snapshot must be byte-identical whether the
+/// fixed workload ran on 1, 4, or 16 threads. Lane placement, flush
+/// batching, and counter-stripe placement are all erased by the merge and
+/// the folds.
+#[test]
+fn audit_and_metrics_are_byte_stable_across_thread_counts() {
+    let (audit1, metrics1) = thread_variant_snapshot(1);
+    let (audit4, metrics4) = thread_variant_snapshot(4);
+    let (audit16, metrics16) = thread_variant_snapshot(16);
+
+    assert!(audit1.lines().count() > 100, "the audit log is substantial");
+    assert_eq!(audit1, audit4, "audit canonical text: 1-thread vs 4-thread");
+    assert_eq!(audit1, audit16, "audit canonical text: 1-thread vs 16-thread");
+    assert_eq!(metrics1, metrics4, "metrics snapshot: 1-thread vs 4-thread");
+    assert_eq!(metrics1, metrics16, "metrics snapshot: 1-thread vs 16-thread");
+}
+
 #[test]
 fn write_retry_backoff_lands_in_latency_histograms() {
     let w = observed_world(4);
