@@ -213,6 +213,28 @@ fn main() {
         }
     }
     run.hit_rate = cached.uc.cache_stats().hit_rate();
+
+    // The sweep ran with tenant labeling on (the default): verify the
+    // dimensional plane metered it. The per-tenant getTable values must
+    // appear and sum exactly to the op's global counter — the bounded
+    // label table loses nothing even under the full sweep's concurrency.
+    {
+        let parsed = uc_bench::parse_snapshot(&cached.uc.metrics_snapshot());
+        let global = match parsed.get("catalog.get_securable.count") {
+            Some(uc_bench::SnapshotValue::Counter(n)) => *n,
+            other => panic!("catalog.get_securable.count missing: {other:?}"),
+        };
+        let by_tenant = uc_bench::labeled_counter_sum(&parsed, "catalog.get_securable.count.by_tenant");
+        assert!(global > 0, "sweep must meter get_securable (the getTable entry op)");
+        assert_eq!(
+            by_tenant, global,
+            "per-tenant get_securable counts must sum to the global counter"
+        );
+        assert!(
+            parsed.keys().any(|k| k.starts_with("catalog.get_securable.count.by_tenant{t=bench")),
+            "labeled series must carry the metastore alias, not a uid"
+        );
+    }
     print_table(
         &format!("cache read scaling — getTable, label={label}"),
         &["threads", "cached rps", "perfect rps", "mean µs", "p99 µs", "uncached rps"],

@@ -101,4 +101,20 @@ fn main() {
     println!("# trace");
     print!("{}", obs.trace_jsonl());
     print!("{}", obs.metrics_snapshot());
+
+    // The flight recorder froze itself at the first injected fault (the
+    // workload above arms several); dump the frozen ring as canonical
+    // JSONL and as a Chrome-trace export. Both are part of the CI
+    // double-run byte diff — a schedule-dependent lane index or arrival
+    // order leaking into the merge would show up here.
+    println!("# flight");
+    match obs.flight_jsonl() {
+        Some(jsonl) => print!("{jsonl}"),
+        None => println!("(no freeze triggered)"),
+    }
+    println!("# flight-chrome-trace");
+    match obs.flight_chrome_trace() {
+        Some(trace) => println!("{trace}"),
+        None => println!("[]"),
+    }
 }

@@ -1,0 +1,194 @@
+//! Telemetry-overhead bench: what does the observability plane cost on
+//! the cached `getTable` hot path?
+//!
+//! Three arms, identical worlds and workload, differing only in how much
+//! telemetry the request path records:
+//!
+//! * `unlabeled` — metrics-only obs (the PR-6 baseline: striped global
+//!   counters + histograms), per-tenant labeling off.
+//! * `labeled`   — metrics-only obs plus the dimensional plane (the
+//!   service default): per-tenant counter/histogram families, trailing
+//!   windows, and the thread-local tenant scope on every call.
+//! * `traced`    — `labeled` plus live tracing (span records, flight
+//!   recorder feed) — the full chaos-suite configuration.
+//!
+//! Results are appended to `BENCH_obs.json` (one entry per
+//! `UC_BENCH_LABEL`). The contract the CI quick gate enforces: labeled
+//! cached-read throughput stays within 10 % of unlabeled at the gate's
+//! thread count — dimensional telemetry must ride the lock-free hot path,
+//! not tax it.
+//!
+//! Environment knobs (same scheme as `cache_read_scaling`):
+//!
+//! * `UC_BENCH_LABEL` — label for this run's entry (default `run`).
+//! * `UC_BENCH_QUICK` — short CI mode: one thread count (8), short
+//!   duration, overhead gate on.
+//! * `UC_BENCH_OUT`   — output path (default `BENCH_obs.json`, or
+//!   `BENCH_obs_quick.json` in quick mode).
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+use uc_bench::{closed_loop_indexed, print_table, World, WorldConfig};
+use uc_catalog::service::crud::TableSpec;
+use uc_delta::value::{DataType, Field, Schema};
+use uc_obs::Obs;
+
+const TABLES: usize = 100;
+
+#[derive(Serialize, Deserialize, Default)]
+struct BenchFile {
+    bench: String,
+    note: String,
+    runs: Vec<Run>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct Run {
+    label: String,
+    quick: bool,
+    threads: Vec<u64>,
+    unlabeled_rps: Vec<f64>,
+    labeled_rps: Vec<f64>,
+    traced_rps: Vec<f64>,
+    /// labeled / unlabeled per thread count (1.0 = free).
+    labeled_ratio: Vec<f64>,
+    cores: Option<u64>,
+}
+
+fn build(obs: Obs, tenant_labels: bool) -> World {
+    let world = World::build(&WorldConfig {
+        db_pool: 8,
+        db_latency: Duration::from_millis(1),
+        obs,
+        tenant_labels,
+        ..Default::default()
+    });
+    let ctx = world.admin();
+    world.uc.create_catalog(&ctx, &world.ms, "main").unwrap();
+    world.uc.create_schema(&ctx, &world.ms, "main", "s").unwrap();
+    let schema = Schema::new(vec![Field::new("x", DataType::Int)]);
+    for i in 0..TABLES {
+        world
+            .uc
+            .create_table(
+                &ctx,
+                &world.ms,
+                TableSpec::managed(&format!("main.s.t{i}"), schema.clone()).unwrap(),
+            )
+            .unwrap();
+    }
+    // Warm the cache so every measured request is a hit.
+    let names = table_names();
+    for name in &names {
+        world.uc.get_table(&ctx, &world.ms, name).unwrap();
+    }
+    world
+}
+
+fn table_names() -> Vec<String> {
+    (0..TABLES).map(|i| format!("main.s.t{i}")).collect()
+}
+
+fn sweep(world: &World, names: &[String], threads: usize, duration: Duration) -> f64 {
+    let ctx = world.admin();
+    closed_loop_indexed(threads, duration, |worker, iter| {
+        let i = (worker * 31 + iter as usize * 7) % TABLES;
+        world.uc.get_table(&ctx, &world.ms, &names[i]).unwrap();
+    })
+    .throughput_rps
+}
+
+fn main() {
+    let quick = std::env::var("UC_BENCH_QUICK").is_ok();
+    let label = std::env::var("UC_BENCH_LABEL").unwrap_or_else(|_| "run".to_string());
+    let default_out = if quick { "BENCH_obs_quick.json" } else { "BENCH_obs.json" };
+    let out_path = std::env::var("UC_BENCH_OUT").unwrap_or_else(|_| default_out.to_string());
+    let thread_counts: &[usize] = if quick { &[8] } else { &[1, 8, 32] };
+    let gate_threads = if quick { 8 } else { 32 };
+    let duration = if quick {
+        Duration::from_millis(200)
+    } else {
+        Duration::from_millis(400)
+    };
+
+    println!("building unlabeled / labeled / traced worlds ({TABLES} tables each)…");
+    let unlabeled = build(Obs::disabled(), false);
+    let labeled = build(Obs::disabled(), true);
+    let traced = build(Obs::enabled(), true);
+    let names = table_names();
+
+    let mut run = Run {
+        label: label.clone(),
+        quick,
+        threads: Vec::new(),
+        unlabeled_rps: Vec::new(),
+        labeled_rps: Vec::new(),
+        traced_rps: Vec::new(),
+        labeled_ratio: Vec::new(),
+        cores: std::thread::available_parallelism().ok().map(|n| n.get() as u64),
+    };
+    let mut rows = Vec::new();
+    for &threads in thread_counts {
+        let off = sweep(&unlabeled, &names, threads, duration);
+        let on = sweep(&labeled, &names, threads, duration);
+        let full = sweep(&traced, &names, threads, duration);
+        let ratio = on / off.max(1e-9);
+        run.threads.push(threads as u64);
+        run.unlabeled_rps.push(off);
+        run.labeled_rps.push(on);
+        run.traced_rps.push(full);
+        run.labeled_ratio.push(ratio);
+        rows.push(vec![
+            threads.to_string(),
+            format!("{off:.0}"),
+            format!("{on:.0}"),
+            format!("{full:.0}"),
+            format!("{:.1} %", (1.0 - ratio) * 100.0),
+        ]);
+        if threads == gate_threads && quick {
+            assert!(
+                ratio >= 0.90,
+                "overhead gate: labeled cached-read throughput must stay within \
+                 10 % of unlabeled at {threads} threads (got {:.1} % overhead: \
+                 {on:.0} vs {off:.0} rps)",
+                (1.0 - ratio) * 100.0,
+            );
+            println!(
+                "overhead gate passed: labeled/unlabeled ratio {ratio:.3} at {threads} threads (≥ 0.90)"
+            );
+        }
+    }
+    print_table(
+        &format!("telemetry overhead — cached getTable, label={label}"),
+        &["threads", "unlabeled rps", "labeled rps", "traced rps", "label overhead"],
+        &rows,
+    );
+
+    // Sanity on the labeled arm: the dimensional plane really metered the
+    // sweep (per-tenant values sum to the global op counter).
+    let parsed = uc_bench::parse_snapshot(&labeled.uc.metrics_snapshot());
+    let global = match parsed.get("catalog.get_securable.count") {
+        Some(uc_bench::SnapshotValue::Counter(n)) => *n,
+        other => panic!("catalog.get_securable.count missing: {other:?}"),
+    };
+    let by_tenant = uc_bench::labeled_counter_sum(&parsed, "catalog.get_securable.count.by_tenant");
+    assert_eq!(by_tenant, global, "per-tenant counts must sum to the global counter");
+
+    let mut file: BenchFile = std::fs::read_to_string(&out_path)
+        .ok()
+        .and_then(|s| serde_json::from_str(&s).ok())
+        .unwrap_or_default();
+    file.bench = "obs_overhead".to_string();
+    file.note = format!(
+        "cached getTable closed-loop throughput with telemetry progressively enabled \
+         ({TABLES} tables; db pool=8 @1ms/read; zero api hop). unlabeled = global striped \
+         metrics only; labeled = + per-tenant families, windows, tenant scope; traced = \
+         + live spans and flight recorder. labeled_ratio = labeled/unlabeled (1.0 = free)."
+    );
+    file.runs.retain(|r| r.label != label);
+    file.runs.push(run);
+    let json = serde_json::to_string_pretty(&file).expect("bench file serializes");
+    std::fs::write(&out_path, json + "\n").expect("write bench file");
+    println!("wrote {out_path}");
+}

@@ -130,5 +130,20 @@ fn main() {
     // either way, which is what the snapshot gate cares about.
     assert_eq!(api_calls, 503, "2 writes (+1 nested entry) + 500 reads");
 
+    // The dimensional-telemetry conservation law: for every op, the
+    // per-tenant labeled values (registered slots + overflow) sum exactly
+    // to the op's global counter — nothing is lost to the bounded label
+    // table, nothing double-counted.
+    for op in ["list_catalogs", "create_catalog", "create_schema"] {
+        let global = counter(&format!("catalog.{op}.count"));
+        let by_tenant =
+            uc_bench::labeled_counter_sum(&parsed, &format!("catalog.{op}.count.by_tenant"));
+        assert_eq!(
+            by_tenant, global,
+            "per-tenant {op} counts must sum to the global counter"
+        );
+        assert!(global > 0, "{op} was exercised");
+    }
+
     println!("\nconclusion: the calibrated models reproduce the published aggregates");
 }

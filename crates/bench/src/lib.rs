@@ -53,6 +53,9 @@ pub struct WorldConfig {
     /// default is metrics-only; pass `Obs::with_clock_fn` to also collect
     /// replayable traces.
     pub obs: Obs,
+    /// Record per-tenant dimensional series on every API call (the
+    /// service default). Benches flip this off for the unlabeled arm.
+    pub tenant_labels: bool,
 }
 
 impl Default for WorldConfig {
@@ -66,6 +69,7 @@ impl Default for WorldConfig {
             cred_cache: true,
             sts_mint_cost: Duration::ZERO,
             obs: Obs::disabled(),
+            tenant_labels: true,
         }
     }
 }
@@ -95,6 +99,7 @@ impl World {
             cred_cache_enabled: cfg.cred_cache,
             sts_mint_cost: cfg.sts_mint_cost,
             obs: cfg.obs.clone(),
+            tenant_labels: cfg.tenant_labels,
             ..Default::default()
         };
         let uc = UnityCatalog::new(db.clone(), store.clone(), uc_config, "node-0");
@@ -194,6 +199,8 @@ pub enum SnapshotValue {
     Counter(u64),
     Gauge(i64),
     Histogram { count: u64, sum: u64, p50: u64, p95: u64, p99: u64, max: u64 },
+    /// A trailing-window series line (`<name> window bucket_ms=… …`).
+    Window { bucket_ms: u64, window_ms: u64, count: u64, rate_per_s: u64, p50: u64, p99: u64 },
 }
 
 /// Parse a `Registry::text_snapshot` back into name → value pairs.
@@ -228,6 +235,14 @@ pub fn parse_snapshot(text: &str) -> std::collections::BTreeMap<String, Snapshot
                 p99: field("p99").unwrap_or(0),
                 max: field("max").unwrap_or(0),
             }),
+            "window" => Some(SnapshotValue::Window {
+                bucket_ms: field("bucket_ms").unwrap_or(0),
+                window_ms: field("window_ms").unwrap_or(0),
+                count: field("count").unwrap_or(0),
+                rate_per_s: field("rate_per_s").unwrap_or(0),
+                p50: field("p50").unwrap_or(0),
+                p99: field("p99").unwrap_or(0),
+            }),
             _ => None,
         };
         if let Some(v) = value {
@@ -235,6 +250,26 @@ pub fn parse_snapshot(text: &str) -> std::collections::BTreeMap<String, Snapshot
         }
     }
     out
+}
+
+/// Sum every labeled counter of a family (`base{label} counter v`),
+/// including the `{~overflow}` tail cell. The family contract is that
+/// this sum equals the family's unlabeled global counter exactly — the
+/// heavy-hitter `approx` lines are estimates and never parse as counters,
+/// so they can't double-count here.
+pub fn labeled_counter_sum(
+    parsed: &std::collections::BTreeMap<String, SnapshotValue>,
+    base: &str,
+) -> u64 {
+    let prefix = format!("{base}{{");
+    parsed
+        .iter()
+        .filter(|(name, _)| name.starts_with(&prefix))
+        .filter_map(|(_, v)| match v {
+            SnapshotValue::Counter(n) => Some(*n),
+            _ => None,
+        })
+        .sum()
 }
 
 /// Time a single closure.
@@ -367,6 +402,32 @@ mod tests {
         match &parsed["c.op.latency_ms"] {
             SnapshotValue::Histogram { count, sum, max, .. } => {
                 assert_eq!((*count, *sum, *max), (3, 103, 100));
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_snapshot_reads_labeled_and_window_lines() {
+        let obs = Obs::disabled();
+        let fam = obs.counter_family("catalog.get_table.count.by_tenant");
+        fam.inc("t=acme,p=root");
+        fam.add("t=zeta,p=root", 4);
+        obs.counter("catalog.get_table.count").add(5);
+        obs.window("catalog.get_table.window").record(0, 3);
+        let parsed = parse_snapshot(&obs.metrics_snapshot());
+        assert_eq!(
+            parsed["catalog.get_table.count.by_tenant{t=acme,p=root}"],
+            SnapshotValue::Counter(1)
+        );
+        assert_eq!(
+            labeled_counter_sum(&parsed, "catalog.get_table.count.by_tenant"),
+            5,
+            "per-tenant values must sum to the global counter"
+        );
+        match &parsed["catalog.get_table.window"] {
+            SnapshotValue::Window { bucket_ms, window_ms, count, .. } => {
+                assert_eq!((*bucket_ms, *window_ms, *count), (uc_obs::WINDOW_BUCKET_MS, uc_obs::WINDOW_MS, 1));
             }
             other => panic!("wrong kind: {other:?}"),
         }

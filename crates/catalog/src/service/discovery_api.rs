@@ -84,7 +84,7 @@ impl UnityCatalog {
         leaf_group: &str,
         f: impl Fn(&mut Entity),
     ) -> UcResult<()> {
-        let _api = self.api_enter("tag_update");
+        let _api = self.api_enter_t("tag_update", ctx, ms);
         let chain = self.lookup_chain(ms, name, leaf_group)?;
         let target = chain[0].clone();
         let full = self.chain_from_entity(ms, target.clone())?;
@@ -111,7 +111,7 @@ impl UnityCatalog {
         name: &FullName,
         leaf_group: &str,
     ) -> UcResult<Vec<(String, String)>> {
-        let _api = self.api_enter("get_tags");
+        let _api = self.api_enter_t("get_tags", ctx, ms);
         let ent = self.get_securable(ctx, ms, name, leaf_group)?;
         Ok(ent.tags())
     }
@@ -161,7 +161,7 @@ impl UnityCatalog {
         action: &str,
         f: impl Fn(&mut Entity),
     ) -> UcResult<()> {
-        let _api = self.api_enter("policy_update");
+        let _api = self.api_enter_t("policy_update", ctx, ms);
         let chain = self.lookup_chain(ms, table, "relation")?;
         let target = chain[0].clone();
         let full = self.chain_from_entity(ms, target.clone())?;
@@ -189,7 +189,7 @@ impl UnityCatalog {
         scope_group: &str,
         policy: AbacPolicy,
     ) -> UcResult<()> {
-        let _api = self.api_enter("create_abac_policy");
+        let _api = self.api_enter_t("create_abac_policy", ctx, ms);
         let chain = self.lookup_chain(ms, scope, scope_group)?;
         let target = chain[0].clone();
         if !target.kind.is_container() {
@@ -227,7 +227,7 @@ impl UnityCatalog {
         downstream: &FullName,
         via: Option<&str>,
     ) -> UcResult<()> {
-        let _api = self.api_enter("add_lineage");
+        let _api = self.api_enter_t("add_lineage", ctx, ms);
         let up = self.get_securable(ctx, ms, upstream, "relation")?;
         let down = self.get_securable(ctx, ms, downstream, "relation")?;
         let edge = LineageEdge {
@@ -268,7 +268,7 @@ impl UnityCatalog {
         direction: LineageDirection,
         max_hops: usize,
     ) -> UcResult<BTreeSet<Uid>> {
-        let _api = self.api_enter("lineage");
+        let _api = self.api_enter_t("lineage", ctx, ms);
         let start_ent = self.get_securable(ctx, ms, start, "relation")?;
         let who = self.authz_context(ms, &ctx.principal)?;
         let rt = self.db.begin_read();
@@ -342,7 +342,7 @@ impl UnityCatalog {
         filters: &[MetaFilter],
         limit: usize,
     ) -> UcResult<Vec<Arc<Entity>>> {
-        let _api = self.api_enter("query_entities");
+        let _api = self.api_enter_t("query_entities", ctx, ms);
         let who = self.authz_context(ms, &ctx.principal)?;
         let rt = self.db.begin_read();
         let mut out = Vec::new();

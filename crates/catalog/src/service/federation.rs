@@ -49,7 +49,7 @@ impl UnityCatalog {
         name: &str,
         endpoint: &str,
     ) -> UcResult<Arc<Entity>> {
-        let _api = self.api_enter("create_connection");
+        let _api = self.api_enter_t("create_connection", ctx, ms);
         crate::types::validate_object_name(name)?;
         let who = self.authz_context(ms, &ctx.principal)?;
         let authz = Self::authz_of(&[self.get_metastore(ms)?]);
@@ -89,7 +89,7 @@ impl UnityCatalog {
         name: &str,
         connection_name: &str,
     ) -> UcResult<Arc<Entity>> {
-        let _api = self.api_enter("create_federated_catalog");
+        let _api = self.api_enter_t("create_federated_catalog", ctx, ms);
         let connection = self
             .entity_by_name_key(
                 ms,
@@ -117,7 +117,7 @@ impl UnityCatalog {
         schema_name: &str,
         meta: &ForeignTableMeta,
     ) -> UcResult<Arc<Entity>> {
-        let _api = self.api_enter("mirror_table");
+        let _api = self.api_enter_t("mirror_table", ctx, ms);
         let cat = self
             .entity_by_name_key(ms, &keys::name_key(ms, None, "catalog", federated_catalog))?
             .ok_or_else(|| UcError::NotFound(federated_catalog.to_string()))?;

@@ -35,7 +35,7 @@ use uc_cloudstore::faults::{points, FaultPlan};
 use uc_cloudstore::latency::{LatencyModel, OpClass};
 use uc_cloudstore::sched;
 use uc_cloudstore::{AccessLevel, Clock, ObjectStore, RootCredential, StoragePath, TempCredential};
-use uc_obs::{Counter, Histogram, Obs, SpanGuard};
+use uc_obs::{Counter, CounterFamily, Histogram, HistogramFamily, Obs, SpanGuard, WindowSeries};
 use uc_txdb::{Db, ReadTxn, TxError, WriteTxn};
 
 use crate::audit::{AuditDecision, AuditLog};
@@ -83,6 +83,10 @@ pub struct UcConfig {
     /// every layer's spans land in one trace and every counter in one
     /// registry (the same sharing pattern as `faults` and the clock).
     pub obs: Obs,
+    /// Record per-tenant dimensional series (`catalog.{op}.count.by_tenant`
+    /// etc.) on every API call. On by default; benches flip it off for the
+    /// unlabeled comparison arm.
+    pub tenant_labels: bool,
 }
 
 impl Default for UcConfig {
@@ -96,6 +100,7 @@ impl Default for UcConfig {
             sts_mint_cost: std::time::Duration::ZERO,
             faults: FaultPlan::disabled(),
             obs: Obs::disabled(),
+            tenant_labels: true,
         }
     }
 }
@@ -234,13 +239,75 @@ pub struct UnityCatalog {
     /// kind (the previous `RwLock<HashMap>` read probe serialized every
     /// API call on one cache line).
     api_instruments: Vec<(&'static str, std::sync::OnceLock<ApiInstruments>)>,
+    /// Human-readable tenant aliases for metric labels, keyed by metastore
+    /// id. Populated at `create_metastore` from the metastore *name* —
+    /// entity `Uid`s are random and must never reach a snapshot (the
+    /// telemetry determinism gates diff snapshot bytes without pinning
+    /// `UC_SEED`). Metastores created elsewhere in a fleet fall back to a
+    /// `ms-`-prefixed uid stub.
+    tenant_aliases: RwLock<std::collections::HashMap<Uid, Arc<str>>>,
 }
 
 #[derive(Clone)]
 struct ApiInstruments {
     count: Counter,
     latency: Histogram,
+    /// `catalog.{op}.count.by_tenant` — bounded-cardinality per-tenant
+    /// breakout; per-label values + overflow sum exactly to `count`.
+    labeled_count: CounterFamily,
+    /// `catalog.{op}.latency_ms.by_tenant`.
+    labeled_latency: HistogramFamily,
+    /// `catalog.{op}.window` — trailing-window rate + quantiles.
+    window: WindowSeries,
 }
+
+/// RAII guard returned by the `api_enter` family: the request span plus
+/// (when tenant labeling is on) the deferred per-tenant/window latency
+/// recording and the thread-local tenant scope that lets deeper layers
+/// (txdb commit, STS mint) attribute their series to this request's
+/// tenant.
+pub(crate) struct ApiGuard {
+    telemetry: Option<ApiTelemetry>,
+    /// Kept alive for the duration of the request; dropped after the
+    /// telemetry recording in [`ApiGuard::drop`] closes the books.
+    _span: SpanGuard,
+}
+
+struct ApiTelemetry {
+    obs: Obs,
+    start_ms: u64,
+    window: WindowSeries,
+    labeled_latency: HistogramFamily,
+    label: Arc<str>,
+    /// Pops the tenant off the thread-local scope stack on drop.
+    _scope: uc_obs::TenantScope,
+}
+
+impl Drop for ApiGuard {
+    fn drop(&mut self) {
+        if let Some(t) = self.telemetry.take() {
+            let now = t.obs.clock_ms();
+            let elapsed = now.saturating_sub(t.start_ms);
+            t.window.record(now, elapsed);
+            t.labeled_latency.record(&t.label, elapsed);
+        }
+    }
+}
+
+thread_local! {
+    /// Per-thread (metastore, principal) → rendered label memo so repeat
+    /// requests from the same tenant build no strings and take no locks.
+    /// Bounded FIFO; eviction only matters for threads that serve many
+    /// distinct tenants, which is exactly the cold case.
+    static TENANT_MEMO: std::cell::RefCell<Vec<(Uid, String, Arc<str>)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Entries kept in [`TENANT_MEMO`] per thread.
+const TENANT_MEMO_CAPACITY: usize = 64;
+
+/// The label used when a request carries no metastore or no principal.
+pub(crate) const NO_TENANT: &str = "-";
 
 impl UnityCatalog {
     pub fn new(db: Db, store: ObjectStore, config: UcConfig, node_id: &str) -> Arc<Self> {
@@ -256,6 +323,7 @@ impl UnityCatalog {
             cred_cache: TtlCache::new(clock.clone(), config.cred_ttl_ms),
             principal_cache: TtlCache::new(clock.clone(), 60_000),
             roots: RwLock::new(std::collections::HashMap::new()),
+            tenant_aliases: RwLock::new(std::collections::HashMap::new()),
             audit: AuditLog::new(config.audit_capacity),
             events: EventBus::new(),
             stats: ServiceStats::wired(config.obs.registry()),
@@ -335,19 +403,48 @@ impl UnityCatalog {
     }
 
     /// Entry hook for every public API: models the engine→catalog network
-    /// hop, counts the call, and opens the request-scoped span every
+    /// hop, counts the call (globally, per-op, per-tenant, and into the
+    /// op's trailing window), and opens the request-scoped span every
     /// deeper layer (txdb, cloudstore) parents under. Callers bind the
-    /// returned guard for the duration of the request.
-    pub(crate) fn api_enter(&self, op: &str) -> SpanGuard {
+    /// returned guard for the duration of the request. Prefer the
+    /// [`UnityCatalog::api_enter_t`] / [`UnityCatalog::api_enter_p`]
+    /// variants, which attribute the call to a tenant; this bare form is
+    /// for the few ops with no request identity at all.
+    pub(crate) fn api_enter(&self, op: &str) -> ApiGuard {
+        self.api_enter_inner(op, None, None)
+    }
+
+    /// [`UnityCatalog::api_enter`] with the tenant taken from the request
+    /// context: metastore alias + principal.
+    pub(crate) fn api_enter_t(&self, op: &str, ctx: &Context, ms: &Uid) -> ApiGuard {
+        self.api_enter_inner(op, Some(&ctx.principal), Some(ms))
+    }
+
+    /// [`UnityCatalog::api_enter`] for entry points that carry a bare
+    /// principal (and maybe a metastore) instead of a full [`Context`].
+    pub(crate) fn api_enter_p(&self, op: &str, principal: &str, ms: Option<&Uid>) -> ApiGuard {
+        self.api_enter_inner(op, Some(principal), ms)
+    }
+
+    fn api_enter_inner(&self, op: &str, principal: Option<&str>, ms: Option<&Uid>) -> ApiGuard {
         self.stats.api_calls.fetch_add(1, Ordering::Relaxed);
-        // Per-op counter + latency histogram from the fixed KNOWN_OPS
-        // table: binary search + OnceLock read, lock-free after the first
-        // call per op. An op outside the table (impossible in-tree — the
-        // linter cross-checks every entry point against KNOWN_OPS) pays
-        // the registry lookups directly rather than panicking.
+        // Per-op instrument handles from the fixed KNOWN_OPS table: binary
+        // search + OnceLock read, lock-free after the first call per op.
+        // An op outside the table (impossible in-tree — the linter
+        // cross-checks every entry point against KNOWN_OPS) pays the
+        // registry lookups directly rather than panicking.
         let make = || ApiInstruments {
             count: self.config.obs.counter(&format!("catalog.{op}.count")),
             latency: self.config.obs.histogram(&format!("catalog.{op}.latency_ms")),
+            labeled_count: self
+                .config
+                .obs
+                .counter_family(&format!("catalog.{op}.count.by_tenant")),
+            labeled_latency: self
+                .config
+                .obs
+                .histogram_family(&format!("catalog.{op}.latency_ms.by_tenant")),
+            window: self.config.obs.window(&format!("catalog.{op}.window")),
         };
         let instruments = match self.api_instruments.binary_search_by_key(&op, |(name, _)| name) {
             Ok(i) => self.api_instruments[i].1.get_or_init(make).clone(),
@@ -355,10 +452,91 @@ impl UnityCatalog {
         };
         instruments.count.inc();
         self.config.api_latency.apply(OpClass::Control);
-        self.config
+        let telemetry = if self.config.tenant_labels {
+            // Zero-allocation on the repeat path: the label is a memoized
+            // Arc<str>, the labeled counter probe is a thread-local hash
+            // hit, the window recording is striped atomics.
+            let label = self.tenant_label(ms, principal.unwrap_or(NO_TENANT));
+            instruments.labeled_count.inc(&label);
+            Some(ApiTelemetry {
+                start_ms: self.config.obs.clock_ms(),
+                window: instruments.window.clone(),
+                labeled_latency: instruments.labeled_latency.clone(),
+                _scope: uc_obs::tenant_scope(label.clone()),
+                label,
+                obs: self.config.obs.clone(),
+            })
+        } else {
+            None
+        };
+        let span = self
+            .config
             .obs
             .tracer()
-            .span_timed("catalog", op, Some(instruments.latency))
+            .span_timed("catalog", op, Some(instruments.latency));
+        ApiGuard { telemetry, _span: span }
+    }
+
+    /// Record the human-readable alias rendered into this metastore's
+    /// metric labels. Called by `create_metastore` with the metastore
+    /// name; idempotent.
+    pub(crate) fn register_tenant_alias(&self, ms: &Uid, name: &str) {
+        let alias: Arc<str> = Arc::from(uc_obs::sanitize_label_value(name));
+        self.tenant_aliases.write().insert(ms.clone(), alias);
+    }
+
+    /// The `t=<alias>,p=<principal>` label for a request, memoized per
+    /// thread so the repeat path allocates nothing and takes no lock.
+    fn tenant_label(&self, ms: Option<&Uid>, principal: &str) -> Arc<str> {
+        let Some(ms) = ms else {
+            // No metastore (node-level ops): rare enough to build fresh.
+            return Arc::from(format!("t={NO_TENANT},p={}", uc_obs::sanitize_label_value(principal)));
+        };
+        let hit = TENANT_MEMO.with(|memo| {
+            memo.borrow()
+                .iter()
+                .find(|(u, p, _)| u == ms && p == principal)
+                .map(|(_, _, label)| label.clone())
+        });
+        if let Some(label) = hit {
+            return label;
+        }
+        // Cold path: resolve the alias under the shared registry lock and
+        // memoize the rendered label for this thread.
+        let alias = {
+            // uc-lint: allow(hotpath) -- read lock only on the first (ms, principal) sighting per thread; the repeat path is the memo above
+            let aliases = self.tenant_aliases.read();
+            aliases.get(ms).cloned()
+        };
+        let label: Arc<str> = match alias {
+            Some(a) => Arc::from(format!("t={a},p={}", uc_obs::sanitize_label_value(principal))),
+            // Unknown metastore (created by another node of the fleet):
+            // deterministic uid-derived stub. This never appears in the
+            // byte-diffed telemetry gates, which always create their
+            // metastores through this node.
+            None => Arc::from(format!(
+                "t=ms-{},p={}",
+                &ms.as_str()[..8.min(ms.as_str().len())],
+                uc_obs::sanitize_label_value(principal)
+            )),
+        };
+        TENANT_MEMO.with(|memo| {
+            let mut memo = memo.borrow_mut();
+            if memo.len() >= TENANT_MEMO_CAPACITY {
+                memo.remove(0);
+            }
+            memo.push((ms.clone(), principal.to_string(), label.clone()));
+        });
+        label
+    }
+
+    /// Freeze the flight recorder now and return the canonical JSONL dump
+    /// (empty-events dump when tracing is disabled). The yield point lets
+    /// the interleaving explorer land a freeze adversarially between a
+    /// commit and its audit flush.
+    pub fn flight_freeze(&self, reason: &str) -> String {
+        sched::yield_point(sched::points::FLIGHT_FREEZE);
+        self.config.obs.flight_freeze(reason)
     }
 
     pub(crate) fn record_audit(
@@ -369,14 +547,25 @@ impl UnityCatalog {
         decision: AuditDecision,
         detail: impl std::fmt::Display,
     ) {
+        let detail = detail.to_string();
+        let trace_id = uc_obs::current_trace_id();
+        // Mirror the record into the flight recorder first: its lane lock
+        // is a leaf taken and released before the audit log's append lane,
+        // keeping the lock order acyclic. No-op when tracing is disabled.
+        self.config.obs.flight().note_audit(
+            self.now_ms(),
+            trace_id.unwrap_or(0),
+            action,
+            &detail,
+        );
         self.audit.record(
             self.now_ms(),
             principal,
             action,
             securable,
             decision,
-            detail.to_string(),
-            uc_obs::current_trace_id(),
+            detail,
+            trace_id,
         );
     }
 

@@ -54,7 +54,7 @@ impl UnityCatalog {
         refs: &[FullName],
         want_credentials: bool,
     ) -> UcResult<Vec<ResolvedSecurable>> {
-        let _api = self.api_enter("resolve_for_query");
+        let _api = self.api_enter_t("resolve_for_query", ctx, ms);
         let who = self.authz_context(ms, &ctx.principal)?;
         let mut out = Vec::with_capacity(refs.len());
         for name in refs {
@@ -177,7 +177,7 @@ impl UnityCatalog {
         model: &FullName,
         version: u64,
     ) -> UcResult<ResolvedSecurable> {
-        let _api = self.api_enter("resolve_model_version");
+        let _api = self.api_enter_t("resolve_model_version", ctx, ms);
         let mut parts: Vec<&str> = model.parts.iter().map(|s| s.as_str()).collect();
         let vname = format!("v{version}");
         parts.push(&vname);

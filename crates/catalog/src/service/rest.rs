@@ -300,6 +300,19 @@ impl RestApi {
                 }))
             }
             "metrics.snapshot" => Ok(json!({ "snapshot": self.uc.metrics_snapshot() })),
+            "metrics.flightrecorder" => {
+                // Serve the existing frozen dump if a trigger already
+                // fired; otherwise freeze now so the operator always gets
+                // the most recent window of events.
+                let jsonl = match self.uc.obs().flight_jsonl() {
+                    Some(j) => j,
+                    None => self.uc.flight_freeze("rest.request"),
+                };
+                Ok(json!({
+                    "jsonl": jsonl,
+                    "chrome_trace": self.uc.obs().flight_chrome_trace(),
+                }))
+            }
             "metastore.summary" => {
                 let e = self.uc.get_metastore(ms)?;
                 Ok(json!({

@@ -57,7 +57,7 @@ pub struct SharedTableResponse {
 impl UnityCatalog {
     /// Create a share (CREATE_SHARE on the metastore or admin).
     pub fn create_share(&self, ctx: &Context, ms: &Uid, name: &str) -> UcResult<Arc<Entity>> {
-        let _api = self.api_enter("create_share");
+        let _api = self.api_enter_t("create_share", ctx, ms);
         crate::types::validate_object_name(name)?;
         let who = self.authz_context(ms, &ctx.principal)?;
         let authz = Self::authz_of(&[self.get_metastore(ms)?]);
@@ -87,7 +87,7 @@ impl UnityCatalog {
         share_name: &str,
         table: &FullName,
     ) -> UcResult<()> {
-        let _api = self.api_enter("add_table_to_share");
+        let _api = self.api_enter_t("add_table_to_share", ctx, ms);
         let share = self.share_by_name(ms, share_name)?;
         let full = self.chain_from_entity(ms, share.clone())?;
         let who = self.authz_context(ms, &ctx.principal)?;
@@ -130,7 +130,7 @@ impl UnityCatalog {
 
     /// Shares the caller can access (owner, admin, or SELECT grant).
     pub fn list_shares(&self, ctx: &Context, ms: &Uid) -> UcResult<Vec<Arc<Entity>>> {
-        let _api = self.api_enter("list_shares");
+        let _api = self.api_enter_t("list_shares", ctx, ms);
         let who = self.authz_context(ms, &ctx.principal)?;
         let rt = self.db.begin_read();
         let prefix = keys::children_group_prefix(ms, Some(ms), SecurableKind::Share.name_group());
@@ -154,7 +154,7 @@ impl UnityCatalog {
         ms: &Uid,
         share_name: &str,
     ) -> UcResult<Vec<ShareMember>> {
-        let _api = self.api_enter("list_share_tables");
+        let _api = self.api_enter_t("list_share_tables", ctx, ms);
         let share = self.authorize_share_read(ctx, ms, share_name)?;
         let rt = self.db.begin_read();
         Ok(rt
@@ -188,7 +188,7 @@ impl UnityCatalog {
         share_name: &str,
         alias: &str,
     ) -> UcResult<SharedTableResponse> {
-        let _api = self.api_enter("query_share_table");
+        let _api = self.api_enter_t("query_share_table", ctx, ms);
         let (table, snapshot) = self.shared_snapshot(ctx, ms, share_name, alias)?;
         let table_path = table
             .storage_path
@@ -224,7 +224,7 @@ impl UnityCatalog {
         share_name: &str,
         alias: &str,
     ) -> UcResult<IcebergMetadata> {
-        let _api = self.api_enter("query_share_table_as_iceberg");
+        let _api = self.api_enter_t("query_share_table_as_iceberg", ctx, ms);
         let (table, snapshot) = self.shared_snapshot(ctx, ms, share_name, alias)?;
         let table_path = table
             .storage_path
@@ -268,7 +268,7 @@ impl UnityCatalog {
         ms: &Uid,
         name: &FullName,
     ) -> UcResult<IcebergMetadata> {
-        let _api = self.api_enter("load_table_as_iceberg");
+        let _api = self.api_enter_t("load_table_as_iceberg", ctx, ms);
         let chain = self.lookup_chain(ms, name, "relation")?;
         let table = chain[0].clone();
         let full = self.chain_from_entity(ms, table.clone())?;

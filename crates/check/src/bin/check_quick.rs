@@ -34,6 +34,30 @@ fn main() {
         }
     }
 
+    // Adversarial telemetry pass: audit flushes and flight-recorder
+    // freezes landed between the clients' commits by the scheduler. The
+    // fingerprints join the CI byte-diff — a freeze or flush whose timing
+    // leaks into the canonical history shows up here — and the verdicts
+    // must stay clean.
+    for offset in 0..2u64 {
+        let seed = base.wrapping_add(offset);
+        for (mode_name, mode) in modes {
+            let mut cfg = RunConfig::new(seed, mode);
+            cfg.flush_clients = 1;
+            cfg.freeze_clients = 1;
+            let out = run_one(&cfg);
+            println!("=== seed={seed} mode={mode_name} flush=1 freeze=1 ===");
+            print!("{}", out.fingerprint());
+            if !out.violations.is_empty() {
+                failed = true;
+                eprintln!("VIOLATIONS at seed={seed} mode={mode_name} (adversarial telemetry):");
+                for v in &out.violations {
+                    eprintln!("  {v}");
+                }
+            }
+        }
+    }
+
     // Teeth: weakened commit validation must be caught on some seed.
     let mut teeth = false;
     for offset in 0..8u64 {

@@ -40,6 +40,13 @@ pub struct RunConfig {
     /// real clients' commits. The snapshot-isolation verdict must not
     /// depend on when a flush lands.
     pub flush_clients: usize,
+    /// Extra scheduler clients that freeze the flight recorder
+    /// (`UnityCatalog::flight_freeze`, which yields at
+    /// `points::FLIGHT_FREEZE` before snapshotting the per-thread rings),
+    /// so freezes land adversarially between a commit and its audit feed.
+    /// A freeze is a pure read of the rings: it must never change the
+    /// checker's verdict or the clients' history.
+    pub freeze_clients: usize,
 }
 
 impl RunConfig {
@@ -51,6 +58,7 @@ impl RunConfig {
             mode,
             weaken_commit: false,
             flush_clients: 0,
+            freeze_clients: 0,
         }
     }
 }
@@ -122,7 +130,7 @@ pub fn run_one(cfg: &RunConfig) -> RunOutput {
     };
 
     // --- concurrent phase under the scheduler --------------------------
-    let total_clients = cfg.clients + cfg.flush_clients;
+    let total_clients = cfg.clients + cfg.flush_clients + cfg.freeze_clients;
     let steps_hint = (total_clients * cfg.ops_per_client * 8) as u64;
     let sched = Scheduler::new(cfg.seed, total_clients, cfg.mode, steps_hint);
     let plans = plan_ops(cfg.seed, cfg.clients, cfg.ops_per_client);
@@ -192,6 +200,30 @@ pub fn run_one(cfg: &RunConfig) -> RunOutput {
             }
         }));
     }
+    // Freeze clients: each pass freezes the flight recorder mid-run, so
+    // the scheduler can land a ring snapshot between a commit and the
+    // audit feed that describes it. Freezing reads the rings and writes
+    // only the recorder's own frozen slot — it must never perturb the
+    // clients' ops, versions, or the checker's verdict.
+    for j in 0..cfg.freeze_clients {
+        let sched = sched.clone();
+        let uc = uc.clone();
+        let iters = cfg.ops_per_client;
+        let client_idx = cfg.clients + cfg.flush_clients + j;
+        handles.push(std::thread::spawn(move || {
+            sched.register_current(client_idx);
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                for k in 0..iters {
+                    yield_point(points::OP_START);
+                    let _ = uc.flight_freeze(&format!("check.adversary#{k}"));
+                }
+            }));
+            uc_cloudstore::sched::finish_current();
+            if let Err(p) = result {
+                resume_unwind(p);
+            }
+        }));
+    }
     sched.run_to_completion();
     for h in handles {
         h.join().expect("client thread panicked");
@@ -234,6 +266,7 @@ mod tests {
             mode: SchedMode::RandomWalk,
             weaken_commit: false,
             flush_clients: 0,
+            freeze_clients: 0,
         };
         let a = run_one(&cfg);
         let b = run_one(&cfg);

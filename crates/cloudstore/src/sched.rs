@@ -61,6 +61,10 @@ pub mod points {
     /// Immediately before a metrics snapshot folds the striped
     /// counter/histogram cells — the analogous window for telemetry.
     pub const OBS_FOLD: &str = "obs.fold";
+    /// Immediately before an explicit flight-recorder freeze merges the
+    /// per-thread event lanes — the window where a concurrent commit's
+    /// audit trail may be captured mid-flight.
+    pub const FLIGHT_FREEZE: &str = "flight.freeze";
 }
 
 /// Interleaving selection strategy.

@@ -1,0 +1,84 @@
+//! Labeled-metric cardinality ban. The dimensional telemetry plane keeps
+//! per-tenant series bounded by routing every label through the
+//! `CounterFamily` / `HistogramFamily` slot table (fixed capacity +
+//! overflow + heavy-hitter sketch). That bound only holds if hot-path
+//! code hands the family a *memoized* label — a `format!` built inline at
+//! the call site allocates per request and, worse, invites interpolating
+//! an unbounded value (entity uid, table name) straight into the label
+//! space. `[hotpath] functions` in Lint.toml lists the hot functions; in
+//! those, any `.inc(..)` / `.add(..)` / `.record(..)` whose *label
+//! argument* contains a `format!` invocation is a diagnostic unless
+//! suppressed with a reasoned `// uc-lint: allow(cardinality)` pragma.
+//!
+//! Like the rest of uc-lint this is textual and function-local: it checks
+//! the label (first) argument only, so plain-value `record(elapsed)`
+//! calls on unlabeled histograms never match, and it cannot see labels
+//! built by callees — its job is to stop the easy regression and force a
+//! written justification for everything else.
+
+use super::{is_ident, is_punct, Diagnostic, FileCtx, RULE_CARDINALITY};
+use crate::lexer::Kind;
+
+/// Family methods whose first argument is the label.
+const LABELED_METHODS: &[&str] = &["inc", "add", "record"];
+
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    let listed = ctx.cfg.list("hotpath", "functions");
+    if listed.is_empty() {
+        return;
+    }
+    let toks = ctx.tokens;
+    for f in &ctx.scan.fns {
+        let key = format!("{}::{}", ctx.rel_path, f.name);
+        if !listed.iter().any(|l| l == &key) {
+            continue;
+        }
+        let Some((open, close)) = f.body else { continue };
+        if ctx.scan.test_mask[open] {
+            continue;
+        }
+        let mut i = open + 1;
+        while i < close {
+            let t = &toks[i];
+            if t.kind == Kind::Ident
+                && is_punct(&toks[i - 1], ".")
+                && i + 1 < close
+                && is_punct(&toks[i + 1], "(")
+                && LABELED_METHODS.contains(&t.text.as_str())
+            {
+                // Walk the first (label-position) argument only: stop at a
+                // top-level `,` or the closing `)`.
+                let mut depth = 0i64;
+                let mut j = i + 1;
+                while j < close {
+                    let a = &toks[j];
+                    if is_punct(a, "(") || is_punct(a, "[") || is_punct(a, "{") {
+                        depth += 1;
+                    } else if is_punct(a, ")") || is_punct(a, "]") || is_punct(a, "}") {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else if is_punct(a, ",") && depth == 1 {
+                        break;
+                    } else if is_ident(a, "format")
+                        && j + 1 < close
+                        && is_punct(&toks[j + 1], "!")
+                    {
+                        out.push(ctx.diag(
+                            a.line,
+                            RULE_CARDINALITY,
+                            format!(
+                                "inline `format!` label in `.{}()` inside hot-path function `{}` (labels must be memoized and bounded — route them through tenant_label/the family slot table, or suppress with a reasoned allow(cardinality) pragma)",
+                                t.text, f.name
+                            ),
+                        ));
+                        break;
+                    }
+                    j += 1;
+                }
+            }
+            i += 1;
+        }
+    }
+}

@@ -67,12 +67,16 @@ pub fn parse_known_ops(tokens: &[Token]) -> Option<KnownOps> {
     }
 }
 
-/// Find the op string of a direct `api_enter("...")` call in a token
-/// range, if any.
+/// The `api_enter` family. All variants take the op string as their
+/// first argument, so the token shape below holds for each.
+const API_ENTER_FNS: &[&str] = &["api_enter", "api_enter_t", "api_enter_p"];
+
+/// Find the op string of a direct `api_enter("...")` (or `api_enter_t` /
+/// `api_enter_p`) call in a token range, if any.
 fn direct_api_op(toks: &[Token], range: (usize, usize)) -> Option<(String, u32)> {
     let (open, close) = range;
     for i in open..close {
-        if is_ident(&toks[i], "api_enter")
+        if API_ENTER_FNS.iter().any(|f| is_ident(&toks[i], f))
             && i + 2 < close
             && is_punct(&toks[i + 1], "(")
             && toks[i + 2].kind == Kind::Str

@@ -7,6 +7,11 @@ impl Service {
         self.fetch(name)
     }
 
+    pub fn get_table_labeled(&self, ctx: &Ctx, ms: &Uid) -> Result<Table, Error> {
+        let _api = self.api_enter_t("get_table", ctx, ms); // tenant variant counts as instrumented: no diagnostic
+        self.fetch("t")
+    }
+
     pub fn delegated(&self) -> u32 {
         self.inner_entry() // same-file delegation: no diagnostic
     }
@@ -17,22 +22,22 @@ impl Service {
     }
 
     pub fn uninstrumented(&self) -> u32 {
-        19 // fn at line 19: pub entry point without api_enter
+        19 // fn at line 24: pub entry point without api_enter
     }
 
     pub fn ghost(&self) {
-        let _api = self.api_enter("ghost_op"); // line 24: op not in KNOWN_OPS
+        let _api = self.api_enter("ghost_op"); // line 29: op not in KNOWN_OPS
     }
 
     pub fn create_table(&self, name: &str) -> Result<Table, Error> {
         let _api = self.api_enter("create_table");
-        self.record_audit("alice", "getTable", name); // line 29: action belongs to get_table, not create_table
-        self.record_audit("alice", "madeUp", name); // line 30: action in no op's allowed set
+        self.record_audit("alice", "getTable", name); // line 34: action belongs to get_table, not create_table
+        self.record_audit("alice", "madeUp", name); // line 35: action in no op's allowed set
         self.fetch(name)
     }
 
     pub fn deny_without_audit(&self, name: &str) -> Result<Table, Error> {
-        let _api = self.api_enter("get_table"); // fn at line 34: PermissionDenied below, no Deny audit
+        let _api = self.api_enter("get_table"); // fn at line 39: PermissionDenied below, no Deny audit
         if name.is_empty() {
             return Err(Error::PermissionDenied("no".into()));
         }

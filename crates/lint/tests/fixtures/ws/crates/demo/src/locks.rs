@@ -54,3 +54,9 @@ pub fn hot_read(a: &S) {
     let guard = a.state.read(); // hotpath: listed function takes a lock without a pragma
     drop(guard);
 }
+
+pub fn hot_labeled(m: &Fam, id: u32) {
+    m.inc(&format!("t={id}")); // cardinality: inline format! label in a hot function
+    m.inc("t=fixed"); // literal label: no diagnostic
+    m.record("t=fixed", 5); // literal label: no diagnostic
+}

@@ -33,7 +33,16 @@ fn fixture_output_is_byte_stable_across_runs() {
 #[test]
 fn fixture_exercises_every_rule_family() {
     let report = uc_lint::run(&fixture_root()).expect("fixture lint runs");
-    for rule in ["determinism", "hygiene", "locks", "hotpath", "instrument", "unsafe", "pragma"] {
+    for rule in [
+        "determinism",
+        "hygiene",
+        "locks",
+        "hotpath",
+        "cardinality",
+        "instrument",
+        "unsafe",
+        "pragma",
+    ] {
         assert!(
             report.diagnostics.iter().any(|d| d.rule == rule),
             "fixture corpus has no `{rule}` diagnostic"

@@ -28,21 +28,44 @@
 //! - All exports iterate sorted maps or append-ordered logs; no HashMap
 //!   iteration order leaks into output.
 
+pub mod flight;
+pub mod labels;
 pub mod metrics;
 pub mod trace;
+pub mod window;
 
 use std::sync::Arc;
 
+pub use flight::{FlightEvent, FlightRecorder, FrozenDump, FLIGHT_LANES, FLIGHT_RETRY_THRESHOLD};
+pub use labels::{
+    current_tenant, sanitize_label_value, tenant_scope, CounterFamily, HistogramFamily,
+    TenantScope, HEAVY_HITTER_K, LABEL_CAPACITY,
+};
 pub use metrics::{thread_slot, Counter, Gauge, Histogram, Instrument, Registry, HISTOGRAM_BUCKETS};
 pub use trace::{current_span_id, current_trace_id, span_event, ClockFn, SpanGuard, TraceRecord, Tracer};
+pub use window::{WindowSeries, WINDOW_BUCKET_MS, WINDOW_MS, WINDOW_SLOTS};
 
 /// The per-deployment observability handle: one metrics registry plus one
-/// tracer. Cloning shares both. Layers receive a clone at construction and
-/// never need to know whether tracing is live.
-#[derive(Clone, Debug)]
+/// tracer (which owns the flight recorder). Cloning shares all of it.
+/// Layers receive a clone at construction and never need to know whether
+/// tracing is live.
+///
+/// The handle also carries the deployment clock for *metrics-side* time
+/// (window series, flight freezes): the injected clock when constructed
+/// via [`Obs::with_clock_fn`]/[`Obs::enabled`], and a constant zero for
+/// [`Obs::disabled`] — so disabled-obs worlds stay deterministic and
+/// windows there degrade to since-start totals.
+#[derive(Clone)]
 pub struct Obs {
     registry: Registry,
     tracer: Tracer,
+    clock: ClockFn,
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs").field("tracer", &self.tracer).finish_non_exhaustive()
+    }
 }
 
 impl Obs {
@@ -50,7 +73,7 @@ impl Obs {
     /// paths: counters and histograms still accumulate, spans cost
     /// nothing and record nothing.
     pub fn disabled() -> Self {
-        Obs { registry: Registry::new(), tracer: Tracer::disabled() }
+        Obs { registry: Registry::new(), tracer: Tracer::disabled(), clock: Arc::new(|| 0) }
     }
 
     /// Live metrics and tracing, timestamped from the system clock.
@@ -68,7 +91,11 @@ impl Obs {
     /// Live metrics and tracing with timestamps drawn from `clock` —
     /// install the shared virtual clock here for replayable traces.
     pub fn with_clock_fn(clock: ClockFn) -> Self {
-        Obs { registry: Registry::new(), tracer: Tracer::enabled(clock) }
+        Obs {
+            registry: Registry::new(),
+            tracer: Tracer::enabled(clock.clone()),
+            clock,
+        }
     }
 
     pub fn registry(&self) -> &Registry {
@@ -81,6 +108,31 @@ impl Obs {
 
     pub fn is_tracing(&self) -> bool {
         self.tracer.is_enabled()
+    }
+
+    /// The flight recorder (inert when tracing is disabled).
+    pub fn flight(&self) -> &FlightRecorder {
+        self.tracer.flight()
+    }
+
+    /// Milliseconds on this handle's metrics clock (0 when disabled).
+    pub fn clock_ms(&self) -> u64 {
+        (self.clock)()
+    }
+
+    /// Freeze the flight recorder now and return its canonical JSONL dump.
+    pub fn flight_freeze(&self, reason: &str) -> String {
+        self.flight().freeze(self.clock_ms(), reason).to_jsonl()
+    }
+
+    /// The frozen flight dump as canonical JSONL, if a freeze happened.
+    pub fn flight_jsonl(&self) -> Option<String> {
+        self.flight().frozen().map(|d| d.to_jsonl())
+    }
+
+    /// The frozen flight dump as a Chrome-trace JSON array, if any.
+    pub fn flight_chrome_trace(&self) -> Option<String> {
+        self.flight().frozen().map(|d| d.to_chrome_trace())
     }
 
     /// Get-or-create a counter in this handle's registry.
@@ -101,6 +153,21 @@ impl Obs {
     /// Get-or-create a histogram in this handle's registry.
     pub fn histogram(&self, name: &str) -> Histogram {
         self.registry.histogram(name)
+    }
+
+    /// Get-or-create a bounded-cardinality labeled counter family.
+    pub fn counter_family(&self, name: &str) -> CounterFamily {
+        self.registry.counter_family(name)
+    }
+
+    /// Get-or-create a bounded-cardinality labeled histogram family.
+    pub fn histogram_family(&self, name: &str) -> HistogramFamily {
+        self.registry.histogram_family(name)
+    }
+
+    /// Get-or-create a trailing-window time series.
+    pub fn window(&self, name: &str) -> WindowSeries {
+        self.registry.window(name)
     }
 
     /// Open a request-scoped span (child of any span already active on
@@ -124,9 +191,11 @@ impl Obs {
         self.tracer.span_pinned(layer, name, trace_id, Some(h))
     }
 
-    /// Deterministic text snapshot of every instrument (sorted by name).
+    /// Deterministic text snapshot of every instrument, labeled series,
+    /// and window (globally sorted). Windows are evaluated at the
+    /// handle's current clock time.
     pub fn metrics_snapshot(&self) -> String {
-        self.registry.text_snapshot()
+        self.registry.text_snapshot_at(self.clock_ms())
     }
 
     /// The trace stream as JSON lines, in append order.

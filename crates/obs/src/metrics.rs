@@ -25,6 +25,9 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 
+use crate::labels::{CounterFamily, Families, HistogramFamily};
+use crate::window::{Windows, WindowSeries};
+
 /// Process-wide thread-slot allocator: the first time a thread asks for
 /// its slot it takes the next integer, forever. Stripe selection is
 /// `slot % STRIPES`, so up to `STRIPES` concurrent threads get private
@@ -48,8 +51,8 @@ pub fn thread_slot() -> usize {
 /// thread counts without contention while keeping the fold cheap.
 pub const COUNTER_STRIPES: usize = 16;
 
-/// Number of stripes in a [`Histogram`] — heavier per stripe (65 buckets),
-/// so fewer of them.
+/// Number of stripes in a [`Histogram`] — heavier per stripe
+/// ([`HISTOGRAM_BUCKETS`] cells), so fewer of them.
 pub const HISTOGRAM_STRIPES: usize = 8;
 
 /// One cache line per stripe: adjacent stripes must not false-share.
@@ -140,9 +143,13 @@ impl Gauge {
     }
 }
 
-/// Number of histogram buckets: one for zero plus one per power of two up
-/// to `u64::MAX`.
-pub const HISTOGRAM_BUCKETS: usize = 65;
+/// Number of histogram buckets: one for zero, three singleton buckets for
+/// 1–3, then four linear sub-buckets per octave (`[2^o, 2^(o+1))` split
+/// into quarters) for octaves 2..=63. Pure log₂ buckets quantized p99 to
+/// powers of two (BENCH_cache.json used to report a flat 8.191µs); the
+/// quarter-octave split bounds quantile error at ~12.5% of the value while
+/// keeping the index a pair of shifts — no floats, no tables.
+pub const HISTOGRAM_BUCKETS: usize = 252;
 
 /// One histogram stripe, cache-line-aligned at its head. The bucket array
 /// spans many lines regardless; alignment keeps the hot `count`/`sum`/`max`
@@ -167,16 +174,17 @@ impl Default for HistogramStripe {
     }
 }
 
-/// Log₂-bucketed histogram of non-negative integer samples (typically
-/// milliseconds of virtual time or nanoseconds of wall time), striped
-/// across [`HISTOGRAM_STRIPES`] cells like [`Counter`].
+/// Quarter-octave-bucketed histogram of non-negative integer samples
+/// (typically milliseconds of virtual time or nanoseconds of wall time),
+/// striped across [`HISTOGRAM_STRIPES`] cells like [`Counter`].
 ///
-/// Bucket 0 holds exactly the value 0; bucket `i ≥ 1` holds values in
-/// `[2^(i-1), 2^i - 1]`. Percentiles are reported as the upper bound of
-/// the bucket containing the requested rank, clamped to the exact
-/// observed maximum — a deterministic function of the recorded samples,
-/// independent of recording order *and* of which stripe each sample
-/// landed in (folds are sums and maxes).
+/// Bucket 0 holds exactly the value 0, buckets 1–3 hold exactly 1–3, and
+/// every octave `[2^o, 2^(o+1))` with `o ≥ 2` is split into 4 equal
+/// linear sub-buckets of width `2^(o-2)`. Percentiles interpolate the
+/// requested rank linearly inside its sub-bucket (integer math only) and
+/// clamp to the exact observed maximum — a deterministic function of the
+/// recorded samples, independent of recording order *and* of which stripe
+/// each sample landed in (folds are sums and maxes).
 #[derive(Debug, Clone)]
 pub struct Histogram {
     stripes: Arc<[HistogramStripe; HISTOGRAM_STRIPES]>,
@@ -193,21 +201,42 @@ impl Histogram {
         Histogram { stripes: Arc::new(std::array::from_fn(|_| HistogramStripe::default())) }
     }
 
-    /// Bucket index a value lands in.
+    /// Bucket index a value lands in: two shifts, no branches beyond the
+    /// small-value special cases.
     pub fn bucket_index(value: u64) -> usize {
-        if value == 0 {
-            0
-        } else {
-            64 - value.leading_zeros() as usize
+        if value <= 3 {
+            return value as usize;
+        }
+        let octave = 63 - value.leading_zeros() as usize; // ≥ 2
+        let sub = ((value - (1u64 << octave)) >> (octave - 2)) as usize; // 0..=3
+        4 + (octave - 2) * 4 + sub
+    }
+
+    /// Inclusive lower bound of a bucket.
+    pub fn bucket_lower_bound(index: usize) -> u64 {
+        match index {
+            0..=3 => index as u64,
+            HISTOGRAM_BUCKETS.. => u64::MAX,
+            i => {
+                let octave = 2 + (i - 4) / 4;
+                let sub = ((i - 4) % 4) as u64;
+                (1u64 << octave) + sub * (1u64 << (octave - 2))
+            }
         }
     }
 
     /// Inclusive upper bound of a bucket.
     pub fn bucket_upper_bound(index: usize) -> u64 {
         match index {
-            0 => 0,
-            64.. => u64::MAX,
-            i => (1u64 << i) - 1,
+            0..=3 => index as u64,
+            HISTOGRAM_BUCKETS.. => u64::MAX,
+            i => {
+                let octave = 2 + (i - 4) / 4;
+                // Sub-bucket width 2^(octave-2); the top sub-bucket of the
+                // top octave ends exactly at u64::MAX, so add the width to
+                // `lower - 1` (never to `lower`, which would overflow).
+                Self::bucket_lower_bound(i) - 1 + (1u64 << (octave - 2))
+            }
         }
     }
 
@@ -240,9 +269,11 @@ impl Histogram {
         self.stripes.iter().map(|s| s.buckets[i].load(Ordering::Relaxed)).sum()
     }
 
-    /// Quantile estimate: upper bound of the bucket holding the sample of
-    /// rank `⌈q·count⌉`, clamped to the exact max. `q` outside `[0, 1]` is
-    /// clamped.
+    /// Quantile estimate: the sample of rank `⌈q·count⌉` is located in its
+    /// sub-bucket and its value interpolated linearly at the rank's
+    /// midpoint offset (`lo + (hi-lo)·(2·pos-1)/(2·n)`, pure integer
+    /// math), then clamped to the exact observed max. Deterministic and
+    /// order-independent; `q` outside `[0, 1]` is clamped.
     pub fn percentile(&self, q: f64) -> u64 {
         let count = self.count();
         if count == 0 {
@@ -252,10 +283,19 @@ impl Histogram {
         let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
         let mut cumulative = 0u64;
         for i in 0..HISTOGRAM_BUCKETS {
-            cumulative += self.bucket(i);
-            if cumulative >= rank {
-                return Self::bucket_upper_bound(i).min(self.max());
+            let n = self.bucket(i);
+            if n == 0 {
+                continue;
             }
+            if cumulative + n >= rank {
+                let pos = rank - cumulative; // 1..=n within this bucket
+                let lo = Self::bucket_lower_bound(i);
+                let hi = Self::bucket_upper_bound(i);
+                let span = (hi - lo) as u128;
+                let est = lo + ((span * (2 * pos as u128 - 1)) / (2 * n as u128)) as u64;
+                return est.min(self.max());
+            }
+            cumulative += n;
         }
         self.max()
     }
@@ -284,6 +324,8 @@ pub enum Instrument {
 #[derive(Debug, Clone, Default)]
 pub struct Registry {
     instruments: Arc<Mutex<BTreeMap<String, Instrument>>>,
+    labels: Arc<Families>,
+    windows: Arc<Windows>,
 }
 
 impl Registry {
@@ -335,6 +377,22 @@ impl Registry {
         }
     }
 
+    /// Get-or-create a labeled counter family (bounded-cardinality
+    /// per-tenant breakouts; see [`crate::labels`]).
+    pub fn counter_family(&self, name: &str) -> CounterFamily {
+        self.labels.counter(name)
+    }
+
+    /// Get-or-create a labeled histogram family.
+    pub fn histogram_family(&self, name: &str) -> HistogramFamily {
+        self.labels.histogram(name)
+    }
+
+    /// Get-or-create a trailing-window series (see [`crate::window`]).
+    pub fn window(&self, name: &str) -> WindowSeries {
+        self.windows.series(name)
+    }
+
     /// Look up an existing instrument without creating one.
     pub fn get(&self, name: &str) -> Option<Instrument> {
         self.instruments.lock().get(name).cloned()
@@ -345,30 +403,52 @@ impl Registry {
         self.instruments.lock().keys().cloned().collect()
     }
 
-    /// Human-readable snapshot with one line per instrument, sorted by
-    /// name. Byte-identical across runs whenever the recorded values are
-    /// deterministic (virtual-clock workloads) — stripe folds erase which
-    /// thread recorded what, so thread count doesn't perturb the bytes.
+    /// Human-readable snapshot with one line per instrument / labeled
+    /// series / window, globally sorted. Byte-identical across runs
+    /// whenever the recorded values are deterministic (virtual-clock
+    /// workloads) — stripe folds erase which thread recorded what, so
+    /// thread count doesn't perturb the bytes. Windows render relative to
+    /// a zero clock here; exporters with a live clock use
+    /// [`Registry::text_snapshot_at`].
     pub fn text_snapshot(&self) -> String {
-        let map = self.instruments.lock();
-        let mut out = String::from("# uc-obs metrics snapshot\n");
-        for (name, instrument) in map.iter() {
-            match instrument {
-                Instrument::Counter(c) => {
-                    out.push_str(&format!("{name} counter {}\n", c.get()));
-                }
-                Instrument::Gauge(g) => {
-                    out.push_str(&format!("{name} gauge {}\n", g.get()));
-                }
-                Instrument::Histogram(h) => {
-                    let (p50, p95, p99, max) = h.summary();
-                    out.push_str(&format!(
-                        "{name} histogram count={} sum={} p50={p50} p95={p95} p99={p99} max={max}\n",
-                        h.count(),
-                        h.sum(),
-                    ));
+        self.text_snapshot_at(0)
+    }
+
+    /// Snapshot with window series evaluated at `now_ms`.
+    pub fn text_snapshot_at(&self, now_ms: u64) -> String {
+        let mut lines: Vec<String> = Vec::new();
+        {
+            let map = self.instruments.lock();
+            for (name, instrument) in map.iter() {
+                match instrument {
+                    Instrument::Counter(c) => {
+                        lines.push(format!("{name} counter {}", c.get()));
+                    }
+                    Instrument::Gauge(g) => {
+                        lines.push(format!("{name} gauge {}", g.get()));
+                    }
+                    Instrument::Histogram(h) => {
+                        let (p50, p95, p99, max) = h.summary();
+                        lines.push(format!(
+                            "{name} histogram count={} sum={} p50={p50} p95={p95} p99={p99} max={max}",
+                            h.count(),
+                            h.sum(),
+                        ));
+                    }
                 }
             }
+        }
+        self.labels.render(&mut lines);
+        self.windows.render(now_ms, &mut lines);
+        // One global sort: labeled lines (`name{label} ...`) interleave
+        // with scalar lines in plain byte order, so consumers (and the
+        // sorted-snapshot invariant tests) see one canonical ordering no
+        // matter which subsystem emitted a line.
+        lines.sort_unstable();
+        let mut out = String::from("# uc-obs metrics snapshot\n");
+        for line in lines {
+            out.push_str(&line);
+            out.push('\n');
         }
         out
     }
@@ -435,21 +515,34 @@ mod tests {
         assert_eq!(Histogram::bucket_index(0), 0);
         assert_eq!(Histogram::bucket_index(1), 1);
         assert_eq!(Histogram::bucket_index(2), 2);
-        assert_eq!(Histogram::bucket_index(3), 2);
-        assert_eq!(Histogram::bucket_index(4), 3);
-        assert_eq!(Histogram::bucket_index(1023), 10);
-        assert_eq!(Histogram::bucket_index(1024), 11);
-        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_index(3), 3);
+        assert_eq!(Histogram::bucket_index(4), 4, "first quarter of octave 2");
+        assert_eq!(Histogram::bucket_index(5), 5);
+        assert_eq!(Histogram::bucket_index(7), 7);
+        assert_eq!(Histogram::bucket_index(8), 8, "first quarter of octave 3");
+        assert_eq!(Histogram::bucket_index(9), 8, "sub-bucket width 2 at octave 3");
+        assert_eq!(Histogram::bucket_index(10), 9);
+        assert_eq!(Histogram::bucket_index(1023), 35, "top quarter of octave 9");
+        assert_eq!(Histogram::bucket_index(1024), 36, "first quarter of octave 10");
+        assert_eq!(Histogram::bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
         assert_eq!(Histogram::bucket_upper_bound(0), 0);
         assert_eq!(Histogram::bucket_upper_bound(1), 1);
-        assert_eq!(Histogram::bucket_upper_bound(2), 3);
-        assert_eq!(Histogram::bucket_upper_bound(10), 1023);
-        assert_eq!(Histogram::bucket_upper_bound(64), u64::MAX);
+        assert_eq!(Histogram::bucket_upper_bound(2), 2);
+        assert_eq!(Histogram::bucket_upper_bound(4), 4);
+        assert_eq!(Histogram::bucket_upper_bound(35), 1023);
+        assert_eq!(Histogram::bucket_lower_bound(35), 896, "512 + 3·128");
+        assert_eq!(Histogram::bucket_upper_bound(HISTOGRAM_BUCKETS - 1), u64::MAX);
         for v in [0u64, 1, 2, 3, 4, 5, 127, 128, 1 << 40, u64::MAX] {
             let i = Histogram::bucket_index(v);
+            assert!(Histogram::bucket_lower_bound(i) <= v);
             assert!(v <= Histogram::bucket_upper_bound(i));
             if i > 0 {
                 assert!(v > Histogram::bucket_upper_bound(i - 1));
+                assert_eq!(
+                    Histogram::bucket_lower_bound(i),
+                    Histogram::bucket_upper_bound(i - 1) + 1,
+                    "buckets tile the axis with no gaps"
+                );
             }
         }
     }
@@ -457,20 +550,40 @@ mod tests {
     #[test]
     fn histogram_percentile_math_is_stable() {
         let h = Histogram::new();
-        // 100 samples: 1..=100. Bucketed: p50 rank 50 → value 50 →
-        // bucket 6 (33..=63), reported as min(63, max=100) = 63.
+        // 100 samples: 1..=100. p50 rank 50 lands in sub-bucket [48, 55]
+        // as its 3rd of 8 samples → interpolated exactly to 50; p95 rank
+        // 95 lands in [80, 95] as its 16th of 16 → 94 (interpolation
+        // bounds error to the sub-bucket width); p99 rank 99 lands in
+        // [96, 111] which clamps to the exact max 100.
         for v in 1..=100u64 {
             h.record(v);
         }
         assert_eq!(h.count(), 100);
         assert_eq!(h.sum(), 5050);
         assert_eq!(h.max(), 100);
-        assert_eq!(h.percentile(0.50), 63);
-        assert_eq!(h.percentile(0.95), 100, "bucket upper 127 clamps to exact max");
-        assert_eq!(h.percentile(0.99), 100);
+        assert_eq!(h.percentile(0.50), 50, "interpolation recovers the exact median here");
+        assert_eq!(h.percentile(0.95), 94);
+        assert_eq!(h.percentile(0.99), 100, "estimate above the max clamps to the exact max");
         assert_eq!(h.percentile(0.0), 1, "rank clamps to the first sample");
         assert_eq!(h.percentile(1.0), 100);
-        assert_eq!(h.summary(), (63, 100, 100, 100));
+        assert_eq!(h.summary(), (50, 94, 100, 100));
+    }
+
+    #[test]
+    fn interpolated_quantiles_beat_octave_quantization() {
+        // The regression this scheme exists for: a tight cluster of
+        // latencies inside one octave used to collapse to the octave's
+        // power-of-two upper bound (8191 for anything in 4096..=8191).
+        let h = Histogram::new();
+        for v in 5000..5100u64 {
+            h.record(v);
+        }
+        let p99 = h.percentile(0.99);
+        assert!(
+            (4096..=6143).contains(&p99),
+            "p99 {p99} must stay within the quarter-octave, not snap to 8191"
+        );
+        assert!(p99 >= 5000, "clamped below by the populated sub-bucket");
     }
 
     #[test]
@@ -535,6 +648,26 @@ mod tests {
             }
         });
         assert_eq!(single.text_snapshot(), spread.text_snapshot());
+    }
+
+    #[test]
+    fn snapshot_interleaves_labeled_and_window_lines_in_sorted_order() {
+        let r = Registry::new();
+        r.counter("catalog.get_table.count").add(7);
+        r.counter_family("catalog.get_table.count.by_tenant").add("t=acme,p=root", 4);
+        r.counter_family("catalog.get_table.count.by_tenant").add("t=zeta,p=root", 3);
+        r.window("catalog.get_table.window").record(0, 2);
+        let snap = r.text_snapshot();
+        let lines: Vec<&str> = snap.lines().skip(1).collect();
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        assert_eq!(lines, sorted, "global sort covers scalars, labels, and windows");
+        assert!(snap.contains("catalog.get_table.count counter 7"));
+        assert!(snap.contains("catalog.get_table.count.by_tenant{t=acme,p=root} counter 4"));
+        assert!(snap.contains("catalog.get_table.count.by_tenant{t=zeta,p=root} counter 3"));
+        assert!(snap.contains(
+            "catalog.get_table.window window bucket_ms=125 window_ms=1000 count=1"
+        ));
     }
 
     #[test]

@@ -18,6 +18,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use crate::flight::FlightRecorder;
 use crate::metrics::Histogram;
 
 /// Upper bound on retained trace records; beyond it new records are
@@ -95,7 +96,7 @@ impl TraceRecord {
     }
 }
 
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -123,6 +124,10 @@ struct TracerInner {
     next_trace_id: AtomicU64,
     next_span_id: AtomicU64,
     log: Mutex<TraceLog>,
+    /// Always-on incident ring, live iff the tracer is enabled. Fed from
+    /// [`Tracer::push`] *before* the log mutex is taken (flight lane
+    /// mutexes and the log mutex never nest).
+    flight: FlightRecorder,
 }
 
 /// Span recorder. Cloning shares the tracer; a disabled tracer records
@@ -158,6 +163,7 @@ impl Tracer {
                 next_trace_id: AtomicU64::new(1),
                 next_span_id: AtomicU64::new(1),
                 log: Mutex::new(TraceLog::default()),
+                flight: FlightRecorder::new(enabled),
             }),
         }
     }
@@ -166,16 +172,51 @@ impl Tracer {
         self.inner.enabled
     }
 
+    /// The tracer's flight recorder (inert when tracing is disabled).
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.inner.flight
+    }
+
+    /// Current time on the tracer's injected clock.
+    pub fn clock_ms(&self) -> u64 {
+        self.now_ms()
+    }
+
     fn now_ms(&self) -> u64 {
         (self.inner.clock)()
     }
 
     fn push(&self, record: TraceRecord) {
+        // Feed the flight recorder first: its lane mutex is taken and
+        // released (and any auto-freeze fully completes) while this thread
+        // holds no other obs lock, keeping the pinned lock order acyclic.
+        self.feed_flight(&record);
         let mut log = self.inner.log.lock();
         if log.records.len() >= MAX_RECORDS {
             log.dropped += 1;
         } else {
             log.records.push(record);
+        }
+    }
+
+    fn feed_flight(&self, record: &TraceRecord) {
+        let fr = &self.inner.flight;
+        if !fr.is_enabled() {
+            return;
+        }
+        match record {
+            TraceRecord::SpanStart { trace_id, layer, name, ts_ms, .. } => {
+                fr.note(*ts_ms, *trace_id, "span.start", &format!("{layer}.{name}"), "");
+            }
+            TraceRecord::Event { trace_id, name, detail, ts_ms, .. } => {
+                fr.note(*ts_ms, *trace_id, "event", name, detail);
+                if let Some(reason) = FlightRecorder::trigger_reason(name, detail) {
+                    fr.freeze_if_armed(*ts_ms, &reason);
+                }
+            }
+            TraceRecord::SpanEnd { trace_id, ts_ms, status, .. } => {
+                fr.note(*ts_ms, *trace_id, "span.end", "", &format!("status={status}"));
+            }
         }
     }
 

@@ -163,12 +163,22 @@ impl WriteTxn {
     /// the transaction is consumed — callers retry from `begin_write`.
     pub fn commit(self) -> TxResult<u64> {
         let obs = self.db.inner.obs.clone();
+        let start_ms = obs.clock_ms();
         let mut span = obs.span("txdb", "commit");
         let result = self.commit_inner();
         match &result {
             Err(TxError::Conflict { .. }) => span.set_status("conflict"),
             Err(_) => span.set_status("error"),
             Ok(_) => {}
+        }
+        // Attribute the commit to the request's tenant when a catalog API
+        // guard has one on the thread-local scope stack; bare commits
+        // (tests, tooling) skip the labeled series entirely.
+        if let Some(label) = uc_obs::current_tenant() {
+            obs.counter_family("txdb.commit.count.by_tenant").inc(&label);
+            let now = obs.clock_ms();
+            obs.window("txdb.commit.window")
+                .record(now, now.saturating_sub(start_ms));
         }
         result
     }

@@ -223,6 +223,61 @@ fn flush_heavy_runs_replay_byte_identical() {
     assert_eq!(a.fingerprint(), b.fingerprint());
 }
 
+// ---------------------------------------------------------------------
+// 8. Adversarial flight-recorder freezes must not move the verdict
+// ---------------------------------------------------------------------
+
+/// Freeze clients snapshot the flight recorder at scheduler-chosen points
+/// (the `flight.freeze` yield point runs before the rings are read), so a
+/// freeze can land between a commit and the audit feed that describes it.
+/// The freeze is a pure observer — clean stays clean, the history keeps
+/// exactly the real clients' ops — and the recorder's content-sorted merge
+/// keeps the dump itself independent of where the schedule put the freeze.
+#[test]
+fn adversarial_flight_freezes_do_not_change_verdicts() {
+    let base = sched_seed(0);
+    for offset in 0..6u64 {
+        for mode in MODES {
+            let seed = base.wrapping_add(offset);
+            let plain = run_one(&RunConfig::new(seed, mode));
+            let mut cfg = RunConfig::new(seed, mode);
+            cfg.freeze_clients = 2;
+            let frozen = run_one(&cfg);
+            assert!(
+                plain.violations.is_empty(),
+                "seed {seed} mode {mode:?} (no freezers): {:#?}",
+                plain.violations
+            );
+            assert!(
+                frozen.violations.is_empty(),
+                "seed {seed} mode {mode:?} (2 freezers): {:#?}",
+                frozen.violations
+            );
+            assert_eq!(
+                frozen.history.ops.len(),
+                cfg.clients * cfg.ops_per_client,
+                "seed {seed} mode {mode:?}: freezers leaked ops into the history"
+            );
+            assert_ne!(
+                frozen.schedule, plain.schedule,
+                "seed {seed} mode {mode:?}: freeze clients never entered the schedule"
+            );
+        }
+    }
+}
+
+/// A freeze-heavy run is still deterministic: same seed, same freezer
+/// count → byte-identical fingerprint (schedule + canonical history).
+#[test]
+fn freeze_heavy_runs_replay_byte_identical() {
+    let mut cfg = RunConfig::new(4242, SchedMode::Pct { depth: 3 });
+    cfg.flush_clients = 2;
+    cfg.freeze_clients = 2;
+    let a = run_one(&cfg);
+    let b = run_one(&cfg);
+    assert_eq!(a.fingerprint(), b.fingerprint());
+}
+
 /// Pinned replay of the proptest corpus case in
 /// `tests/check_histories.proptest-regressions` (the vendored proptest
 /// shim is generator-only and does not read that file, so the case is

@@ -60,7 +60,8 @@ fn int_schema() -> Schema {
 
 /// A fault-heavy workload whose telemetry must replay exactly: engine DML
 /// under probabilistic storage/commit faults, then a conflict storm.
-fn run_chaos_workload(seed: u64) -> (String, String) {
+/// Returns (trace jsonl, metrics snapshot, frozen flight dump, Chrome trace).
+fn run_chaos_workload(seed: u64) -> (String, String, String, String) {
     let w = observed_world(seed);
     let engine = Engine::new(w.uc.clone(), w.ms.clone(), EngineConfig::trusted("dbr"));
     let mut s = engine.session(ADMIN);
@@ -75,19 +76,68 @@ fn run_chaos_workload(seed: u64) -> (String, String) {
     w.plan.disarm(points::STORE_PUT_IF_ABSENT);
     w.plan.disarm(points::TXDB_COMMIT_CONFLICT);
     let _ = s.execute("SELECT * FROM main.s.t").unwrap();
-    (w.obs.trace_jsonl(), w.obs.metrics_snapshot())
+    let flight = w.obs.flight_jsonl().unwrap_or_default();
+    let chrome = w.obs.flight_chrome_trace().unwrap_or_default();
+    (w.obs.trace_jsonl(), w.obs.metrics_snapshot(), flight, chrome)
 }
 
 #[test]
 fn same_seed_runs_emit_byte_identical_telemetry() {
-    let (trace1, metrics1) = run_chaos_workload(424242);
-    let (trace2, metrics2) = run_chaos_workload(424242);
+    let (trace1, metrics1, flight1, chrome1) = run_chaos_workload(424242);
+    let (trace2, metrics2, flight2, chrome2) = run_chaos_workload(424242);
     assert!(!trace1.is_empty() && trace1.lines().count() > 50, "the trace is substantial");
     assert_eq!(trace1, trace2, "same seed → byte-identical trace dump");
     assert_eq!(metrics1, metrics2, "same seed → byte-identical metrics snapshot");
 
-    let (trace3, _) = run_chaos_workload(99);
+    // The workload injects faults, so the flight recorder auto-froze; the
+    // frozen ring (content-sorted merge, no lane/arrival leakage) and its
+    // Chrome-trace export must replay byte-identically too.
+    assert!(
+        flight1.starts_with(r#"{"flight":"frozen","reason":"fault.injected"#),
+        "fault injection must auto-freeze the flight recorder: {flight1}"
+    );
+    assert_eq!(flight1, flight2, "same seed → byte-identical flight dump");
+    assert_eq!(chrome1, chrome2, "same seed → byte-identical Chrome trace");
+
+    let (trace3, ..) = run_chaos_workload(99);
     assert_ne!(trace1, trace3, "different seed → different trace");
+}
+
+#[test]
+fn explicit_flight_freeze_captures_audit_trail_and_serves_over_rest() {
+    let w = observed_world(5);
+    let ctx = Context::user(ADMIN);
+    w.uc.create_catalog(&ctx, &w.ms, "main").unwrap();
+    w.uc.create_schema(&ctx, &w.ms, "main", "s").unwrap();
+    w.uc.create_table(&ctx, &w.ms, TableSpec::managed("main.s.t", int_schema()).unwrap())
+        .unwrap();
+
+    // No faults ran, so nothing auto-froze; an explicit freeze snapshots
+    // the per-thread rings on demand, and the audit feed is in them.
+    assert!(w.obs.flight_jsonl().is_none(), "no auto-freeze without faults");
+    let dump = w.uc.flight_freeze("operator.request");
+    assert!(
+        dump.starts_with(r#"{"flight":"frozen","reason":"operator.request""#),
+        "explicit freeze carries its reason: {dump}"
+    );
+    assert!(
+        dump.lines().any(|l| l.contains(r#""kind":"audit","name":"createTable""#)),
+        "audit decisions feed the recorder:\n{dump}"
+    );
+
+    // The REST surface serves the already-frozen dump plus the
+    // Chrome-trace rendering of the same events.
+    let api = RestApi::new(w.uc.clone());
+    let admin = RequestAuth::user(ADMIN);
+    let resp = api
+        .handle(&admin, &w.ms, "metrics.flightrecorder", &serde_json::json!({}))
+        .unwrap();
+    assert_eq!(resp["jsonl"].as_str().unwrap(), dump, "REST serves the frozen dump");
+    let chrome = resp["chrome_trace"].as_str().unwrap();
+    assert!(
+        chrome.starts_with('[') && chrome.contains(r#""ph":"i""#),
+        "chrome trace is a JSON array of events: {chrome}"
+    );
 }
 
 #[test]
@@ -309,6 +359,19 @@ fn audit_and_metrics_are_byte_stable_across_thread_counts() {
     assert_eq!(audit1, audit16, "audit canonical text: 1-thread vs 16-thread");
     assert_eq!(metrics1, metrics4, "metrics snapshot: 1-thread vs 4-thread");
     assert_eq!(metrics1, metrics16, "metrics snapshot: 1-thread vs 16-thread");
+
+    // The snapshots above include the dimensional plane, so the equality
+    // already proves the labeled series are thread-count-invariant; pin
+    // down that they are actually *present* (with the metastore alias,
+    // not a uid) so the assertion can't pass vacuously.
+    assert!(
+        metrics1.contains("catalog.get_securable.count.by_tenant{t=obs,p=admin}"),
+        "per-tenant getTable series must be in the snapshot:\n{metrics1}"
+    );
+    assert!(
+        metrics1.contains("txdb.commit.count.by_tenant{t=obs,p=admin}"),
+        "per-tenant commit series must be in the snapshot:\n{metrics1}"
+    );
 }
 
 #[test]
