@@ -27,6 +27,9 @@ pub enum UcError {
     UnsupportedOperation(String),
     /// A commit targeted a stale table version (catalog-owned commits).
     CommitConflict { expected: i64, actual: i64 },
+    /// The serving plane shed this request under admission control; the
+    /// caller should back off and retry (HTTP 429).
+    ResourceExhausted(String),
     /// The backing database reported an unrecoverable error.
     Database(String),
     /// Storage layer error (e.g. during managed-storage provisioning).
@@ -51,6 +54,7 @@ impl fmt::Display for UcError {
                 f,
                 "commit conflict: expected version {expected}, table is at {actual}"
             ),
+            UcError::ResourceExhausted(s) => write!(f, "resource exhausted: {s}"),
             UcError::Database(s) => write!(f, "database error: {s}"),
             UcError::Storage(s) => write!(f, "storage error: {s}"),
             UcError::Federation(s) => write!(f, "federation error: {s}"),

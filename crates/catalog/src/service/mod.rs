@@ -539,6 +539,27 @@ impl UnityCatalog {
         self.config.obs.flight_freeze(reason)
     }
 
+    /// The node's current cache version for a metastore — the snapshot
+    /// pin every cached read validates against. The serving plane keys
+    /// its single-flight coalescing map on this value: a request that
+    /// observed version v+1 computes a different flight key than a
+    /// leader that started at v, so a leader's result is never served
+    /// across an invalidation (read-your-snapshot for followers).
+    pub fn metastore_cache_version(&self, ms: &Uid) -> u64 {
+        if !self.config.cache.enabled {
+            return 0;
+        }
+        self.cache.for_metastore(ms).version()
+    }
+
+    /// Audit a request the serving plane shed under admission control.
+    /// Shedding is a governance decision like any deny: it must land in
+    /// the audit trail (op `serve_admit`, action `requestShed`), never be
+    /// a silent drop.
+    pub fn audit_shed(&self, principal: &str, detail: impl std::fmt::Display) {
+        self.record_audit(principal, "requestShed", None, AuditDecision::Deny, detail);
+    }
+
     pub(crate) fn record_audit(
         &self,
         principal: &str,

@@ -36,6 +36,7 @@ impl From<UcError> for ApiError {
             UcError::AlreadyExists(_) | UcError::PathConflict { .. } => 409,
             UcError::CommitConflict { .. } => 409,
             UcError::PermissionDenied(_) => 403,
+            UcError::ResourceExhausted(_) => 429,
             UcError::InvalidArgument(_) | UcError::UnsupportedOperation(_) => 400,
             UcError::Database(_) | UcError::Storage(_) | UcError::Federation(_) => 500,
         };
@@ -274,6 +275,31 @@ impl RestApi {
                     .and_then(|v| v.as_bool())
                     .unwrap_or(false);
                 let resolved = self.uc.resolve_for_query(&ctx, ms, &refs, want_creds)?;
+                Ok(json!({
+                    "securables": resolved.iter().map(|r| json!({
+                        "entity": entity_json(&r.entity),
+                        "has_row_filter": r.fgac.row_filter.is_some(),
+                        "masked_columns": r.fgac.column_masks.iter().map(|m| m.column.clone()).collect::<Vec<_>>(),
+                        "dependencies": r.dependencies.iter().map(|d| d.entity.name.clone()).collect::<Vec<_>>(),
+                        "has_credential": r.read_credential.is_some(),
+                    })).collect::<Vec<_>>()
+                }))
+            }
+            "tables.resolveBatch" => {
+                let names = params
+                    .get("names")
+                    .and_then(|v| v.as_array())
+                    .ok_or_else(|| bad_request("missing 'names' array"))?;
+                let mut refs = Vec::with_capacity(names.len());
+                for n in names {
+                    let s = n.as_str().ok_or_else(|| bad_request("names must be strings"))?;
+                    refs.push(FullName::parse(s)?);
+                }
+                let want_creds = params
+                    .get("with_credentials")
+                    .and_then(|v| v.as_bool())
+                    .unwrap_or(false);
+                let resolved = self.uc.resolve_batch(&ctx, ms, &refs, want_creds)?;
                 Ok(json!({
                     "securables": resolved.iter().map(|r| json!({
                         "entity": entity_json(&r.entity),

@@ -58,6 +58,30 @@ fn main() {
         }
     }
 
+    // Adversarial coalescing pass: serve-plane readers share flights
+    // while the real clients commit writes that advance the metastore
+    // cache version. The in-client assertion proves read-your-snapshot
+    // on the flight key (a pre-invalidation leader's result is never
+    // served to a post-invalidation arrival); the fingerprints join the
+    // byte-diff and the verdicts must stay clean.
+    for offset in 0..2u64 {
+        let seed = base.wrapping_add(offset);
+        for (mode_name, mode) in modes {
+            let mut cfg = RunConfig::new(seed, mode);
+            cfg.coalesce_clients = 2;
+            let out = run_one(&cfg);
+            println!("=== seed={seed} mode={mode_name} coalesce=2 ===");
+            print!("{}", out.fingerprint());
+            if !out.violations.is_empty() {
+                failed = true;
+                eprintln!("VIOLATIONS at seed={seed} mode={mode_name} (adversarial coalescing):");
+                for v in &out.violations {
+                    eprintln!("  {v}");
+                }
+            }
+        }
+    }
+
     // Teeth: weakened commit validation must be caught on some seed.
     let mut teeth = false;
     for offset in 0..8u64 {

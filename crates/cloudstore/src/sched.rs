@@ -291,6 +291,16 @@ pub fn yield_point(point: &'static str) {
     }
 }
 
+/// Whether the calling thread is registered with a scheduler. A blocking
+/// primitive (condvar wait) would wedge the baton model — the waiter
+/// holds the baton while the thread that would wake it can never run —
+/// so code that may execute under the explorer probes this to swap a
+/// blocking wait for a yield-and-recheck loop (see uc-serve's
+/// single-flight followers).
+pub fn is_scheduled() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
 /// Mark the calling thread's client as finished and hand the baton on.
 /// Unregisters the thread; a no-op for unregistered threads. Drivers
 /// must call this even when the client's workload panicked (wrap the

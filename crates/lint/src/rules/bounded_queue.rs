@@ -1,0 +1,82 @@
+//! Bounded-queue rule. Admission control exists so overload is *shed*,
+//! never absorbed into an unbounded in-memory queue that trades a 429
+//! for an OOM. `[admission] functions` in Lint.toml lists the serving
+//! plane's enqueue paths as `<rel_path>::<fn_name>`; inside one, any
+//! collection-growth call (`.push()` / `.push_back()` / `.push_front()`
+//! / `.extend()`) is a diagnostic unless the function body has already
+//! compared a `.len()` against something *before* the growth site — the
+//! check-capacity-then-push shape — or the site carries a reasoned
+//! `// uc-lint: allow(bounded-queue)` pragma.
+//!
+//! Like every uc-lint rule this is textual and function-local: it does
+//! not prove the comparison guards the right collection or that the
+//! bound is sensible. Its job is to stop the easy regression — an
+//! enqueue added to an `[admission]` function with no capacity check
+//! anywhere near it — and to force a written justification for anything
+//! cleverer.
+
+use super::{is_punct, Diagnostic, FileCtx, RULE_BOUNDED_QUEUE};
+use crate::lexer::Kind;
+
+/// Method calls that grow a collection.
+const GROWTH_METHODS: &[&str] = &["push", "push_back", "push_front", "extend"];
+
+/// Comparison operators accepted as evidence of a capacity check.
+const COMPARISONS: &[&str] = &["<", ">", "<=", ">=", "=="];
+
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    let listed = ctx.cfg.list("admission", "functions");
+    if listed.is_empty() {
+        return;
+    }
+    let toks = ctx.tokens;
+    for f in &ctx.scan.fns {
+        let key = format!("{}::{}", ctx.rel_path, f.name);
+        if !listed.iter().any(|l| l == &key) {
+            continue;
+        }
+        let Some((open, close)) = f.body else { continue };
+        if ctx.scan.test_mask[open] {
+            continue;
+        }
+        // Token index of the first `.len()` whose result is compared
+        // within the next few tokens — the capacity-check evidence.
+        let mut guard_at: Option<usize> = None;
+        let mut i = open + 1;
+        while i < close {
+            let t = &toks[i];
+            if guard_at.is_none()
+                && t.kind == Kind::Ident
+                && t.text == "len"
+                && is_punct(&toks[i - 1], ".")
+                && i + 1 < close
+                && is_punct(&toks[i + 1], "(")
+            {
+                let window_end = (i + 6).min(close);
+                let compared = (i + 2..window_end).any(|j| {
+                    toks[j].kind == Kind::Punct && COMPARISONS.contains(&toks[j].text.as_str())
+                });
+                if compared {
+                    guard_at = Some(i);
+                }
+            }
+            if t.kind == Kind::Ident
+                && is_punct(&toks[i - 1], ".")
+                && i + 1 < close
+                && is_punct(&toks[i + 1], "(")
+                && GROWTH_METHODS.contains(&t.text.as_str())
+                && guard_at.map(|g| g > i).unwrap_or(true)
+            {
+                out.push(ctx.diag(
+                    t.line,
+                    RULE_BOUNDED_QUEUE,
+                    format!(
+                        "`.{}()` grows a queue inside admission function `{}` with no prior capacity check (compare `.len()` against a bound before growing, or suppress with a reasoned allow(bounded-queue) pragma)",
+                        t.text, f.name
+                    ),
+                ));
+            }
+            i += 1;
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Bounded-queue fixture: the three shapes an `[admission]`-listed
+//! enqueue path can take. `enqueue_checked` compares `.len()` against a
+//! bound before growing (clean), `enqueue_unchecked` grows with no prior
+//! capacity check (flagged), and `enqueue_waived` suppresses the
+//! diagnostic with a reasoned pragma.
+
+pub struct Queue {
+    items: Vec<u32>,
+}
+
+impl Queue {
+    pub fn enqueue_checked(&mut self, item: u32, capacity: usize) -> bool {
+        if self.items.len() >= capacity {
+            return false;
+        }
+        self.items.push(item);
+        true
+    }
+
+    pub fn enqueue_unchecked(&mut self, item: u32) {
+        self.items.push(item);
+    }
+
+    pub fn enqueue_waived(&mut self, item: u32) {
+        // uc-lint: allow(bounded-queue) -- fixture: growth bounded by the caller's retry budget
+        self.items.push(item);
+    }
+}

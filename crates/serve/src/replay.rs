@@ -1,0 +1,277 @@
+//! Deterministic replay of an open-loop schedule through the plane.
+//!
+//! The concurrent entry points ([`crate::ServePlane::get_table`] /
+//! [`crate::ServePlane::resolve`]) are thread-driven: which requests
+//! coalesce and who leads depends on OS scheduling, so two runs report
+//! different (equally correct) splits. CI byte-diff gates need the
+//! opposite — so this module replays a [`Schedule`] single-threaded on
+//! the injected manual clock, applying *the same policy code*
+//! (admission via [`crate::ServePlane::admit`], version-keyed coalescing
+//! groups, signature-compatible batch chunks, bounded shed-retry) in
+//! arrival order. Leader election is deterministic (first arrival in the
+//! group), so shed decisions, coalesce splits, batch sizes, telemetry,
+//! and the audit trail are pure functions of the schedule seed:
+//! `UC_SERVE_REPLAY=1` runs of the fig10b bench diff byte-identically.
+//!
+//! Requests arriving in the same virtual millisecond are treated as
+//! concurrent: they are all admitted (or shed) against the quantum's
+//! queue depth, `getTable`s for the same `(tenant, key)` coalesce into
+//! one flight, and `Resolve`s with the same tenant signature chunk into
+//! combined calls of at most `max_batch`. A hook runs between quanta so
+//! tests can inject invalidations and prove flights never span a cache
+//! version change.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use uc_catalog::service::Context;
+use uc_catalog::{FullName, Uid};
+use uc_workload::openloop::{Arrival, RequestKind, Schedule};
+
+use crate::ServePlane;
+
+/// Binds a schedule's abstract tenant/key indices to a concrete world.
+pub struct ReplayBinding {
+    /// The metastore every tenant lives in (tenants are principals).
+    pub ms: Uid,
+    /// Per-tenant request context; tenant index `i` uses
+    /// `contexts[i % contexts.len()]`.
+    pub contexts: Vec<Context>,
+    /// Per-tenant table names; key index `k` of tenant `i` resolves to
+    /// `tables[i % tables.len()][k % tables[..].len()]`.
+    pub tables: Vec<Vec<String>>,
+    /// Whether `Resolve` requests ask for read credentials.
+    pub want_credentials: bool,
+}
+
+impl ReplayBinding {
+    fn context(&self, tenant: usize) -> &Context {
+        &self.contexts[tenant % self.contexts.len()]
+    }
+
+    fn table(&self, tenant: usize, key: usize) -> &str {
+        let tables = &self.tables[tenant % self.tables.len()];
+        &tables[key % tables.len()]
+    }
+}
+
+/// Counters accumulated by one replay; [`ReplayReport::canonical_text`]
+/// is the byte-diffed CI artifact.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Schedule arrivals plus retry re-arrivals offered to admission.
+    pub offered: u64,
+    /// Requests admitted past the tenant budget.
+    pub admitted: u64,
+    /// Shed events (each is one audited deny + one 429).
+    pub shed: u64,
+    /// Shed requests re-offered after backoff.
+    pub retried: u64,
+    /// Shed requests dropped after exhausting their retry budget.
+    pub dropped: u64,
+    /// Coalesce groups executed (each is one catalog call + one audit).
+    pub leaders: u64,
+    /// Requests served from another request's flight.
+    pub followers: u64,
+    /// Combined resolve dispatches.
+    pub batches: u64,
+    /// Resolve requests carried by those dispatches.
+    pub batch_items: u64,
+    /// Catalog-level errors surfaced to requests (denies etc.).
+    pub errors: u64,
+    /// Last virtual timestamp processed.
+    pub end_ms: u64,
+    /// Metastore cache version of the last quantum — flights never span
+    /// two values of this (read-your-snapshot).
+    pub last_version: u64,
+}
+
+impl ReplayReport {
+    /// Canonical, line-oriented rendering for byte-for-byte diffing.
+    pub fn canonical_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "serve.replay.offered={}", self.offered);
+        let _ = writeln!(out, "serve.replay.admitted={}", self.admitted);
+        let _ = writeln!(out, "serve.replay.shed={}", self.shed);
+        let _ = writeln!(out, "serve.replay.retried={}", self.retried);
+        let _ = writeln!(out, "serve.replay.dropped={}", self.dropped);
+        let _ = writeln!(out, "serve.replay.leaders={}", self.leaders);
+        let _ = writeln!(out, "serve.replay.followers={}", self.followers);
+        let _ = writeln!(out, "serve.replay.batches={}", self.batches);
+        let _ = writeln!(out, "serve.replay.batch_items={}", self.batch_items);
+        let _ = writeln!(out, "serve.replay.errors={}", self.errors);
+        let _ = writeln!(out, "serve.replay.end_ms={}", self.end_ms);
+        let _ = writeln!(out, "serve.replay.last_version={}", self.last_version);
+        out
+    }
+}
+
+/// One queued request: the arrival plus how many times it has been shed
+/// and re-offered.
+struct Pending {
+    arrival: Arrival,
+    attempt: u32,
+}
+
+/// Replay `schedule` through `plane` deterministically.
+pub fn run(plane: &ServePlane, schedule: &Schedule, binding: &ReplayBinding) -> ReplayReport {
+    run_with(plane, schedule, binding, |_, _| {})
+}
+
+/// [`run`] with a hook invoked at the start of every quantum (after the
+/// clock advance, before admission) — the seam tests use to inject
+/// invalidations between quanta.
+pub fn run_with(
+    plane: &ServePlane,
+    schedule: &Schedule,
+    binding: &ReplayBinding,
+    mut hook: impl FnMut(u64, &ServePlane),
+) -> ReplayReport {
+    let mut report = ReplayReport::default();
+    if binding.contexts.is_empty() || binding.tables.is_empty() {
+        return report;
+    }
+    // Virtual-time queue: schedule arrivals plus shed-retry re-arrivals.
+    let mut queue: BTreeMap<u64, Vec<Pending>> = BTreeMap::new();
+    for arrival in &schedule.arrivals {
+        queue
+            .entry(arrival.at_ms)
+            .or_default()
+            .push(Pending { arrival: arrival.clone(), attempt: 0 });
+    }
+    let retry = plane.config().retry.clone();
+    while let Some((&t, _)) = queue.iter().next() {
+        let quantum = match queue.remove(&t) {
+            Some(q) => q,
+            None => break,
+        };
+        report.end_ms = t;
+        let clock = plane.catalog().clock();
+        if clock.is_manual() {
+            let now = clock.now_ms();
+            if t > now {
+                clock.advance_ms(t - now);
+            }
+        }
+        hook(t, plane);
+
+        // Phase 1 — admission. Every arrival in the quantum is
+        // concurrently in flight: slots are held until the quantum is
+        // fully served, so a tenant burst above its budget sheds
+        // deterministically (later arrivals lose).
+        let mut admitted = Vec::new();
+        let mut guards = Vec::new();
+        for pending in quantum {
+            let ctx = binding.context(pending.arrival.tenant);
+            let what = match pending.arrival.kind {
+                RequestKind::GetTable => "getTable",
+                RequestKind::Resolve { .. } => "resolve",
+            };
+            report.offered += 1;
+            match plane.admit(&binding.ms, &ctx.principal, what) {
+                Ok(guard) => {
+                    guards.push(guard);
+                    admitted.push(pending.arrival);
+                    report.admitted += 1;
+                }
+                Err(_) => {
+                    report.shed += 1;
+                    if pending.attempt < retry.max_retries {
+                        let backoff_ms = retry.base_ms.max(1) << pending.attempt.min(6);
+                        plane.metrics.retries.inc();
+                        report.retried += 1;
+                        queue.entry(t + backoff_ms).or_default().push(Pending {
+                            arrival: pending.arrival,
+                            attempt: pending.attempt + 1,
+                        });
+                    } else {
+                        report.dropped += 1;
+                    }
+                }
+            }
+        }
+
+        // Phase 2 — coalesce point reads. Same (tenant, key) in one
+        // quantum shares one flight under the quantum's cache version;
+        // the first arrival leads.
+        let version = plane.catalog().metastore_cache_version(&binding.ms);
+        report.last_version = version;
+        let mut get_groups: Vec<((usize, usize), u64)> = Vec::new();
+        for arrival in admitted.iter().filter(|a| a.kind == RequestKind::GetTable) {
+            let key = (arrival.tenant, arrival.key);
+            match get_groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, n)) => *n += 1,
+                None => get_groups.push((key, 1)),
+            }
+        }
+        for ((tenant, key), n) in get_groups {
+            let ctx = binding.context(tenant);
+            let label = plane.tenant_label(&binding.ms, &ctx.principal);
+            let name = binding.table(tenant, key);
+            let outcome = if plane.config().coalesce {
+                report.leaders += 1;
+                report.followers += n - 1;
+                plane.metrics.leaders.inc();
+                plane.metrics.leaders_by.inc(&label);
+                plane.metrics.followers.add(n - 1);
+                plane.metrics.followers_by.add(&label, n - 1);
+                plane.catalog().get_table(ctx, &binding.ms, name).map(|_| ())
+            } else {
+                // Uncoalesced arm: every request is its own catalog call.
+                report.leaders += n;
+                plane.metrics.leaders.add(n);
+                plane.metrics.leaders_by.add(&label, n);
+                let mut last = Ok(());
+                for _ in 0..n {
+                    last = plane.catalog().get_table(ctx, &binding.ms, name).map(|_| ());
+                }
+                last
+            };
+            if outcome.is_err() {
+                report.errors += if plane.config().coalesce { n } else { 1 };
+            }
+        }
+
+        // Phase 3 — combined resolution. Same-tenant resolves chunk into
+        // batches of at most max_batch (one audited catalog call each).
+        let mut resolve_groups: Vec<(usize, Vec<Vec<usize>>)> = Vec::new();
+        for arrival in &admitted {
+            if let RequestKind::Resolve { keys } = &arrival.kind {
+                match resolve_groups.iter_mut().find(|(t, _)| *t == arrival.tenant) {
+                    Some((_, items)) => items.push(keys.clone()),
+                    None => resolve_groups.push((arrival.tenant, vec![keys.clone()])),
+                }
+            }
+        }
+        let max_batch = plane.config().max_batch.max(1);
+        for (tenant, items) in resolve_groups {
+            let ctx = binding.context(tenant);
+            for chunk in items.chunks(if plane.config().batch { max_batch } else { 1 }) {
+                let mut combined = Vec::new();
+                for keys in chunk {
+                    for key in keys {
+                        if let Ok(full) = FullName::parse(binding.table(tenant, *key)) {
+                            combined.push(full);
+                        }
+                    }
+                }
+                plane.metrics.batches.inc();
+                plane.metrics.batch_size.record(chunk.len() as u64);
+                report.batches += 1;
+                report.batch_items += chunk.len() as u64;
+                let outcome = plane.catalog().resolve_batch(
+                    ctx,
+                    &binding.ms,
+                    &combined,
+                    binding.want_credentials,
+                );
+                if outcome.is_err() {
+                    report.errors += chunk.len() as u64;
+                }
+            }
+        }
+        // Quantum fully served: admission slots release here.
+        drop(guards);
+    }
+    report
+}

@@ -17,11 +17,14 @@
 //! * [`tpc`] — TPC-H and TPC-DS *metadata workloads*: schemas plus
 //!   per-query table-reference sets (Fig 10a);
 //! * [`stats`] — helpers for CDFs, quantiles, and histogram rendering
-//!   shared by the figure benches.
+//!   shared by the figure benches;
+//! * [`openloop`] — open-loop arrival schedules (Fig 5 Poisson model ×
+//!   Fig 9 client diversity) for the serving plane and its benches.
 //!
 //! Everything is deterministic given a seed.
 
 pub mod clients;
+pub mod openloop;
 pub mod population;
 pub mod randx;
 pub mod stats;
@@ -29,5 +32,6 @@ pub mod timeline;
 pub mod tpc;
 pub mod trace;
 
+pub use openloop::{Arrival, OpenLoopParams, RequestKind, Schedule};
 pub use population::{AssetSpec, CatalogSpec, MetastoreSpec, Population, PopulationParams, SchemaSpec};
 pub use stats::{cdf_points, quantile};
