@@ -1,0 +1,310 @@
+//! Namespace-scaling bench: tree-encoded keyspace vs the legacy flat
+//! name index at 10⁴–10⁵ assets per metastore (DESIGN.md §11).
+//!
+//! The paper's lakehouse populations put hundreds of thousands of
+//! securables under one metastore; §6's listing and resolution latencies
+//! hold only if those operations stay O(result) in database round trips
+//! rather than O(result) in *point reads*. This bench builds the same
+//! namespace twice — once on the tree-encoded keyspace (one range scan
+//! per listing, one chain scan per resolution) and once on the
+//! before-migration legacy layout (name-index scan plus a point read per
+//! child; per-level point reads per resolution) — and measures both
+//! paths against a database that charges one simulated round trip
+//! (1 ms) per read and per scan, with writes free so bulk population
+//! doesn't drown the measurement.
+//!
+//! Population goes through [`UnityCatalog::bulk_create_tables`] in
+//! chunked commits (200-table schemas, one commit per schema), the same
+//! write protocol production uses — both arms carry identical rows, the
+//! only difference is the index layout serving reads.
+//!
+//! Results append to `BENCH_tree.json` (one entry per `UC_BENCH_LABEL`).
+//! The acceptance gate asserts the tree listing is ≥ 4× faster than the
+//! legacy listing at 10⁵ assets; quick mode (`UC_BENCH_QUICK`) runs the
+//! 10⁵ point only and applies the same gate as a CI regression tripwire,
+//! writing `BENCH_tree_quick.json` so smoke runs never overwrite the
+//! canonical record.
+//!
+//! Environment knobs:
+//!
+//! * `UC_BENCH_LABEL` — label for this run's entry (default `run`);
+//!   an existing entry with the same label is replaced.
+//! * `UC_BENCH_QUICK` — CI sanity mode: the 10⁵ point only.
+//! * `UC_BENCH_OUT`   — output path (default `BENCH_tree.json`, or
+//!   `BENCH_tree_quick.json` in quick mode).
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+use uc_bench::{mean_std_ms, print_table, time_it, World, WorldConfig};
+use uc_catalog::service::crud::BulkSchemaSpec;
+use uc_catalog::service::{UcConfig, UnityCatalog};
+use uc_catalog::types::FullName;
+use uc_cloudstore::LatencyModel;
+use uc_delta::value::{DataType, Field, Schema};
+
+/// Tables per schema: the population is `assets / TABLES_PER_SCHEMA`
+/// schemas of this width under one catalog.
+const TABLES_PER_SCHEMA: usize = 200;
+/// Schemas sampled per listing measurement.
+const LIST_SAMPLES: usize = 10;
+/// Distinct qualified names resolved per cold-resolution measurement.
+const RESOLVE_SAMPLES: usize = 50;
+
+#[derive(Serialize, Deserialize, Default)]
+struct BenchFile {
+    bench: String,
+    note: String,
+    runs: Vec<Run>,
+}
+
+/// One labelled run; every per-size vector is indexed like `assets`.
+#[derive(Serialize, Deserialize)]
+struct Run {
+    label: String,
+    quick: bool,
+    /// Population sizes measured (securables under the metastore).
+    assets: Vec<u64>,
+    /// Mean latency of listing one 200-table schema, per arm.
+    legacy_list_ms: Vec<f64>,
+    tree_list_ms: Vec<f64>,
+    /// legacy_list_ms / tree_list_ms — the gated ratio.
+    list_speedup: Vec<f64>,
+    /// Database operations one listing costs, per arm.
+    legacy_list_ops_per_call: Vec<f64>,
+    tree_list_ops_per_call: Vec<f64>,
+    /// Mean latency of cold-resolving a qualified table name on a fresh
+    /// node (the chain privilege inheritance evaluates over), per arm.
+    legacy_resolve_ms: Vec<f64>,
+    tree_resolve_ms: Vec<f64>,
+    resolve_speedup: Vec<f64>,
+    /// Database operations one cold resolution costs, per arm.
+    legacy_resolve_ops_per_call: Vec<f64>,
+    tree_resolve_ops_per_call: Vec<f64>,
+    /// Wall-clock seconds spent bulk-loading each arm to its final size.
+    populate_s_legacy: f64,
+    populate_s_tree: f64,
+}
+
+fn build_world(legacy: bool) -> World {
+    let world = World::build(&WorldConfig {
+        // One simulated round trip per read and per scan; writes free so
+        // population cost doesn't dominate, control ops free.
+        db_latency_model: Some(LatencyModel::per_class(
+            Duration::from_millis(1),
+            Duration::ZERO,
+            Duration::from_millis(1),
+            Duration::ZERO,
+        )),
+        legacy_layout: legacy,
+        ..Default::default()
+    });
+    let ctx = world.admin();
+    world.uc.create_catalog(&ctx, &world.ms, "main").unwrap();
+    world
+}
+
+fn schema_name(i: usize) -> String {
+    format!("s{i:05}")
+}
+
+/// Grow the world's `main` catalog from `from` to `to` schemas of
+/// [`TABLES_PER_SCHEMA`] tables each, through the bulk import path.
+fn populate(world: &World, from: usize, to: usize) -> Duration {
+    let ctx = world.admin();
+    let columns = Schema::new(vec![Field::new("x", DataType::Int)]);
+    let specs: Vec<BulkSchemaSpec> = (from..to)
+        .map(|s| BulkSchemaSpec {
+            name: schema_name(s),
+            tables: (0..TABLES_PER_SCHEMA).map(|t| format!("t{t}")).collect(),
+        })
+        .collect();
+    let expected = specs.len() * (TABLES_PER_SCHEMA + 1);
+    time_it(|| {
+        let created = world
+            .uc
+            .bulk_create_tables(&ctx, &world.ms, "main", &specs, &columns, 2 * TABLES_PER_SCHEMA)
+            .expect("bulk import succeeds");
+        assert_eq!(created, expected, "bulk import must create every row");
+    })
+}
+
+/// Mean listing latency over [`LIST_SAMPLES`] schemas spread across the
+/// namespace, plus the database operations one listing costs.
+fn measure_listing(world: &World, n_schemas: usize) -> (f64, f64) {
+    let ctx = world.admin();
+    let step = (n_schemas / LIST_SAMPLES).max(1);
+    let mut samples = Vec::new();
+    let reads0 = world.db.stats().reads();
+    let scans0 = world.db.stats().scans();
+    let mut calls = 0u64;
+    for s in (0..n_schemas).step_by(step).take(LIST_SAMPLES) {
+        let parent = FullName::parse(&format!("main.{}", schema_name(s))).unwrap();
+        // Warm parent resolution so the measured call isolates the
+        // listing itself (resolution is measured separately below).
+        world.uc.get_securable(&ctx, &world.ms, &parent, "schema").unwrap();
+        let mut listed = 0;
+        samples.push(time_it(|| {
+            listed = world
+                .uc
+                .list_children(&ctx, &world.ms, &parent, Some("relation"))
+                .unwrap()
+                .len();
+        }));
+        assert_eq!(listed, TABLES_PER_SCHEMA, "every schema holds the full table set");
+        calls += 1;
+    }
+    let ops = (world.db.stats().reads() - reads0) + (world.db.stats().scans() - scans0);
+    let (mean, _) = mean_std_ms(&samples);
+    (mean, ops as f64 / calls as f64)
+}
+
+/// Cold-resolution cost: a fresh catalog node (empty cache) over the same
+/// database resolves [`RESOLVE_SAMPLES`] distinct qualified names. Every
+/// lookup is a first touch, so the database path — one chain scan on the
+/// tree layout, per-level point reads on the legacy one — is what's
+/// measured.
+fn measure_resolution(world: &World, n_schemas: usize) -> (f64, f64) {
+    let probe = UnityCatalog::new(
+        world.db.clone(),
+        world.store.clone(),
+        UcConfig::default(),
+        "probe",
+    );
+    let ctx = world.admin();
+    let step = (n_schemas / RESOLVE_SAMPLES).max(1);
+    let mut samples = Vec::new();
+    let reads0 = world.db.stats().reads();
+    let scans0 = world.db.stats().scans();
+    let mut calls = 0u64;
+    for s in (0..n_schemas).step_by(step).take(RESOLVE_SAMPLES) {
+        let name = format!("main.{}.t{}", schema_name(s), s % TABLES_PER_SCHEMA);
+        let mut got = String::new();
+        samples.push(time_it(|| {
+            got = probe.get_table(&ctx, &world.ms, &name).unwrap().name.clone();
+        }));
+        assert!(name.ends_with(&got));
+        calls += 1;
+    }
+    let ops = (world.db.stats().reads() - reads0) + (world.db.stats().scans() - scans0);
+    let (mean, _) = mean_std_ms(&samples);
+    (mean, ops as f64 / calls as f64)
+}
+
+fn main() {
+    let quick = std::env::var("UC_BENCH_QUICK").is_ok();
+    let label = std::env::var("UC_BENCH_LABEL").unwrap_or_else(|_| "run".to_string());
+    let default_out = if quick { "BENCH_tree_quick.json" } else { "BENCH_tree.json" };
+    let out_path = std::env::var("UC_BENCH_OUT").unwrap_or_else(|_| default_out.to_string());
+    // Population sizes in securables; 10⁵ is the gated point. Full mode
+    // also measures 10⁴ so the scaling trend is in the record.
+    let sizes: &[usize] = if quick { &[100_000] } else { &[10_000, 100_000] };
+
+    let legacy = build_world(true);
+    let tree = build_world(false);
+
+    let mut run = Run {
+        label: label.clone(),
+        quick,
+        assets: Vec::new(),
+        legacy_list_ms: Vec::new(),
+        tree_list_ms: Vec::new(),
+        list_speedup: Vec::new(),
+        legacy_list_ops_per_call: Vec::new(),
+        tree_list_ops_per_call: Vec::new(),
+        legacy_resolve_ms: Vec::new(),
+        tree_resolve_ms: Vec::new(),
+        resolve_speedup: Vec::new(),
+        legacy_resolve_ops_per_call: Vec::new(),
+        tree_resolve_ops_per_call: Vec::new(),
+        populate_s_legacy: 0.0,
+        populate_s_tree: 0.0,
+    };
+    let mut rows = Vec::new();
+    let mut loaded = 0usize;
+    for &assets in sizes {
+        let n_schemas = assets / (TABLES_PER_SCHEMA + 1);
+        println!("populating both arms to {assets} assets ({n_schemas} schemas)…");
+        run.populate_s_legacy += populate(&legacy, loaded, n_schemas).as_secs_f64();
+        run.populate_s_tree += populate(&tree, loaded, n_schemas).as_secs_f64();
+        loaded = n_schemas;
+
+        let (legacy_list, legacy_list_ops) = measure_listing(&legacy, n_schemas);
+        let (tree_list, tree_list_ops) = measure_listing(&tree, n_schemas);
+        let (legacy_res, legacy_res_ops) = measure_resolution(&legacy, n_schemas);
+        let (tree_res, tree_res_ops) = measure_resolution(&tree, n_schemas);
+        let list_speedup = legacy_list / tree_list.max(1e-9);
+        let resolve_speedup = legacy_res / tree_res.max(1e-9);
+
+        run.assets.push(assets as u64);
+        run.legacy_list_ms.push(legacy_list);
+        run.tree_list_ms.push(tree_list);
+        run.list_speedup.push(list_speedup);
+        run.legacy_list_ops_per_call.push(legacy_list_ops);
+        run.tree_list_ops_per_call.push(tree_list_ops);
+        run.legacy_resolve_ms.push(legacy_res);
+        run.tree_resolve_ms.push(tree_res);
+        run.resolve_speedup.push(resolve_speedup);
+        run.legacy_resolve_ops_per_call.push(legacy_res_ops);
+        run.tree_resolve_ops_per_call.push(tree_res_ops);
+        rows.push(vec![
+            assets.to_string(),
+            format!("{legacy_list:.2}"),
+            format!("{tree_list:.2}"),
+            format!("{list_speedup:.1}x"),
+            format!("{legacy_list_ops:.1}"),
+            format!("{tree_list_ops:.1}"),
+            format!("{legacy_res:.2}"),
+            format!("{tree_res:.2}"),
+            format!("{resolve_speedup:.1}x"),
+        ]);
+
+        if assets >= 100_000 {
+            assert!(
+                list_speedup >= 4.0,
+                "acceptance gate: tree listing must be ≥ 4× faster than the \
+                 legacy layout at {assets} assets (got {list_speedup:.1}×: \
+                 {legacy_list:.2} ms vs {tree_list:.2} ms)"
+            );
+            println!("listing gate passed at {assets} assets: {list_speedup:.1}× (≥ 4×)");
+        }
+    }
+
+    print_table(
+        &format!("namespace scaling — tree vs legacy keyspace, label={label}"),
+        &[
+            "assets",
+            "legacy list ms",
+            "tree list ms",
+            "speedup",
+            "legacy ops",
+            "tree ops",
+            "legacy resolve ms",
+            "tree resolve ms",
+            "speedup",
+        ],
+        &rows,
+    );
+    println!(
+        "populate: legacy {:.1} s, tree {:.1} s",
+        run.populate_s_legacy, run.populate_s_tree
+    );
+
+    let mut file: BenchFile = std::fs::read_to_string(&out_path)
+        .ok()
+        .and_then(|s| serde_json::from_str(&s).ok())
+        .unwrap_or_default();
+    file.bench = "namespace_scaling".to_string();
+    file.note = format!(
+        "tree-encoded keyspace vs legacy flat name index; {TABLES_PER_SCHEMA}-table \
+         schemas bulk-loaded under one catalog; db charges 1ms per read and per scan, \
+         writes free. list = list_children of one schema (parent resolution warmed); \
+         resolve = cold get_table on a fresh node. ops = db reads+scans per call. \
+         gate: list_speedup ≥ 4 at 1e5 assets."
+    );
+    file.runs.retain(|r| r.label != label);
+    file.runs.push(run);
+    let json = serde_json::to_string_pretty(&file).expect("bench file serializes");
+    std::fs::write(&out_path, json + "\n").expect("write bench file");
+    println!("wrote {out_path}");
+}

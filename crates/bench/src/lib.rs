@@ -56,6 +56,13 @@ pub struct WorldConfig {
     /// Record per-tenant dimensional series on every API call (the
     /// service default). Benches flip this off for the unlabeled arm.
     pub tenant_labels: bool,
+    /// Per-class database latency model; when set it overrides the
+    /// uniform `db_latency`. Lets a bench charge reads and scans a
+    /// round-trip while keeping bulk population writes free.
+    pub db_latency_model: Option<LatencyModel>,
+    /// Build the metastore on the legacy flat name index (no tree
+    /// index), the before-migration layout benches compare against.
+    pub legacy_layout: bool,
 }
 
 impl Default for WorldConfig {
@@ -70,6 +77,8 @@ impl Default for WorldConfig {
             sts_mint_cost: Duration::ZERO,
             obs: Obs::disabled(),
             tenant_labels: true,
+            db_latency_model: None,
+            legacy_layout: false,
         }
     }
 }
@@ -80,7 +89,10 @@ impl World {
     pub fn build(cfg: &WorldConfig) -> World {
         let db = Db::new(DbConfig {
             pool_size: cfg.db_pool,
-            latency: LatencyModel::uniform(cfg.db_latency),
+            latency: cfg
+                .db_latency_model
+                .clone()
+                .unwrap_or_else(|| LatencyModel::uniform(cfg.db_latency)),
             obs: cfg.obs.clone(),
             ..Default::default()
         });
@@ -100,6 +112,7 @@ impl World {
             sts_mint_cost: cfg.sts_mint_cost,
             obs: cfg.obs.clone(),
             tenant_labels: cfg.tenant_labels,
+            start_legacy_layout: cfg.legacy_layout,
             ..Default::default()
         };
         let uc = UnityCatalog::new(db.clone(), store.clone(), uc_config, "node-0");

@@ -69,6 +69,7 @@ pub const KNOWN_OPS: &[(&str, &[&str])] = &[
     ("add_metastore_admin", &["addMetastoreAdmin"]),
     ("add_table_to_share", &["addToShare"]),
     ("authorize_batch", &[]),
+    ("bulk_create_tables", &["bulkCreateTables"]),
     ("commit_tables_atomically", &["commitTable"]),
     ("create_abac_policy", &["createAbacPolicy"]),
     ("create_catalog", &["createCatalog"]),
@@ -107,6 +108,7 @@ pub const KNOWN_OPS: &[(&str, &[&str])] = &[
     ("query_share_table", &["queryShare", "queryShareTable"]),
     ("query_share_table_as_iceberg", &["queryShare"]),
     ("read_table_commit", &["readTableCommit"]),
+    ("rebuild_tree_index", &["rebuildTreeIndex"]),
     ("rename_securable", &["renameSecurable"]),
     ("renew_read_credential", &["renewTemporaryCredentials"]),
     ("resolve_batch", &["resolveBatch"]),

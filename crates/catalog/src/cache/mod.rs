@@ -66,7 +66,7 @@ use uc_txdb::{ChangeRecord, Db};
 
 use crate::ids::Uid;
 use crate::model::entity::Entity;
-use crate::model::keys::{T_ENTITY, T_MSVER, T_NAME, T_PATH};
+use crate::model::keys::{self, T_ENTITY, T_MSVER, T_NAME, T_PATH, T_TREE};
 
 /// How many superseded versions of an entry to retain for in-flight reads.
 const VERSION_WINDOW: usize = 4;
@@ -166,6 +166,11 @@ struct CachedEntry {
     /// Keys to clean from the secondary maps on eviction.
     name_key: String,
     path_key: Option<String>,
+    /// Tree-encoded ancestor-chain key (DESIGN.md §11), kept in the name
+    /// index alongside legacy name keys — the two key shapes cannot
+    /// collide (tree keys contain segment terminators, name keys never
+    /// do), so they share shards without a fourth index.
+    tree_key: Option<String>,
     /// Atomic so the hit path can bump recency under a shard *read* lock.
     last_access: AtomicU64,
 }
@@ -357,12 +362,16 @@ impl MsCache {
         at_version: u64,
         name_key: String,
         path_key: Option<String>,
+        tree_key: Option<String>,
     ) {
         let tick = self.next_tick();
         let id = entity.id.clone();
         self.name_shard(&name_key).write().insert(name_key.clone(), id.clone());
         if let Some(pk) = &path_key {
             self.path_shard(pk).write().insert(pk.clone(), id.clone());
+        }
+        if let Some(tk) = &tree_key {
+            self.name_shard(tk).write().insert(tk.clone(), id.clone());
         }
         {
             let mut shard = self.entity_shard(&id).write();
@@ -372,11 +381,17 @@ impl MsCache {
                     versions: Vec::new(),
                     name_key: name_key.clone(),
                     path_key: path_key.clone(),
+                    tree_key: tree_key.clone(),
                     last_access: AtomicU64::new(tick),
                 }
             });
             entry.name_key = name_key;
             entry.path_key = path_key;
+            // An install that did not resolve the tree key (legacy lookup
+            // path) must not orphan a mapping a previous install recorded.
+            if tree_key.is_some() {
+                entry.tree_key = tree_key;
+            }
             entry.last_access.store(tick, Ordering::Relaxed);
             push_version(&mut entry.versions, at_version, Some(entity));
         }
@@ -394,11 +409,14 @@ impl MsCache {
             let Some(entry) = shard.get_mut(id) else { return };
             entry.last_access.store(tick, Ordering::Relaxed);
             push_version(&mut entry.versions, at_version, None);
-            (entry.name_key.clone(), entry.path_key.clone())
+            (entry.name_key.clone(), entry.path_key.clone(), entry.tree_key.clone())
         };
         self.name_shard(&keys.0).write().remove(&keys.0);
         if let Some(pk) = &keys.1 {
             self.path_shard(pk).write().remove(pk);
+        }
+        if let Some(tk) = &keys.2 {
+            self.name_shard(tk).write().remove(tk);
         }
     }
 
@@ -428,6 +446,9 @@ impl MsCache {
                 self.name_shard(&entry.name_key).write().remove(&entry.name_key);
                 if let Some(pk) = &entry.path_key {
                     self.path_shard(pk).write().remove(pk);
+                }
+                if let Some(tk) = &entry.tree_key {
+                    self.name_shard(tk).write().remove(tk);
                 }
                 self.stats.evictions.fetch_add(1, Ordering::Relaxed);
             }
@@ -463,7 +484,8 @@ impl MsCache {
         changes: &[ChangeRecord],
     ) {
         let ent_prefix = format!("{ms}/");
-        let path_prefix = format!("{ms}|");
+        let path_prefix = keys::path_ms_prefix(ms);
+        let tree_prefix = keys::tree_ms_prefix(ms);
         for change in changes {
             match change.table.as_str() {
                 T_ENTITY => {
@@ -476,12 +498,21 @@ impl MsCache {
                             if let Some(pk) = &entry.path_key {
                                 self.path_shard(pk).write().remove(pk);
                             }
+                            if let Some(tk) = &entry.tree_key {
+                                self.name_shard(tk).write().remove(tk);
+                            }
                             self.stats.invalidations.fetch_add(1, Ordering::Relaxed);
                         }
                     }
                 }
                 T_NAME
                     if change.key.starts_with(&ent_prefix) => {
+                        self.name_shard(&change.key).write().remove(&change.key);
+                    }
+                // Tree-index keys live in the name shards (disjoint key
+                // shapes); a touched tree row invalidates its mapping.
+                T_TREE
+                    if change.key.starts_with(&tree_prefix) => {
                         self.name_shard(&change.key).write().remove(&change.key);
                     }
                 T_PATH
@@ -652,7 +683,7 @@ mod tests {
     }
 
     fn insert(cache: &MsCache, id: &str, name: &str, ver: u64) {
-        cache.insert(entity(id, name), ver, format!("nk/{name}"), None);
+        cache.insert(entity(id, name), ver, format!("nk/{name}"), None, None);
     }
 
     #[test]
@@ -763,6 +794,7 @@ mod tests {
                 1,
                 format!("nk/n{i}"),
                 Some(format!("pk/p{i}")),
+                Some(format!("tk\u{1}n{i}\u{1}")),
             );
         }
         assert!(c.entry_count() <= 11, "cap 10 plus slack, got {}", c.entry_count());
@@ -775,6 +807,7 @@ mod tests {
         for i in evicted {
             assert!(c.id_by_name(&format!("nk/n{i}")).is_none());
             assert!(c.id_by_path(&format!("pk/p{i}")).is_none());
+            assert!(c.id_by_name(&format!("tk\u{1}n{i}\u{1}")).is_none());
         }
     }
 
@@ -790,6 +823,7 @@ mod tests {
                 1,
                 format!("nk/n{i}"),
                 Some(format!("pk/p{i}")),
+                None,
             );
         }
         // Touch a subset spread across shards (4 shards; ids hash apart),
@@ -845,6 +879,7 @@ mod tests {
                         v,
                         format!("nk/wn{v}"),
                         Some(format!("pk/wp{v}")),
+                        None,
                     );
                     c.advance(v, v);
                 }

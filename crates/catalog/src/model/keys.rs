@@ -5,13 +5,31 @@
 //! change log down to one metastore by key prefix during reconciliation.
 
 use crate::ids::Uid;
+use crate::model::treekey;
 
 /// Entities by id: `{ms}/{id}` → Entity JSON.
 pub const T_ENTITY: &str = "ent";
 /// Name index: `{ms}/{parent}/{group}/{name}` → entity id.
 pub const T_NAME: &str = "name";
-/// Path index: `{ms}|{canonical path}` → entity id.
+/// Path index: tree-encoded `enc(ms).enc(path segments)` → entity id.
+/// Order-preserving, so overlap checks and nearest-covering-ancestor
+/// resolution are one range scan + one predecessor seek (see
+/// `model::paths` and DESIGN.md §11).
 pub const T_PATH: &str = "path";
+/// Tree-encoded hierarchy index: `enc(ms).enc(group:name)...` → the
+/// entity's JSON, byte-identical to its `T_ENTITY` row. All descendants
+/// of a node occupy one contiguous key range; the ancestor chain of a
+/// node is exactly the terminator-prefix chain of its key (one
+/// `scan_chain`). Maintained by `WriteEffects::upsert`; only *active*
+/// entities have tree rows (soft delete removes the row, freeing the
+/// name).
+pub const T_TREE: &str = "tree";
+/// Tree-index build state: `{ms}` → `"building"` | `"ready"`. Governs
+/// writers only (dual-write while building or ready); readers use the
+/// presence of the metastore's own tree row as the readiness signal, so
+/// the fast path costs no extra read. Absent for metastores created on
+/// the legacy layout until `rebuild_tree_index` runs.
+pub const T_TREEMETA: &str = "treemeta";
 /// Metastore version: `{ms}` → decimal version.
 pub const T_MSVER: &str = "msver";
 /// Grants: `{ms}/{securable}/{principal}|{privilege}` → "1".
@@ -38,6 +56,11 @@ pub const ROOT_PARENT: &str = "root";
 
 pub fn ent_key(ms: &Uid, id: &Uid) -> String {
     format!("{ms}/{id}")
+}
+
+/// Prefix of every entity row in a metastore.
+pub fn ent_ms_prefix(ms: &Uid) -> String {
+    format!("{ms}/")
 }
 
 pub fn name_key(ms: &Uid, parent: Option<&Uid>, group: &str, name: &str) -> String {
@@ -70,8 +93,105 @@ pub fn children_group_prefix(ms: &Uid, parent: Option<&Uid>, group: &str) -> Str
     format!("{ms}/{parent}/{group}/")
 }
 
+// ---------------------------------------------------------------------
+// Tree index keys (order-preserving; see model::treekey and DESIGN.md §11)
+// ---------------------------------------------------------------------
+
+/// Root of a metastore's tree keyspace: the encoded metastore segment.
+/// Every tree and path key of the metastore starts with this, so "the
+/// whole namespace" is one contiguous range.
+pub fn tree_ms_prefix(ms: &Uid) -> String {
+    let mut key = String::with_capacity(ms.as_str().len() + 1);
+    treekey::push_segment(&mut key, ms.as_str());
+    key
+}
+
+/// One tree segment's content: `{group}:{lowercased name}` — the group
+/// comes first so children of one namespace group are contiguous within
+/// the parent's range.
+fn tree_segment(group: &str, name: &str) -> String {
+    let mut seg = String::with_capacity(group.len() + name.len() + 1);
+    seg.push_str(group);
+    seg.push(':');
+    seg.extend(name.chars().map(|c| c.to_ascii_lowercase()));
+    seg
+}
+
+/// Append a child's encoded segment to its parent's tree key.
+pub fn tree_push_child(parent_key: &mut String, group: &str, name: &str) {
+    treekey::push_segment(parent_key, &tree_segment(group, name));
+}
+
+/// Tree key of a node from its already-resolved ancestor names, outermost
+/// first: `&[(group, name), ...]` under `ms`.
+pub fn tree_key(ms: &Uid, chain: &[(&str, &str)]) -> String {
+    let mut key = tree_ms_prefix(ms);
+    for (group, name) in chain {
+        tree_push_child(&mut key, group, name);
+    }
+    key
+}
+
+/// Prefix of every child of `parent_key` within one name group: the
+/// partial segment `{group}:` escaped without a terminator. Escaping is
+/// char-by-char, so this is a string prefix of exactly the children whose
+/// segment starts with `{group}:`.
+pub fn tree_group_prefix(parent_key: &str, group: &str) -> String {
+    let mut key = String::with_capacity(parent_key.len() + group.len() + 1);
+    key.push_str(parent_key);
+    treekey::escape_into(&mut key, group);
+    key.push(':');
+    key
+}
+
+/// The metastore id of a tree or path key (everything before the first
+/// terminator; metastore uids contain no escapable characters).
+pub fn ms_of_tree_key(key: &str) -> Option<&str> {
+    key.split(treekey::TERM).next()
+}
+
+// ---------------------------------------------------------------------
+// Path index keys (tree-encoded storage-path hierarchy)
+// ---------------------------------------------------------------------
+
+/// Split a canonical storage path (`scheme://bucket/seg/..`) into tree
+/// segments: the `scheme://bucket` root, then each path component. The
+/// parent path's segments are a prefix of the child's, which is what
+/// makes the encoded parent key a string prefix of the child key.
+fn path_segments(canonical_path: &str) -> Vec<&str> {
+    let rest_at = canonical_path.find("://").map(|i| i + 3).unwrap_or(0);
+    match canonical_path[rest_at..].find('/') {
+        Some(j) => {
+            let cut = rest_at + j;
+            let mut segs = vec![&canonical_path[..cut]];
+            segs.extend(canonical_path[cut + 1..].split('/'));
+            segs
+        }
+        None => vec![canonical_path],
+    }
+}
+
 pub fn path_key(ms: &Uid, canonical_path: &str) -> String {
-    format!("{ms}|{canonical_path}")
+    let mut key = tree_ms_prefix(ms);
+    for seg in path_segments(canonical_path) {
+        treekey::push_segment(&mut key, seg);
+    }
+    key
+}
+
+/// Prefix of every path key in a metastore.
+pub fn path_ms_prefix(ms: &Uid) -> String {
+    tree_ms_prefix(ms)
+}
+
+/// Decode a path-index key back to its canonical path string.
+pub fn path_of_path_key(key: &str) -> Option<String> {
+    let segs = treekey::decode(key)?;
+    // segs[0] is the metastore id, segs[1] the scheme://bucket root.
+    if segs.len() < 2 {
+        return None;
+    }
+    Some(segs[1..].join("/"))
 }
 
 pub fn grant_key(ms: &Uid, securable: &Uid, principal: &str, privilege: &str) -> String {
@@ -187,5 +307,43 @@ mod tests {
     #[test]
     fn ms_extraction() {
         assert_eq!(ms_of_ent_key("msid/entid"), Some("msid"));
+    }
+
+    #[test]
+    fn tree_keys_nest_by_string_prefix() {
+        let ms = uid("ms1");
+        let cat = tree_key(&ms, &[("catalog", "Main")]);
+        let sch = tree_key(&ms, &[("catalog", "Main"), ("schema", "S")]);
+        let tbl = tree_key(&ms, &[("catalog", "main"), ("schema", "s"), ("relation", "t")]);
+        assert!(cat.starts_with(&tree_ms_prefix(&ms)));
+        assert!(sch.starts_with(&cat), "names are case-normalized");
+        assert!(tbl.starts_with(&sch));
+        assert_eq!(ms_of_tree_key(&tbl), Some("ms1"));
+    }
+
+    #[test]
+    fn tree_group_prefix_selects_one_group() {
+        let ms = uid("ms");
+        let parent = tree_key(&ms, &[("catalog", "c"), ("schema", "s")]);
+        let rel_prefix = tree_group_prefix(&parent, "relation");
+        let table = tree_key(&ms, &[("catalog", "c"), ("schema", "s"), ("relation", "t")]);
+        let volume = tree_key(&ms, &[("catalog", "c"), ("schema", "s"), ("volume", "v")]);
+        assert!(table.starts_with(&rel_prefix));
+        assert!(!volume.starts_with(&rel_prefix));
+        assert!(volume.starts_with(&parent));
+    }
+
+    #[test]
+    fn path_keys_nest_like_storage_paths() {
+        let ms = uid("ms");
+        let parent = path_key(&ms, "s3://b/warehouse");
+        let child = path_key(&ms, "s3://b/warehouse/t1");
+        let sibling = path_key(&ms, "s3://b/warehouse2");
+        let bucket_only = path_key(&ms, "s3://b");
+        assert!(child.starts_with(&parent));
+        assert!(!sibling.starts_with(&parent), "no sibling-prefix trap");
+        assert!(parent.starts_with(&bucket_only));
+        assert!(parent.starts_with(&path_ms_prefix(&ms)));
+        assert_eq!(path_of_path_key(&child), Some("s3://b/warehouse/t1".to_string()));
     }
 }

@@ -1,16 +1,31 @@
 //! The one-asset-per-path principle (§4.2.1), enforced transactionally.
 //!
 //! Every asset with storage registers its canonical path in the path index
-//! inside the same database transaction that creates the asset. The
-//! invariant — no two assets in a metastore have overlapping (ancestor/
-//! descendant or equal) paths — is checked under the transaction's
-//! serializable isolation, so two concurrent creations of overlapping
-//! paths cannot both commit: the prefix scan and ancestor point-reads are
-//! in the loser's validated read set.
+//! inside the same database transaction that creates the asset. The index
+//! is tree-encoded (see [`super::treekey`] and DESIGN.md §11): a path's
+//! key is a string prefix of every descendant path's key, and registered
+//! keys are prefix-free (the invariant itself guarantees no registered
+//! path is an ancestor of another). That turns the overlap rule into two
+//! indexed operations instead of per-ancestor point reads:
+//!
+//! * **Descendant-or-equal check** — one `scan_prefix` of the candidate's
+//!   own key: it matches the exact key and every registered descendant,
+//!   and nothing else (segment terminators rule out the `ware` vs
+//!   `warehouse` sibling trap).
+//! * **Ancestor check** — one predecessor seek: the greatest registered
+//!   key below the candidate within the metastore. Any key strictly
+//!   between a registered ancestor and the candidate would itself be a
+//!   descendant of that ancestor (first-difference argument on the shared
+//!   prefix), which prefix-freedom excludes — so the predecessor is an
+//!   ancestor if and only if *any* ancestor is registered.
+//!
+//! Both land in the loser's validated read set (the scanned prefix and
+//! the seek's `[found-or-start, end)` range), so two concurrent
+//! registrations of overlapping paths cannot both commit.
 //!
 //! Resolution maps an arbitrary storage path to the unique asset whose
 //! registered path covers it — the primitive behind path-based credential
-//! vending.
+//! vending — as a single predecessor seek.
 
 use uc_cloudstore::StoragePath;
 use uc_txdb::{ReadTxn, WriteTxn};
@@ -18,6 +33,17 @@ use uc_txdb::{ReadTxn, WriteTxn};
 use crate::error::{UcError, UcResult};
 use crate::ids::Uid;
 use crate::model::keys::{self, T_PATH};
+use crate::model::treekey;
+
+/// Exclusive upper bound of the key range `[enc(p), end)` that contains
+/// `enc(p)` and every descendant of `p`, and nothing else: descendants
+/// extend `enc(p)` with at least one byte ≥ the terminator.
+fn subtree_end(exact_key: &str) -> String {
+    let mut end = String::with_capacity(exact_key.len() + 1);
+    end.push_str(exact_key);
+    end.push(treekey::TERM);
+    end
+}
 
 /// Check the one-asset-per-path invariant for `path` and register it for
 /// `entity`. Must run inside the entity's creation transaction.
@@ -28,28 +54,21 @@ pub fn register_path(
     entity: &Uid,
 ) -> UcResult<()> {
     let canonical = path.to_string();
-    // Exact duplicate?
     let exact_key = keys::path_key(ms, &canonical);
-    if tx.get(T_PATH, &exact_key).is_some() {
-        return Err(UcError::PathConflict { requested: canonical.clone(), existing: canonical });
-    }
-    // Descendants: any registered path strictly under `path`. The scan is
-    // recorded in the transaction's read set, giving phantom protection.
-    let descendant_prefix = format!("{}/", keys::path_key(ms, &canonical));
-    if let Some((key, _)) = tx.scan_prefix(T_PATH, &descendant_prefix).into_iter().next() {
-        let existing = key.split_once('|').map(|(_, p)| p.to_string()).unwrap_or(key);
+    // Exact duplicate or registered descendant: one range scan of the
+    // candidate's own subtree (phantom-protected via the scanned prefix).
+    if let Some((key, _)) = tx.scan_prefix(T_PATH, &exact_key).into_iter().next() {
+        let existing = keys::path_of_path_key(&key).unwrap_or(key);
         return Err(UcError::PathConflict { requested: canonical, existing });
     }
-    // Ancestors: walk up the directory chain with point reads.
-    let mut ancestor = path.parent();
-    while let Some(a) = ancestor {
-        if tx.get(T_PATH, &keys::path_key(ms, &a.to_string())).is_some() {
-            return Err(UcError::PathConflict {
-                requested: canonical,
-                existing: a.to_string(),
-            });
+    // Registered ancestor: one predecessor seek below the candidate,
+    // bounded to this metastore's keyspace.
+    let ms_prefix = keys::path_ms_prefix(ms);
+    if let Some((key, _)) = tx.pred_in_range(T_PATH, &ms_prefix, &exact_key) {
+        if exact_key.starts_with(&key) {
+            let existing = keys::path_of_path_key(&key).unwrap_or(key);
+            return Err(UcError::PathConflict { requested: canonical, existing });
         }
-        ancestor = a.parent();
     }
     tx.put(T_PATH, &exact_key, bytes::Bytes::from(entity.as_str().to_string()));
     Ok(())
@@ -62,31 +81,32 @@ pub fn unregister_path(tx: &mut WriteTxn, ms: &Uid, path: &StoragePath) {
 
 /// Resolve a storage path to the asset covering it: the path itself or its
 /// nearest registered ancestor. Returns the asset id and its registered
-/// path.
+/// path. One predecessor seek: the greatest registered key at-or-below
+/// the query (and above the metastore root) is the covering path iff it
+/// is a key prefix of the query's encoding.
 pub fn resolve_path(
     rt: &ReadTxn,
     ms: &Uid,
     path: &StoragePath,
 ) -> Option<(Uid, StoragePath)> {
-    let mut candidate = Some(path.clone());
-    while let Some(p) = candidate {
-        if let Some(id) = rt.get(T_PATH, &keys::path_key(ms, &p.to_string())) {
-            let id = String::from_utf8(id.to_vec()).ok()?;
-            return Some((Uid::from_string(id), p));
-        }
-        candidate = p.parent();
+    let exact_key = keys::path_key(ms, &path.to_string());
+    let ms_prefix = keys::path_ms_prefix(ms);
+    let (key, id) = rt.pred_in_range(T_PATH, &ms_prefix, &subtree_end(&exact_key))?;
+    if !exact_key.starts_with(&key) {
+        return None;
     }
-    None
+    let id = String::from_utf8(id.to_vec()).ok()?;
+    let registered = StoragePath::parse(&keys::path_of_path_key(&key)?).ok()?;
+    Some((Uid::from_string(id), registered))
 }
 
 /// List all registered paths in a metastore (diagnostics / invariant
 /// checking in tests).
 pub fn all_paths(rt: &ReadTxn, ms: &Uid) -> Vec<(StoragePath, Uid)> {
-    rt.scan_prefix(T_PATH, &format!("{ms}|"))
+    rt.scan_prefix(T_PATH, &keys::path_ms_prefix(ms))
         .into_iter()
         .filter_map(|(key, id)| {
-            let (_, p) = key.split_once('|')?;
-            let path = StoragePath::parse(p).ok()?;
+            let path = StoragePath::parse(&keys::path_of_path_key(&key)?).ok()?;
             let id = String::from_utf8(id.to_vec()).ok()?;
             Some((path, Uid::from_string(id)))
         })
@@ -204,6 +224,40 @@ mod tests {
     }
 
     #[test]
+    fn resolve_skips_non_ancestor_predecessors() {
+        let db = Db::in_memory();
+        let ms = Uid::from("ms");
+        try_register(&db, &ms, "s3://b/aaa", "a").unwrap();
+        let rt = db.begin_read();
+        // `aaa` sorts below `zzz` but does not cover it.
+        assert!(resolve_path(&rt, &ms, &sp("s3://b/zzz")).is_none());
+        // `ware` sorts below `warehouse` and is not an ancestor either.
+        let db2 = Db::in_memory();
+        try_register(&db2, &ms, "s3://b/ware", "w").unwrap();
+        let rt2 = db2.begin_read();
+        assert!(resolve_path(&rt2, &ms, &sp("s3://b/warehouse")).is_none());
+    }
+
+    #[test]
+    fn overlap_check_is_one_scan_and_one_seek() {
+        // The acceptance criterion, asserted: registering a path costs
+        // exactly one range scan (descendants-or-equal) plus one
+        // predecessor seek (ancestors) — no per-ancestor point-read walk,
+        // regardless of path depth.
+        let db = Db::in_memory();
+        let ms = Uid::from("ms");
+        try_register(&db, &ms, "s3://b/a/very/deep/warehouse/dir/t0", "seed").unwrap();
+        let scans0 = db.stats().scans();
+        let reads0 = db.stats().reads();
+        let mut tx = db.begin_write();
+        register_path(&mut tx, &ms, &sp("s3://b/a/very/deep/warehouse/dir/t1/x/y/z"), &Uid::from("n"))
+            .unwrap();
+        assert_eq!(db.stats().scans() - scans0, 1, "one descendant range scan");
+        assert_eq!(db.stats().reads() - reads0, 1, "one ancestor predecessor seek");
+        tx.commit().unwrap();
+    }
+
+    #[test]
     fn concurrent_overlapping_registrations_cannot_both_commit() {
         let db = Db::in_memory();
         let ms = Uid::from("ms");
@@ -213,7 +267,8 @@ mod tests {
         register_path(&mut tx1, &ms, &sp("s3://b/dir"), &Uid::from("a")).unwrap();
         register_path(&mut tx2, &ms, &sp("s3://b/dir/child"), &Uid::from("b")).unwrap();
         assert!(tx1.commit().is_ok());
-        // tx2's ancestor point-read of s3://b/dir is invalidated.
+        // tx2's ancestor predecessor seek covered [ms-root, enc(child));
+        // tx1's insert of enc(dir) lands inside it.
         assert!(tx2.commit().is_err());
         let rt = db.begin_read();
         assert_eq!(all_paths(&rt, &ms).len(), 1);

@@ -113,7 +113,7 @@ impl UnityCatalog {
                 ent.properties
                     .insert(props::COMMIT_VERSION.to_string(), c.version.to_string());
                 ent.updated_at_ms = now;
-                fx.upsert(tx, ent, ChangeOp::Commit);
+                fx.upsert(tx, ent, ChangeOp::Commit)?;
             }
             Ok(())
         })?;

@@ -11,9 +11,10 @@ use crate::error::{UcError, UcResult};
 use crate::events::ChangeOp;
 use crate::ids::Uid;
 use crate::model::entity::{props, Entity};
-use crate::model::keys::{self, T_COMMIT, T_ENTITY, T_NAME};
+use crate::model::keys::{self, T_COMMIT, T_ENTITY, T_NAME, T_TREE};
 use crate::model::manifest::manifest;
 use crate::model::paths;
+use crate::model::treekey;
 use crate::service::{Context, UnityCatalog, WriteEffects};
 use crate::types::{
     validate_object_name, FullName, LifecycleState, SecurableKind, TableFormat, TableType,
@@ -56,6 +57,15 @@ impl TableSpec {
     }
 }
 
+/// One schema's worth of a bulk namespace import: the schema name and its
+/// table names, all created under one catalog by
+/// [`UnityCatalog::bulk_create_tables`].
+#[derive(Debug, Clone)]
+pub struct BulkSchemaSpec {
+    pub name: String,
+    pub tables: Vec<String>,
+}
+
 impl UnityCatalog {
     // ------------------------------------------------------------------
     // Metastore lifecycle
@@ -75,8 +85,17 @@ impl UnityCatalog {
         // any telemetry emitted for this metastore from here on renders
         // the name, never the random uid.
         self.register_tenant_alias(&ms, name);
+        let legacy = self.config.start_legacy_layout;
         self.write_ms(&ms, |tx, _ver, fx| {
-            fx.upsert(tx, ent.clone(), ChangeOp::Create);
+            // Born tree-ready: the marker makes this same upsert (and every
+            // later write) maintain the tree index, and the metastore's own
+            // tree row — the readers' readiness signal — is written by the
+            // upsert itself. The legacy knob skips both so tests can
+            // exercise `rebuild_tree_index`.
+            if !legacy {
+                tx.put(keys::T_TREEMETA, ms.as_str(), bytes::Bytes::from_static(b"ready"));
+            }
+            fx.upsert(tx, ent.clone(), ChangeOp::Create)?;
             Ok(())
         })?;
         self.record_audit(principal, "createMetastore", Some(&ms), AuditDecision::Allow, name);
@@ -172,7 +191,7 @@ impl UnityCatalog {
             ent.properties.insert(props::BUCKET.to_string(), bucket.clone());
             ent.properties.insert(props::ROOT_SECRET.to_string(), secret.to_string());
             (manifest(ent.kind).validate)(&ent)?;
-            Ok(fx.upsert(tx, ent, ChangeOp::Create))
+            fx.upsert(tx, ent, ChangeOp::Create)
         })?;
         self.roots.write().insert(root.bucket.clone(), root.clone());
         self.record_audit(&ctx.principal, "createStorageCredential", Some(&created.id), AuditDecision::Allow, name);
@@ -252,7 +271,7 @@ impl UnityCatalog {
             ent.storage_path = Some(parsed.to_string());
             ent.properties.insert("credential".to_string(), credential_name.to_string());
             (manifest(ent.kind).validate)(&ent)?;
-            Ok(fx.upsert(tx, ent, ChangeOp::Create))
+            fx.upsert(tx, ent, ChangeOp::Create)
         })?;
         self.record_audit(&ctx.principal, "createExternalLocation", Some(&created.id), AuditDecision::Allow, path);
         Ok(created)
@@ -280,7 +299,7 @@ impl UnityCatalog {
                 return Err(UcError::AlreadyExists(name.to_string()));
             }
             let ent = Entity::new(SecurableKind::Catalog, name, None, ms.clone(), &ctx.principal, now);
-            Ok(fx.upsert(tx, ent, ChangeOp::Create))
+            fx.upsert(tx, ent, ChangeOp::Create)
         })?;
         self.record_audit(&ctx.principal, "createCatalog", Some(&created.id), AuditDecision::Allow, name);
         Ok(created)
@@ -308,7 +327,7 @@ impl UnityCatalog {
                 return Err(UcError::AlreadyExists(format!("{catalog}.{name}")));
             }
             let ent = Entity::new(SecurableKind::Schema, name, Some(parent.clone()), ms.clone(), &ctx.principal, now);
-            Ok(fx.upsert(tx, ent, ChangeOp::Create))
+            fx.upsert(tx, ent, ChangeOp::Create)
         })?;
         self.record_audit(&ctx.principal, "createSchema", Some(&created.id), AuditDecision::Allow, name);
         Ok(created)
@@ -499,9 +518,143 @@ impl UnityCatalog {
                 ent.storage_path = Some(path.to_string());
             }
             (manifest(ent.kind).validate)(&ent)?;
-            Ok(fx.upsert(tx, ent, ChangeOp::Create))
+            fx.upsert(tx, ent, ChangeOp::Create)
         })?;
         self.record_audit(&ctx.principal, "createTable", Some(&created.id), AuditDecision::Allow, spec.name);
+        Ok(created)
+    }
+
+    /// Bulk-import a namespace under a catalog: every schema in `specs`
+    /// plus its tables, written through the normal write protocol in
+    /// chunked transactions of about `chunk` assets each — the
+    /// Record-Layer-style bulk load that makes 10⁵–10⁷-asset populations
+    /// practical to build. Each chunk is one serializable commit with
+    /// full write-through (name index, tree index, cache, events);
+    /// per-row cost is amortized by resolving each schema container once
+    /// per chunk (one existence read plus one children scan for
+    /// duplicate detection) instead of per table. Tables are created as
+    /// managed Delta relations without storage allocation — bulk import
+    /// loads metadata, not data. Existing schemas are reused and
+    /// existing table names are skipped, so a resumed import converges.
+    /// Metastore-admin only. Returns the number of entities created.
+    pub fn bulk_create_tables(
+        &self,
+        ctx: &Context,
+        ms: &Uid,
+        catalog: &str,
+        specs: &[BulkSchemaSpec],
+        columns: &Schema,
+        chunk: usize,
+    ) -> UcResult<usize> {
+        let _api = self.api_enter_t("bulk_create_tables", ctx, ms);
+        let who = self.authz_context(ms, &ctx.principal)?;
+        if !who.is_metastore_admin {
+            self.record_audit(&ctx.principal, "bulkCreateTables", Some(ms), AuditDecision::Deny, catalog);
+            return Err(UcError::PermissionDenied("metastore admin required for bulk import".into()));
+        }
+        let chain = self.lookup_chain(ms, &FullName::of(&[catalog]), "catalog")?;
+        let cat = chain[0].clone();
+        let chunk = chunk.max(1);
+        let now = self.now_ms();
+        let mut created = 0usize;
+        // Container tree keys derive from names alone — identical to what
+        // `tree_key_of` would compute, with no per-row ancestor reads.
+        let mut cat_key = keys::tree_ms_prefix(ms);
+        keys::tree_push_child(&mut cat_key, SecurableKind::Catalog.name_group(), catalog);
+        for spec in specs {
+            validate_object_name(&spec.name)?;
+            let mut schema_key = cat_key.clone();
+            keys::tree_push_child(&mut schema_key, SecurableKind::Schema.name_group(), &spec.name);
+            let mut start = 0usize;
+            let mut first = true;
+            // The first chunk of a schema also ensures the schema row, so
+            // an empty schema still costs exactly one commit.
+            while first || start < spec.tables.len() {
+                first = false;
+                let end = (start + chunk).min(spec.tables.len());
+                let batch = &spec.tables[start..end];
+                created += self.write_ms(ms, |tx, _ver, fx| {
+                    // The catalog must still be live in this transaction:
+                    // drops race bulk imports like any other create.
+                    let cat_live = tx
+                        .get(T_ENTITY, &keys::ent_key(ms, &cat.id))
+                        .map(|raw| Entity::decode(&raw))
+                        .transpose()?
+                        .is_some_and(|e| e.is_active());
+                    if !cat_live {
+                        return Err(UcError::NotFound(catalog.to_string()));
+                    }
+                    let mut n = 0usize;
+                    let snk = keys::name_key(ms, Some(&cat.id), SecurableKind::Schema.name_group(), &spec.name);
+                    let schema_id = match tx.get(T_NAME, &snk) {
+                        Some(raw) => Uid::from_string(
+                            String::from_utf8(raw.to_vec()).unwrap_or_default(),
+                        ),
+                        None => {
+                            let ent = Entity::new(
+                                SecurableKind::Schema,
+                                &spec.name,
+                                Some(cat.id.clone()),
+                                ms.clone(),
+                                &ctx.principal,
+                                now,
+                            );
+                            let arc = fx.upsert_under(tx, ent, ChangeOp::Create, &cat_key);
+                            n += 1;
+                            arc.id.clone()
+                        }
+                    };
+                    // One children scan dedups the whole chunk; inserting
+                    // as we go also catches duplicates within the batch.
+                    let group_prefix = keys::children_group_prefix(
+                        ms,
+                        Some(&schema_id),
+                        SecurableKind::Table.name_group(),
+                    );
+                    let mut existing: std::collections::HashSet<String> = tx
+                        .scan_prefix(T_NAME, &group_prefix)
+                        .into_iter()
+                        .map(|(k, _)| k)
+                        .collect();
+                    for t in batch {
+                        validate_object_name(t)?;
+                        let nk = keys::name_key(ms, Some(&schema_id), SecurableKind::Table.name_group(), t);
+                        if !existing.insert(nk) {
+                            continue;
+                        }
+                        let mut ent = Entity::new(
+                            SecurableKind::Table,
+                            t,
+                            Some(schema_id.clone()),
+                            ms.clone(),
+                            &ctx.principal,
+                            now,
+                        );
+                        ent.set_table_schema(columns);
+                        ent.properties.insert(
+                            props::TABLE_TYPE.to_string(),
+                            TableType::Managed.as_str().to_string(),
+                        );
+                        ent.properties.insert(
+                            props::FORMAT.to_string(),
+                            TableFormat::Delta.as_str().to_string(),
+                        );
+                        (manifest(ent.kind).validate)(&ent)?;
+                        fx.upsert_under(tx, ent, ChangeOp::Create, &schema_key);
+                        n += 1;
+                    }
+                    Ok(n)
+                })?;
+                start = end;
+            }
+        }
+        self.record_audit(
+            &ctx.principal,
+            "bulkCreateTables",
+            Some(&cat.id),
+            AuditDecision::Allow,
+            format!("{catalog} ({created} entities)"),
+        );
         Ok(created)
     }
 
@@ -565,7 +718,7 @@ impl UnityCatalog {
             // through the resolved base dependency.
             ent.set_dependencies(std::slice::from_ref(&src.id));
             (manifest(ent.kind).validate)(&ent)?;
-            Ok(fx.upsert(tx, ent, ChangeOp::Create))
+            fx.upsert(tx, ent, ChangeOp::Create)
         })?;
         self.record_audit(&ctx.principal, "createShallowClone", Some(&created.id), AuditDecision::Allow, format!("{source} -> {name}"));
         Ok(created)
@@ -620,7 +773,7 @@ impl UnityCatalog {
             ent.properties.insert(props::VIEW_SQL.to_string(), view_sql.to_string());
             ent.set_dependencies(&dep_ids);
             (manifest(ent.kind).validate)(&ent)?;
-            Ok(fx.upsert(tx, ent, ChangeOp::Create))
+            fx.upsert(tx, ent, ChangeOp::Create)
         })?;
         self.record_audit(&ctx.principal, "createView", Some(&created.id), AuditDecision::Allow, name);
         Ok(created)
@@ -667,7 +820,7 @@ impl UnityCatalog {
                 if external_path.is_some() { "EXTERNAL" } else { "MANAGED" }.to_string(),
             );
             (manifest(ent.kind).validate)(&ent)?;
-            Ok(fx.upsert(tx, ent, ChangeOp::Create))
+            fx.upsert(tx, ent, ChangeOp::Create)
         })?;
         self.record_audit(&ctx.principal, "createVolume", Some(&created.id), AuditDecision::Allow, name);
         Ok(created)
@@ -700,7 +853,7 @@ impl UnityCatalog {
                 now,
             );
             ent.properties.insert("body".to_string(), body.to_string());
-            Ok(fx.upsert(tx, ent, ChangeOp::Create))
+            fx.upsert(tx, ent, ChangeOp::Create)
         })?;
         self.record_audit(&ctx.principal, "createFunction", Some(&created.id), AuditDecision::Allow, name);
         Ok(created)
@@ -735,7 +888,7 @@ impl UnityCatalog {
             let path = self.managed_path(ms, SecurableKind::RegisteredModel, &ent.id)?;
             paths::register_path(tx, ms, &path, &ent.id)?;
             ent.storage_path = Some(path.to_string());
-            Ok(fx.upsert(tx, ent, ChangeOp::Create))
+            fx.upsert(tx, ent, ChangeOp::Create)
         })?;
         self.record_audit(&ctx.principal, "createRegisteredModel", Some(&created.id), AuditDecision::Allow, name);
         Ok(created)
@@ -799,8 +952,8 @@ impl UnityCatalog {
                 ver_ent.storage_path = Some(format!("{base}/v{version}"));
             }
             (manifest(ver_ent.kind).validate)(&ver_ent)?;
-            fx.upsert(tx, model_now, ChangeOp::Update);
-            let arc = fx.upsert(tx, ver_ent, ChangeOp::Create);
+            fx.upsert(tx, model_now, ChangeOp::Update)?;
+            let arc = fx.upsert(tx, ver_ent, ChangeOp::Create)?;
             Ok((arc, version))
         })?;
         self.record_audit(&ctx.principal, "createModelVersion", Some(&result.0.id), AuditDecision::Allow, model_name);
@@ -877,6 +1030,41 @@ impl UnityCatalog {
         self.enforce_workspace_binding(ctx, &parent_full)?;
         let who = self.authz_context(ms, &ctx.principal)?;
         let rt = self.db.begin_read();
+        if rt.get(T_TREE, &keys::tree_ms_prefix(ms)).is_some() {
+            // Tree layout: one range scan of the parent's key range yields
+            // every child *with its full entity row* — no per-child point
+            // reads. The scan covers the whole subtree; children proper
+            // are selected by segment depth before decoding anything
+            // deeper (leaf-level parents, the hot case, have no deeper
+            // rows at all). The whole listing is read at the scan's own
+            // snapshot, so it reflects one metastore version.
+            let mut parent_key = keys::tree_ms_prefix(ms);
+            for e in parent_full.iter().rev() {
+                if e.kind == SecurableKind::Metastore {
+                    continue;
+                }
+                keys::tree_push_child(&mut parent_key, e.kind.name_group(), &e.name);
+            }
+            let scan_key = match group {
+                Some(g) => keys::tree_group_prefix(&parent_key, g),
+                None => parent_key.clone(),
+            };
+            let child_depth = treekey::depth(&parent_key) + 1;
+            let mut out = Vec::new();
+            for (k, raw) in rt.scan_prefix(T_TREE, &scan_key) {
+                if treekey::depth(&k) != child_depth {
+                    continue;
+                }
+                let ent = Arc::new(Entity::decode(&raw)?);
+                let full = self.chain_from_entity(ms, ent.clone())?;
+                if Self::authz_of(&full).can_see(&who) {
+                    out.push(ent);
+                }
+            }
+            super::history_read_event(crate::cache::read_ms_version(&rt, ms));
+            return Ok(out);
+        }
+        // Legacy layout: name-index scan plus one point read per child.
         let prefix = match group {
             Some(g) => keys::children_group_prefix(ms, Some(&parent_ent.id), g),
             None => keys::children_prefix(ms, Some(&parent_ent.id)),
@@ -929,7 +1117,7 @@ impl UnityCatalog {
             f(&mut ent)?;
             ent.updated_at_ms = now;
             (manifest(ent.kind).validate)(&ent)?;
-            Ok(fx.upsert(tx, ent, ChangeOp::Update))
+            fx.upsert(tx, ent, ChangeOp::Update)
         })
     }
 
@@ -1038,9 +1226,27 @@ impl UnityCatalog {
             }
             tx.delete(T_NAME, &old_key);
             fx.dropped_names.push(old_key);
+            // Tree index: the node's key embeds its name, so its row —
+            // and, for a schema, every descendant row sharing the prefix —
+            // moves. One range scan rewrites them; descendant *values*
+            // are untouched (they embed parent ids, not names).
+            let tree_maintained = tx.get(keys::T_TREEMETA, ms.as_str()).is_some();
+            let old_tree = if tree_maintained { Some(super::tree_key_of(tx, &ent)?) } else { None };
             ent.name = new_name.to_string();
             ent.updated_at_ms = now;
-            Ok(fx.upsert(tx, ent, ChangeOp::Update))
+            if let Some(old_tree) = old_tree {
+                let new_tree = super::tree_key_of(tx, &ent)?;
+                for (k, v) in tx.scan_prefix(T_TREE, &old_tree) {
+                    tx.delete(T_TREE, &k);
+                    if k != old_tree {
+                        let mut moved = new_tree.clone();
+                        moved.push_str(&k[old_tree.len()..]);
+                        tx.put(T_TREE, &moved, v);
+                    }
+                    fx.dropped_names.push(k);
+                }
+            }
+            fx.upsert(tx, ent, ChangeOp::Update)
         })?;
         self.record_audit(&ctx.principal, "renameSecurable", Some(&renamed.id), AuditDecision::Allow, format!("{name} -> {new_name}"));
         Ok(renamed)
@@ -1098,11 +1304,70 @@ impl UnityCatalog {
         let now = self.now_ms();
         let count = self.write_ms(ms, |tx, _ver, fx| {
             let mut count = 0;
-            Self::soft_delete_recursive(tx, ms, &target.id, now, fx, &mut count, 0)?;
+            // Tree layout (ready): the whole cascade is one range scan of
+            // the target's key range, parents before children, each row
+            // carrying its full entity. Mid-build or legacy metastores
+            // walk the name index recursively instead.
+            if target.kind != SecurableKind::Metastore
+                && tx.get(T_TREE, &keys::tree_ms_prefix(ms)).is_some()
+            {
+                Self::soft_delete_subtree(tx, ms, &target, now, fx, &mut count)?;
+            } else {
+                Self::soft_delete_recursive(tx, ms, &target.id, now, fx, &mut count, 0)?;
+            }
             Ok(count)
         })?;
         self.record_audit(&ctx.principal, "dropSecurable", Some(&target.id), AuditDecision::Allow, format!("{name} ({count} entities)"));
         Ok(count)
+    }
+
+    /// Soft-delete `target` and every descendant in **one** range scan of
+    /// the tree index. Per row: free the name, drop the tree row (its
+    /// absence is what hides the subtree from listings and resolution),
+    /// unregister the storage path, and tombstone the entity row for GC.
+    fn soft_delete_subtree(
+        tx: &mut uc_txdb::WriteTxn,
+        ms: &Uid,
+        target: &Entity,
+        now: u64,
+        fx: &mut WriteEffects,
+        count: &mut usize,
+    ) -> UcResult<()> {
+        // Drops are by *identity*: `target` was resolved to an id at read
+        // time, and only that entity (plus descendants) may die. Re-read it
+        // at commit time — if it was dropped concurrently the drop counts
+        // zero, even if another live entity now owns the same name (and
+        // therefore the same tree key).
+        let Some(raw) = tx.get(T_ENTITY, &keys::ent_key(ms, &target.id)) else {
+            return Ok(());
+        };
+        let current = Entity::decode(&raw)?;
+        if !current.is_active() {
+            return Ok(());
+        }
+        let root_key = super::tree_key_of(tx, &current)?;
+        for (tree_key, raw) in tx.scan_prefix(T_TREE, &root_key) {
+            let mut ent = Entity::decode(&raw)?;
+            if ent.state == LifecycleState::SoftDeleted {
+                continue;
+            }
+            tx.delete(
+                T_NAME,
+                &keys::name_key(ms, ent.parent.as_ref(), ent.kind.name_group(), &ent.name),
+            );
+            tx.delete(T_TREE, &tree_key);
+            fx.dropped_names.push(tree_key);
+            if let Some(p) = ent.storage_path.as_ref().and_then(|p| StoragePath::parse(p).ok()) {
+                paths::unregister_path(tx, ms, &p);
+            }
+            ent.state = LifecycleState::SoftDeleted;
+            ent.updated_at_ms = now;
+            tx.put(T_ENTITY, &keys::ent_key(ms, &ent.id), ent.encode());
+            fx.events.push((ent.id.clone(), ent.kind, ent.name.clone(), ChangeOp::Delete));
+            fx.tombstones.push(ent.id.clone());
+            *count += 1;
+        }
+        Ok(())
     }
 
     fn soft_delete_recursive(
@@ -1139,6 +1404,14 @@ impl UnityCatalog {
             T_NAME,
             &keys::name_key(ms, ent.parent.as_ref(), ent.kind.name_group(), &ent.name),
         );
+        // Dual-write during an in-progress index build: entities created
+        // after the build marker went up have tree rows even though the
+        // index isn't ready yet, and those must not outlive the entity.
+        if tx.get(keys::T_TREEMETA, ms.as_str()).is_some() {
+            let tk = super::tree_key_of(tx, &ent)?;
+            tx.delete(T_TREE, &tk);
+            fx.dropped_names.push(tk);
+        }
         if let Some(p) = ent.storage_path.as_ref().and_then(|p| StoragePath::parse(p).ok()) {
             paths::unregister_path(tx, ms, &p);
         }
@@ -1159,7 +1432,7 @@ impl UnityCatalog {
         // Collect victims outside the write to keep the transaction small.
         let rt = self.db.begin_read();
         let victims: Vec<Entity> = rt
-            .scan_prefix(T_ENTITY, &format!("{ms}/"))
+            .scan_prefix(T_ENTITY, &keys::ent_ms_prefix(ms))
             .into_iter()
             .filter_map(|(_, raw)| Entity::decode(&raw).ok())
             .filter(|e| e.state == LifecycleState::SoftDeleted)

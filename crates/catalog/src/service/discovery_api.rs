@@ -346,7 +346,7 @@ impl UnityCatalog {
         let who = self.authz_context(ms, &ctx.principal)?;
         let rt = self.db.begin_read();
         let mut out = Vec::new();
-        for (_, raw) in rt.scan_prefix(T_ENTITY, &format!("{ms}/")) {
+        for (_, raw) in rt.scan_prefix(T_ENTITY, &keys::ent_ms_prefix(ms)) {
             if out.len() >= limit {
                 break;
             }

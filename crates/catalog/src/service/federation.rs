@@ -74,7 +74,7 @@ impl UnityCatalog {
                 now,
             );
             ent.properties.insert(props::ENDPOINT.to_string(), endpoint.to_string());
-            Ok(fx.upsert(tx, ent, ChangeOp::Create))
+            fx.upsert(tx, ent, ChangeOp::Create)
         })?;
         self.record_audit(&ctx.principal, "createConnection", Some(&created.id), AuditDecision::Allow, endpoint);
         Ok(created)
@@ -165,7 +165,7 @@ impl UnityCatalog {
                         &ctx.principal,
                         now,
                     );
-                    Ok(fx.upsert(tx, ent, ChangeOp::Create))
+                    fx.upsert(tx, ent, ChangeOp::Create)
                 })?
             }
         };
@@ -201,7 +201,7 @@ impl UnityCatalog {
             ent.properties
                 .insert("mirrored_at_ms".to_string(), now.to_string());
             ent.updated_at_ms = now;
-            Ok(fx.upsert(tx, ent, ChangeOp::Update))
+            fx.upsert(tx, ent, ChangeOp::Update)
         })?;
         self.record_audit(&ctx.principal, "mirrorTable", Some(&mirrored.id), AuditDecision::Allow, format!("{federated_catalog}.{schema_name}.{}", meta.name));
         Ok(mirrored)

@@ -46,7 +46,7 @@ use crate::error::{UcError, UcResult};
 use crate::events::{ChangeOp, EventBus, MetadataChangeEvent};
 use crate::ids::Uid;
 use crate::model::entity::{Entity, PrincipalRecord};
-use crate::model::keys::{self, T_ENTITY, T_MSVER, T_NAME, T_PRINCIPAL};
+use crate::model::keys::{self, T_ENTITY, T_MSVER, T_NAME, T_PRINCIPAL, T_TREE, T_TREEMETA};
 use crate::types::{FullName, SecurableKind};
 
 /// Annotate the active request span with the metastore version a read
@@ -87,6 +87,11 @@ pub struct UcConfig {
     /// etc.) on every API call. On by default; benches flip it off for the
     /// unlabeled comparison arm.
     pub tenant_labels: bool,
+    /// Create metastores on the legacy (pre-tree) key layout: no tree
+    /// rows, no build marker. Test-only knob for exercising the
+    /// [`UnityCatalog::rebuild_tree_index`] migration path; production
+    /// metastores are born tree-ready.
+    pub start_legacy_layout: bool,
 }
 
 impl Default for UcConfig {
@@ -101,6 +106,7 @@ impl Default for UcConfig {
             faults: FaultPlan::disabled(),
             obs: Obs::disabled(),
             tenant_labels: true,
+            start_legacy_layout: false,
         }
     }
 }
@@ -161,31 +167,123 @@ impl Context {
 /// publication after a successful commit.
 #[derive(Default)]
 pub(crate) struct WriteEffects {
-    pub upserts: Vec<Arc<Entity>>,
+    /// Entities written, each with its tree-index key when the metastore
+    /// is on the tree layout (the key is installed as a cache mapping).
+    pub upserts: Vec<(Arc<Entity>, Option<String>)>,
     pub tombstones: Vec<Uid>,
-    /// Name-index keys freed by this write (renames), to be dropped from
-    /// the cache's name map.
+    /// Name- and tree-index keys freed by this write (renames, drops), to
+    /// be dropped from the cache's name map.
     pub dropped_names: Vec<String>,
     pub events: Vec<(Uid, SecurableKind, String, ChangeOp)>,
+    /// Memoized tree-layout marker read: one per transaction attempt,
+    /// however many entities the closure writes.
+    tree_enabled: Option<bool>,
+}
+
+/// The tree-index key of an entity: its ancestor chain of
+/// `{group}:{name}` segments under the metastore, resolved by walking
+/// parent ids inside the transaction (so the key is computed against the
+/// same snapshot the write validates). The metastore entity itself maps
+/// to the bare metastore prefix — its row's presence is the readiness
+/// signal readers key off.
+pub(crate) fn tree_key_of(tx: &mut WriteTxn, ent: &Entity) -> UcResult<String> {
+    let ms = &ent.metastore;
+    if ent.kind == SecurableKind::Metastore {
+        return Ok(keys::tree_ms_prefix(ms));
+    }
+    let mut segs: Vec<(&'static str, String)> = vec![(ent.kind.name_group(), ent.name.clone())];
+    let mut parent = ent.parent.clone();
+    let mut guard = 0;
+    while let Some(pid) = parent {
+        if &pid == ms {
+            break;
+        }
+        let raw = tx
+            .get(T_ENTITY, &keys::ent_key(ms, &pid))
+            .ok_or_else(|| UcError::Database(format!("dangling parent {pid}")))?;
+        let p = Entity::decode(&raw)?;
+        segs.push((p.kind.name_group(), p.name));
+        parent = p.parent;
+        guard += 1;
+        if guard > 16 {
+            return Err(UcError::Database("parent cycle detected".into()));
+        }
+    }
+    let mut key = keys::tree_ms_prefix(ms);
+    for (group, name) in segs.iter().rev() {
+        keys::tree_push_child(&mut key, group, name);
+    }
+    Ok(key)
 }
 
 impl WriteEffects {
-    /// Persist an entity (row + name index) and record the effect.
-    pub fn upsert(&mut self, tx: &mut WriteTxn, ent: Entity, op: ChangeOp) -> Arc<Entity> {
-        let ms = &ent.metastore;
-        tx.put(T_ENTITY, &keys::ent_key(ms, &ent.id), ent.encode());
+    /// Whether this metastore maintains the tree index (marker present:
+    /// either mid-build or ready — writers dual-write in both states).
+    /// Memoized per effects struct, i.e. per transaction attempt.
+    fn tree_enabled(&mut self, tx: &mut WriteTxn, ms: &Uid) -> bool {
+        *self
+            .tree_enabled
+            .get_or_insert_with(|| tx.get(T_TREEMETA, ms.as_str()).is_some())
+    }
+
+    /// Persist an entity (row + name index + tree index) and record the
+    /// effect.
+    pub fn upsert(&mut self, tx: &mut WriteTxn, ent: Entity, op: ChangeOp) -> UcResult<Arc<Entity>> {
+        let tk = if self.tree_enabled(tx, &ent.metastore) {
+            Some(tree_key_of(tx, &ent)?)
+        } else {
+            None
+        };
+        Ok(self.upsert_with_tree_key(tx, ent, op, tk))
+    }
+
+    /// [`WriteEffects::upsert`] when the caller already holds the parent's
+    /// tree key. Bulk loaders resolve each container once per chunk and
+    /// extend its key per row, instead of paying `tree_key_of`'s
+    /// per-row ancestor point reads.
+    pub fn upsert_under(
+        &mut self,
+        tx: &mut WriteTxn,
+        ent: Entity,
+        op: ChangeOp,
+        parent_tree_key: &str,
+    ) -> Arc<Entity> {
+        let tk = if self.tree_enabled(tx, &ent.metastore) {
+            let mut k = parent_tree_key.to_string();
+            keys::tree_push_child(&mut k, ent.kind.name_group(), &ent.name);
+            Some(k)
+        } else {
+            None
+        };
+        self.upsert_with_tree_key(tx, ent, op, tk)
+    }
+
+    fn upsert_with_tree_key(
+        &mut self,
+        tx: &mut WriteTxn,
+        ent: Entity,
+        op: ChangeOp,
+        tk: Option<String>,
+    ) -> Arc<Entity> {
+        let ms = ent.metastore.clone();
+        let encoded = ent.encode();
+        tx.put(T_ENTITY, &keys::ent_key(&ms, &ent.id), encoded.clone());
         tx.put(
             T_NAME,
-            &keys::name_key(ms, ent.parent.as_ref(), ent.kind.name_group(), &ent.name),
+            &keys::name_key(&ms, ent.parent.as_ref(), ent.kind.name_group(), &ent.name),
             Bytes::from(ent.id.as_str().to_string()),
         );
+        // Tree row value is byte-identical to the entity row, so one
+        // chain scan resolves a whole ancestor path without point reads.
+        if let Some(tk) = &tk {
+            tx.put(T_TREE, tk, encoded);
+        }
         let arc = Arc::new(ent);
         self.events
             .push((arc.id.clone(), arc.kind, arc.name.clone(), op));
-        self.upserts.push(arc.clone());
+        self.upserts.push((arc.clone(), tk));
         arc
     }
-
 }
 
 /// Node-level counters.
@@ -308,6 +406,12 @@ const TENANT_MEMO_CAPACITY: usize = 64;
 
 /// The label used when a request carries no metastore or no principal.
 pub(crate) const NO_TENANT: &str = "-";
+
+/// Entities backfilled per transaction by [`UnityCatalog::rebuild_tree_index`].
+/// Small enough that each chunk's conflict window stays narrow under
+/// concurrent writes, large enough that a million-asset rebuild is a few
+/// thousand transactions.
+const TREE_BUILD_CHUNK: usize = 256;
 
 impl UnityCatalog {
     pub fn new(db: Db, store: ObjectStore, config: UcConfig, node_id: &str) -> Arc<Self> {
@@ -623,9 +727,23 @@ impl UnityCatalog {
     }
 
     fn install_in_cache(&self, c: &MsCache, ms: &Uid, ent: &Arc<Entity>, at_version: u64) {
+        self.install_in_cache_tk(c, ms, ent, at_version, None);
+    }
+
+    /// [`Self::install_in_cache`] with the entity's tree-index key when
+    /// the caller resolved one (write-through and chain-scan installs),
+    /// so cached chain lookups can probe by tree key.
+    fn install_in_cache_tk(
+        &self,
+        c: &MsCache,
+        ms: &Uid,
+        ent: &Arc<Entity>,
+        at_version: u64,
+        tree_key: Option<String>,
+    ) {
         let nk = keys::name_key(ms, ent.parent.as_ref(), ent.kind.name_group(), &ent.name);
         let pk = ent.storage_path.as_ref().map(|p| keys::path_key(ms, p));
-        c.insert(ent.clone(), at_version, nk, pk);
+        c.insert(ent.clone(), at_version, nk, pk, tree_key);
     }
 
     /// Look up an entity by a fully-built name-index key.
@@ -855,23 +973,33 @@ impl UnityCatalog {
                     let skip_cache = self.config.faults.should_inject(points::CATALOG_CACHE_SKIP);
                     if self.config.cache.enabled && !skip_cache {
                         let _gate = cache_arc.write_gate();
-                        if cache_arc.version() != cur {
-                            self.cache.reconcile(ms, &cache_arc, &self.db, cur + 1, csn);
+                        // A slow writer must never regress the shared pin:
+                        // if a later commit's apply (or a reader's
+                        // reconcile) already advanced past this write's
+                        // version, that reconcile consumed the changelog
+                        // through a CSN at or beyond this commit, so these
+                        // effects are already reflected — applying them now
+                        // would pin the cache to an older version and break
+                        // read-your-writes for every client on this node.
+                        if cache_arc.version() <= cur {
+                            if cache_arc.version() != cur {
+                                self.cache.reconcile(ms, &cache_arc, &self.db, cur + 1, csn);
+                            }
+                            for nk in &fx.dropped_names {
+                                cache_arc.remove_name_mapping(nk);
+                            }
+                            // Install effects first, advance the pin last:
+                            // concurrent readers at the old pin can't see
+                            // the new versions, and readers after the
+                            // advance see all of them.
+                            for (ent, tk) in &fx.upserts {
+                                self.install_in_cache_tk(&cache_arc, ms, ent, cur + 1, tk.clone());
+                            }
+                            for id in &fx.tombstones {
+                                cache_arc.insert_tombstone(id, cur + 1);
+                            }
+                            cache_arc.advance(cur + 1, csn);
                         }
-                        for nk in &fx.dropped_names {
-                            cache_arc.remove_name_mapping(nk);
-                        }
-                        // Install effects first, advance the pin last:
-                        // concurrent readers at the old pin can't see the
-                        // new versions, and readers after the advance see
-                        // all of them.
-                        for ent in &fx.upserts {
-                            self.install_in_cache(&cache_arc, ms, ent, cur + 1);
-                        }
-                        for id in &fx.tombstones {
-                            cache_arc.insert_tombstone(id, cur + 1);
-                        }
-                        cache_arc.advance(cur + 1, csn);
                     }
                     let now = self.now_ms();
                     for (id, kind, name, op) in fx.events {
@@ -931,6 +1059,14 @@ impl UnityCatalog {
     /// securable (share, connection, external location, storage
     /// credential). Four-part names address model versions
     /// (`catalog.schema.model.vN`).
+    ///
+    /// On the tree layout the whole chain resolves in **one** range scan:
+    /// the leaf's tree key is computable from the qualified name alone,
+    /// and [`ReadTxn::scan_chain`] returns the row at every ancestor
+    /// prefix in a single traversal. The cached fast path probes the same
+    /// per-level tree keys under one version pin. Metastores whose tree
+    /// index is not (yet) built fall back to the per-segment name-index
+    /// walk.
     pub(crate) fn lookup_chain(
         &self,
         ms: &Uid,
@@ -938,9 +1074,126 @@ impl UnityCatalog {
         leaf_group: &str,
     ) -> UcResult<Vec<Arc<Entity>>> {
         let not_found = || UcError::NotFound(name.to_string());
-        // Resolve the metastore cache once for the whole chain walk instead
-        // of re-probing the node-level map per segment.
+        let malformed = || UcError::InvalidArgument(format!("malformed name {name}"));
+        // (group, segment-name) pairs outermost-first: enough to build
+        // every level's tree key without touching the database.
+        let mut segs: Vec<(&str, &str)> = Vec::with_capacity(name.len());
+        if name.len() == 1 && leaf_group != "catalog" {
+            segs.push((leaf_group, name.catalog()));
+        } else {
+            segs.push(("catalog", name.catalog()));
+            if name.len() >= 2 {
+                segs.push(("schema", name.schema().ok_or_else(malformed)?));
+            }
+            if name.len() >= 3 {
+                // For four-part names the third segment is always the
+                // registered model; `leaf_group` applies to the final one.
+                let third_group = if name.len() == 4 {
+                    SecurableKind::RegisteredModel.name_group()
+                } else {
+                    leaf_group
+                };
+                segs.push((third_group, name.asset().ok_or_else(malformed)?));
+            }
+            if name.len() == 4 {
+                segs.push((SecurableKind::ModelVersion.name_group(), name.parts[3].as_str()));
+            }
+        }
+        let mut level_keys: Vec<String> = Vec::with_capacity(segs.len());
+        {
+            let mut key = keys::tree_ms_prefix(ms);
+            for (group, seg_name) in &segs {
+                keys::tree_push_child(&mut key, group, seg_name);
+                level_keys.push(key.clone());
+            }
+        }
+        // Resolve the metastore cache once for the whole chain instead of
+        // re-probing the node-level map per segment.
         let cache = self.config.cache.enabled.then(|| self.cache.for_metastore(ms));
+        if let Some(c) = &cache {
+            // Cached fast path: every level present under one version pin.
+            sched::yield_point(sched::points::READ_LOOKUP);
+            let ver = c.version();
+            let mut chain: Vec<Arc<Entity>> = Vec::with_capacity(level_keys.len());
+            for lk in level_keys.iter().rev() {
+                match c.id_by_name(lk).map(|id| c.get_at(&id, ver)) {
+                    Some(Some(Some(hit))) => chain.push(hit),
+                    Some(Some(None)) => {
+                        // Cached tombstone at this pin: the name is gone.
+                        self.cache.stats.hits.fetch_add(1, Ordering::Relaxed);
+                        history_read_event(ver);
+                        return Err(not_found());
+                    }
+                    _ => {
+                        chain.clear();
+                        break;
+                    }
+                }
+            }
+            if chain.len() == level_keys.len() {
+                self.cache.stats.hits.fetch_add(chain.len() as u64, Ordering::Relaxed);
+                history_read_event(ver);
+                return Ok(chain);
+            }
+        }
+        let rt = self.db.begin_read();
+        let Some(leaf_key) = level_keys.last() else {
+            return Err(malformed());
+        };
+        let rows = rt.scan_chain(T_TREE, leaf_key);
+        if rows.first().is_some_and(|(k, _)| *k == keys::tree_ms_prefix(ms)) {
+            // Tree index ready: the chain scan returned the metastore row
+            // plus the row at every existing level, shortest key first. A
+            // missing level means the name doesn't resolve (tree rows are
+            // removed on soft delete, so presence implies active).
+            if cache.is_some() {
+                self.cache.stats.misses.fetch_add(1, Ordering::Relaxed);
+            }
+            let db_ver = read_ms_version(&rt, ms);
+            let mut ents: Vec<Arc<Entity>> = Vec::with_capacity(segs.len());
+            let mut rows_iter = rows.iter().skip(1);
+            let mut complete = true;
+            for lk in &level_keys {
+                match rows_iter.next() {
+                    Some((k, raw)) if k == lk => {
+                        let ent = Entity::decode(raw)?;
+                        if !ent.is_active() {
+                            complete = false;
+                            break;
+                        }
+                        ents.push(Arc::new(ent));
+                    }
+                    _ => {
+                        complete = false;
+                        break;
+                    }
+                }
+            }
+            if !complete {
+                // The op still observed a snapshot: record it so checkers
+                // can place the not-found against a version.
+                history_read_event(db_ver);
+                return Err(not_found());
+            }
+            if let Some(c) = &cache {
+                // uc-lint: allow(hotpath) -- miss path only: the cached chain hit returns above without reaching the gate
+                let _gate = c.write_gate();
+                if db_ver > c.version() {
+                    self.cache.reconcile(ms, c, &self.db, db_ver, rt.snapshot_csn());
+                }
+                if db_ver == c.version() {
+                    for (ent, lk) in ents.iter().zip(&level_keys) {
+                        self.install_in_cache_tk(c, ms, ent, db_ver, Some(lk.clone()));
+                    }
+                }
+            }
+            history_read_event(db_ver);
+            ents.reverse();
+            return Ok(ents);
+        }
+        drop(rt);
+        // Legacy layout (tree index not built): per-segment walk over the
+        // name index.
         let lookup = |nk: &str| match &cache {
             Some(c) => self.entity_by_name_key_in(ms, c, nk),
             None => {
@@ -1015,6 +1268,108 @@ impl UnityCatalog {
         if db_ver > cache.version() {
             self.cache.reconcile(ms, &cache, &self.db, db_ver, rt.snapshot_csn());
         }
+    }
+
+    /// Run a small maintenance transaction with bounded retry on
+    /// transient failures. Unlike [`Self::write_ms`] this bumps no
+    /// metastore version and does no cache write-through — index rows
+    /// written this way enter caches lazily through later lookups.
+    fn maintenance_txn<T>(&self, mut f: impl FnMut(&mut WriteTxn) -> UcResult<T>) -> UcResult<T> {
+        let mut attempts = 0;
+        loop {
+            sched::yield_point(sched::points::WRITE_BEGIN);
+            let mut tx = self.db.begin_write();
+            let out = f(&mut tx)?;
+            match tx.commit() {
+                Ok(_) => return Ok(out),
+                Err(err @ (TxError::Conflict { .. } | TxError::Unavailable { .. })) => {
+                    self.stats.write_retries.fetch_add(1, Ordering::Relaxed);
+                    attempts += 1;
+                    if attempts > 64 {
+                        return Err(UcError::Database(format!(
+                            "maintenance write aborted after {attempts} transient failures (last: {err})"
+                        )));
+                    }
+                    let backoff_ms = 1u64 << attempts.min(6);
+                    self.stats.write_backoff_ms.fetch_add(backoff_ms, Ordering::Relaxed);
+                    if self.clock.is_manual() {
+                        self.clock.advance_ms(backoff_ms);
+                    }
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Build the order-preserving tree index for a metastore created on
+    /// the legacy layout — online, without blocking readers or writers.
+    ///
+    /// Protocol (DESIGN.md §11): flip the build marker to `building` so
+    /// every concurrent writer starts dual-writing tree rows; copy the
+    /// existing entities in bounded chunks of independent transactions,
+    /// point-reading each row inside its chunk so an entity dropped or
+    /// renamed mid-build is never resurrected (the read either observes
+    /// the current row or the chunk conflicts and retries); finally write
+    /// the metastore's own tree row plus the `ready` marker in one
+    /// transaction — that row's presence is the atomic readiness signal
+    /// readers key off, so they flip to range-scan resolution all at
+    /// once. Returns the number of tree rows backfilled.
+    pub fn rebuild_tree_index(&self, ms: &Uid) -> UcResult<usize> {
+        let _api = self.api_enter_p("rebuild_tree_index", NO_TENANT, Some(ms));
+        // Phase 1: announce the build. Writers observe the marker inside
+        // their own transactions and dual-write from here on.
+        self.maintenance_txn(|tx| {
+            if tx.get(T_TREEMETA, ms.as_str()).is_none() {
+                tx.put(T_TREEMETA, ms.as_str(), Bytes::from_static(b"building"));
+            }
+            Ok(())
+        })?;
+        // Phase 2: snapshot the entity keys once (read-only, unvalidated),
+        // then backfill in chunks.
+        let ent_keys: Vec<String> = {
+            let rt = self.db.begin_read();
+            rt.scan_prefix(T_ENTITY, &keys::ent_ms_prefix(ms))
+                .into_iter()
+                .map(|(k, _)| k)
+                .collect()
+        };
+        let mut written = 0usize;
+        for chunk in ent_keys.chunks(TREE_BUILD_CHUNK) {
+            written += self.maintenance_txn(|tx| {
+                let mut n = 0usize;
+                for ekey in chunk {
+                    // Skip rows that vanished (purged) since the snapshot;
+                    // soft-deleted rows get no tree row, and the metastore
+                    // row is reserved for the readiness flip below.
+                    let Some(raw) = tx.get(T_ENTITY, ekey) else { continue };
+                    let ent = Entity::decode(&raw)?;
+                    if !ent.is_active() || ent.kind == SecurableKind::Metastore {
+                        continue;
+                    }
+                    let tk = tree_key_of(tx, &ent)?;
+                    tx.put(T_TREE, &tk, raw);
+                    n += 1;
+                }
+                Ok(n)
+            })?;
+        }
+        // Phase 3: flip readiness atomically.
+        self.maintenance_txn(|tx| {
+            let raw = tx
+                .get(T_ENTITY, &keys::ent_key(ms, ms))
+                .ok_or_else(|| UcError::NotFound(format!("metastore {ms}")))?;
+            tx.put(T_TREE, &keys::tree_ms_prefix(ms), raw);
+            tx.put(T_TREEMETA, ms.as_str(), Bytes::from_static(b"ready"));
+            Ok(())
+        })?;
+        self.record_audit(
+            NO_TENANT,
+            "rebuildTreeIndex",
+            Some(ms),
+            AuditDecision::Allow,
+            format!("{written} rows"),
+        );
+        Ok(written)
     }
 
     /// Chain from an entity up to (and including) the metastore entity.

@@ -72,7 +72,7 @@ impl UnityCatalog {
                 return Err(UcError::AlreadyExists(name.to_string()));
             }
             let ent = Entity::new(SecurableKind::Share, name, Some(ms.clone()), ms.clone(), &ctx.principal, now);
-            Ok(fx.upsert(tx, ent, ChangeOp::Create))
+            fx.upsert(tx, ent, ChangeOp::Create)
         })?;
         self.record_audit(&ctx.principal, "createShare", Some(&created.id), AuditDecision::Allow, name);
         Ok(created)

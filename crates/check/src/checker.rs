@@ -43,6 +43,14 @@ pub enum Violation {
     NonMonotonicClient { client: usize, seq: u64, committed: u64, observed: u64 },
     /// Two live external tables overlap by path prefix.
     PathOverlap { version: u64, a: String, b: String },
+    /// The tree index disagrees with the entity table: an orphan tree row
+    /// (missing/inactive entity or non-identical bytes), a missing
+    /// ancestor prefix row, or an active entity with no tree row.
+    TreeIndexMismatch { key: String, why: String },
+    /// The path index violates one-asset-per-path: a registered key is a
+    /// strict prefix of another registered key, or a row points at a
+    /// missing/inactive entity.
+    PathIndexMismatch { key: String, why: String },
 }
 
 impl fmt::Display for Violation {
@@ -77,8 +85,118 @@ impl fmt::Display for Violation {
             Violation::PathOverlap { version, a, b } => {
                 write!(f, "path overlap at version {version}: {a:?} vs {b:?}")
             }
+            Violation::TreeIndexMismatch { key, why } => {
+                write!(f, "tree index mismatch at {key:?}: {why}")
+            }
+            Violation::PathIndexMismatch { key, why } => {
+                write!(f, "path index mismatch at {key:?}: {why}")
+            }
         }
     }
+}
+
+/// Verify the on-disk structural invariants of a metastore's indexes
+/// directly against the database — independent of any recorded history,
+/// so it holds at *every* quiescent point, not just checked prefixes:
+///
+/// * **Tree ↔ entity 1:1** — every tree row names an active entity and
+///   carries its exact entity-row bytes; every active entity has exactly
+///   one tree row (soft-deleted entities have none).
+/// * **No orphan at any prefix** — every terminator-prefix of every tree
+///   key is itself a present row: a child can never outlive its ancestor
+///   chain in the index.
+/// * **One asset per path, prefix-free** — registered path keys are
+///   prefix-free (no registered path is an ancestor of another) and each
+///   names an active entity.
+pub fn verify_structure(db: &uc_txdb::Db, ms: &uc_catalog::Uid) -> Vec<Violation> {
+    use uc_catalog::model::{keys, treekey};
+    use uc_catalog::Entity;
+
+    let mut violations = Vec::new();
+    let rt = db.begin_read();
+
+    let ent_rows = rt.scan_prefix(keys::T_ENTITY, &keys::ent_ms_prefix(ms));
+    let mut active: std::collections::BTreeMap<String, bytes::Bytes> =
+        std::collections::BTreeMap::new();
+    for (_, raw) in &ent_rows {
+        match Entity::decode(raw) {
+            Ok(ent) if ent.is_active() => {
+                active.insert(ent.id.as_str().to_string(), raw.clone());
+            }
+            _ => {}
+        }
+    }
+
+    let tree_rows = rt.scan_prefix(keys::T_TREE, &keys::tree_ms_prefix(ms));
+    // An unbuilt index (legacy layout) is vacuously consistent.
+    if !tree_rows.is_empty() {
+        let present: std::collections::BTreeSet<&str> =
+            tree_rows.iter().map(|(k, _)| k.as_str()).collect();
+        for (key, raw) in &tree_rows {
+            let ent = match Entity::decode(raw) {
+                Ok(e) => e,
+                Err(e) => {
+                    violations.push(Violation::TreeIndexMismatch {
+                        key: key.clone(),
+                        why: format!("undecodable value: {e}"),
+                    });
+                    continue;
+                }
+            };
+            match active.get(ent.id.as_str()) {
+                Some(ent_raw) if ent_raw == raw => {}
+                Some(_) => violations.push(Violation::TreeIndexMismatch {
+                    key: key.clone(),
+                    why: format!("value not byte-identical to entity row {}", ent.id),
+                }),
+                None => violations.push(Violation::TreeIndexMismatch {
+                    key: key.clone(),
+                    why: format!("orphan row: entity {} missing or inactive", ent.id),
+                }),
+            }
+            for prefix in treekey::chain_prefixes(key) {
+                if !present.contains(prefix) {
+                    violations.push(Violation::TreeIndexMismatch {
+                        key: key.clone(),
+                        why: format!("ancestor prefix {prefix:?} has no row"),
+                    });
+                }
+            }
+        }
+        if tree_rows.len() != active.len() {
+            violations.push(Violation::TreeIndexMismatch {
+                key: keys::tree_ms_prefix(ms),
+                why: format!(
+                    "{} tree rows for {} active entities (must be 1:1)",
+                    tree_rows.len(),
+                    active.len()
+                ),
+            });
+        }
+    }
+
+    let path_rows = rt.scan_prefix(keys::T_PATH, &keys::path_ms_prefix(ms));
+    for pair in path_rows.windows(2) {
+        // Rows come back in key order, and an ancestor sorts immediately
+        // before its first descendant — adjacent comparison is complete.
+        if pair[1].0.starts_with(&pair[0].0) {
+            violations.push(Violation::PathIndexMismatch {
+                key: pair[1].0.clone(),
+                why: format!("registered under registered ancestor {:?}", pair[0].0),
+            });
+        }
+    }
+    for (key, id_raw) in &path_rows {
+        let id = String::from_utf8_lossy(id_raw);
+        if !active.contains_key(id.as_ref()) {
+            violations.push(Violation::PathIndexMismatch {
+                key: key.clone(),
+                why: format!("orphan row: entity {id} missing or inactive"),
+            });
+        }
+    }
+
+    violations
 }
 
 /// Check a recorded history against an initial model state (the world as it

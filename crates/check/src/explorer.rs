@@ -19,9 +19,9 @@ use uc_cloudstore::{Clock, LatencyModel, ObjectStore, StsService};
 use uc_obs::{Obs, TraceRecord};
 use uc_txdb::{Db, DbConfig};
 
-use crate::checker::{check, Violation};
+use crate::checker::{check, verify_structure, Violation};
 use crate::history::{assemble, DriverRow, History};
-use crate::workload::{exec_op, initial_model, plan_ops, seed_world};
+use crate::workload::{exec_op, initial_model, plan_ops, plan_subtree_ops, seed_world};
 
 const ADMIN: &str = "root";
 
@@ -34,6 +34,14 @@ pub struct RunConfig {
     /// Test-only: disable the transaction commit validation to prove the
     /// checker catches the resulting lost-update/duplicate-version runs.
     pub weaken_commit: bool,
+    /// Extra *history-producing* clients running the subtree-adversary
+    /// schedule ([`crate::workload::plan_subtree_ops`]): cascading schema
+    /// drops vs. deep creates vs. range-scan listings, all on one schema,
+    /// so drop/recreate races and mid-cascade listings land at every
+    /// interleaving the scheduler can reach. Their rows feed the checker
+    /// like any client's, and every run ends with a structural sweep of
+    /// the tree and path indexes ([`crate::checker::verify_structure`]).
+    pub subtree_clients: usize,
     /// Extra scheduler clients that do nothing but drain the audit lanes
     /// and fold the metric stripes (`AuditLog::flush` + metrics snapshot),
     /// so the explorer schedules those merges adversarially *between* the
@@ -68,6 +76,7 @@ impl RunConfig {
             ops_per_client: 12,
             mode,
             weaken_commit: false,
+            subtree_clients: 0,
             flush_clients: 0,
             freeze_clients: 0,
             coalesce_clients: 0,
@@ -142,11 +151,20 @@ pub fn run_one(cfg: &RunConfig) -> RunOutput {
     };
 
     // --- concurrent phase under the scheduler --------------------------
+    let history_clients = cfg.clients + cfg.subtree_clients;
     let total_clients =
-        cfg.clients + cfg.flush_clients + cfg.freeze_clients + cfg.coalesce_clients;
+        history_clients + cfg.flush_clients + cfg.freeze_clients + cfg.coalesce_clients;
     let steps_hint = (total_clients * cfg.ops_per_client * 8) as u64;
     let sched = Scheduler::new(cfg.seed, total_clients, cfg.mode, steps_hint);
-    let plans = plan_ops(cfg.seed, cfg.clients, cfg.ops_per_client);
+    // Subtree adversaries are history clients like any other — planned
+    // from a decorrelated seed so their schedule doesn't mirror the
+    // general clients', then checked through the same model.
+    let mut plans = plan_ops(cfg.seed, cfg.clients, cfg.ops_per_client);
+    plans.extend(plan_subtree_ops(
+        cfg.seed ^ 0x5b7e_5b7e_5b7e_5b7e,
+        cfg.subtree_clients,
+        cfg.ops_per_client,
+    ));
     let rows: Arc<Mutex<Vec<DriverRow>>> = Arc::new(Mutex::new(Vec::new()));
     let seq = Arc::new(AtomicU64::new(0));
 
@@ -197,7 +215,7 @@ pub fn run_one(cfg: &RunConfig) -> RunOutput {
         let sched = sched.clone();
         let uc = uc.clone();
         let iters = cfg.ops_per_client;
-        let client_idx = cfg.clients + j;
+        let client_idx = history_clients + j;
         handles.push(std::thread::spawn(move || {
             sched.register_current(client_idx);
             let result = catch_unwind(AssertUnwindSafe(|| {
@@ -222,7 +240,7 @@ pub fn run_one(cfg: &RunConfig) -> RunOutput {
         let sched = sched.clone();
         let uc = uc.clone();
         let iters = cfg.ops_per_client;
-        let client_idx = cfg.clients + cfg.flush_clients + j;
+        let client_idx = history_clients + cfg.flush_clients + j;
         handles.push(std::thread::spawn(move || {
             sched.register_current(client_idx);
             let result = catch_unwind(AssertUnwindSafe(|| {
@@ -259,7 +277,7 @@ pub fn run_one(cfg: &RunConfig) -> RunOutput {
             let ctx = ctx.clone();
             let ms = ms.clone();
             let iters = cfg.ops_per_client;
-            let client_idx = cfg.clients + cfg.flush_clients + cfg.freeze_clients + j;
+            let client_idx = history_clients + cfg.flush_clients + cfg.freeze_clients + j;
             handles.push(std::thread::spawn(move || {
                 sched.register_current(client_idx);
                 let result = catch_unwind(AssertUnwindSafe(|| {
@@ -291,7 +309,11 @@ pub fn run_one(cfg: &RunConfig) -> RunOutput {
     let records = obs.tracer().records();
     let rows = Arc::try_unwrap(rows).expect("rows still shared").into_inner();
     let history = assemble(base_version, rows, &records);
-    let violations = check(&history, &initial_model());
+    let mut violations = check(&history, &initial_model());
+    // Every run — adversarial or not — ends with a structural sweep of
+    // the quiesced indexes: tree ↔ entity 1:1, no orphan at any prefix,
+    // one asset per path.
+    violations.extend(verify_structure(&db, &ms));
     RunOutput { schedule: sched.trace_text(), history, violations }
 }
 
@@ -323,6 +345,7 @@ mod tests {
             ops_per_client: 8,
             mode: SchedMode::RandomWalk,
             weaken_commit: false,
+            subtree_clients: 0,
             flush_clients: 0,
             freeze_clients: 0,
             coalesce_clients: 0,

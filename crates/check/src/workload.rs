@@ -103,6 +103,43 @@ pub fn plan_ops(seed: u64, clients: usize, ops_per_client: usize) -> Vec<Vec<Mod
         .collect()
 }
 
+/// Plan the subtree-adversary clients: a schedule biased to race whole-
+/// subtree operations against each other on one schema — cascading
+/// `DropSchema` (a single range scan over the subtree's tree-key range)
+/// vs. recreate-and-deep-create vs. range-scan listings — so the explorer
+/// interleaves a drop's commit point with creates that resolved the old
+/// schema's id and with listings mid-cascade. The checker's by-identity
+/// drop semantics and the structural invariants (tree ↔ entity 1:1, no
+/// orphan at any prefix, one asset per path) must hold at every
+/// interleaving.
+pub fn plan_subtree_ops(seed: u64, clients: usize, ops_per_client: usize) -> Vec<Vec<ModelOp>> {
+    let schema = SCHEMAS[1];
+    (0..clients)
+        .map(|c| {
+            let mut rng = Rng::new(seed.wrapping_add(0x77ee * (c as u64 + 1)));
+            (0..ops_per_client)
+                .map(|_| {
+                    let table = TABLES[rng.below(4) as usize];
+                    match rng.below(100) {
+                        // Churn the subtree root itself.
+                        0..=19 => ModelOp::CreateSchema { name: schema.into() },
+                        20..=39 => ModelOp::DropSchema { name: schema.into() },
+                        // Deep creates into the (possibly vanishing) subtree.
+                        40..=69 => ModelOp::CreateTable {
+                            schema: schema.into(),
+                            name: table.into(),
+                            path: path_for(schema, table),
+                        },
+                        // Range-scan listings racing the cascade.
+                        70..=89 => ModelOp::ListTables { schema: schema.into() },
+                        _ => ModelOp::GetTable { schema: schema.into(), name: table.into() },
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
 fn int_schema() -> Schema {
     Schema::new(vec![Field::new("x", DataType::Int)])
 }

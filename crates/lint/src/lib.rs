@@ -211,6 +211,7 @@ pub fn run(root: &Path) -> Result<LintReport, String> {
             rules::locks::check(&ctx, &mut file_diags, &mut raw_edges, &mut raw_acqs);
             rules::hotpath::check(&ctx, &mut file_diags);
             rules::cardinality::check(&ctx, &mut file_diags);
+            rules::keyspace::check(&ctx, &mut file_diags);
             rules::bounded_queue::check(&ctx, &mut file_diags);
             rules::instrument::check(&ctx, known.as_ref(), &mut file_diags);
             let is_crate_root = rel.ends_with("/src/lib.rs");

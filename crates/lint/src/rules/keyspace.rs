@@ -1,0 +1,74 @@
+//! Keyspace rule: storage keys are built by the `model/keys.rs` helpers,
+//! nowhere else. A database access that passes a `T_*` table constant
+//! together with an inline `format!` key re-invents the key layout at
+//! the call site — exactly the drift the tree-encoded keyspace exists to
+//! prevent: a raw `format!("{ms}/{name}")` silently disagrees with the
+//! escape-safe segment encoding, and a key that disagrees with the
+//! encoding corrupts every range scan that touches its table.
+//!
+//! Like the rest of uc-lint this is a textual, expression-local check:
+//! it flags an inline `format!` argument in the same call that names a
+//! `T_*` table constant. It cannot see a key built into a variable two
+//! statements earlier — its job is to stop the easy regression and
+//! force key construction through the audited helpers.
+
+use super::{Diagnostic, FileCtx, RULE_KEYSPACE};
+use crate::lexer::Kind;
+
+pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    let allow = ctx.cfg.list("keyspace", "allow_files");
+    if allow.iter().any(|f| f == ctx.rel_path) {
+        return;
+    }
+    let toks = ctx.tokens;
+    for i in 0..toks.len() {
+        if ctx.scan.test_mask[i] {
+            continue;
+        }
+        let t = &toks[i];
+        if !(t.kind == Kind::Ident
+            && t.text == "format"
+            && i + 1 < toks.len()
+            && toks[i + 1].kind == Kind::Punct
+            && toks[i + 1].text == "!")
+        {
+            continue;
+        }
+        // Walk back to the opening parenthesis of the enclosing call; a
+        // `T_*` table constant among the sibling arguments means this
+        // `format!` is a storage key built at the call site.
+        let mut depth = 0i32;
+        let mut table: Option<String> = None;
+        let mut j = i;
+        while j > 0 {
+            j -= 1;
+            let p = &toks[j];
+            if p.kind == Kind::Punct {
+                match p.text.as_str() {
+                    ")" | "]" | "}" => depth += 1,
+                    "(" | "[" | "{" => {
+                        if depth == 0 {
+                            break;
+                        }
+                        depth -= 1;
+                    }
+                    ";" if depth == 0 => break,
+                    _ => {}
+                }
+            } else if depth == 0 && p.kind == Kind::Ident && p.text.starts_with("T_") {
+                table = Some(p.text.clone());
+            }
+        }
+        if let Some(table) = table {
+            out.push(ctx.diag(
+                t.line,
+                RULE_KEYSPACE,
+                format!(
+                    "inline `format!` key beside table constant `{table}` (storage keys \
+                     are built by model/keys.rs helpers only — a raw key drifts from the \
+                     tree encoding and corrupts range scans)"
+                ),
+            ));
+        }
+    }
+}

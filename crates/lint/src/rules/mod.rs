@@ -10,6 +10,7 @@ pub mod determinism;
 pub mod hotpath;
 pub mod hygiene;
 pub mod instrument;
+pub mod keyspace;
 pub mod locks;
 
 use crate::config::Config;
@@ -31,6 +32,7 @@ pub const RULE_HOTPATH: &str = "hotpath";
 pub const RULE_CARDINALITY: &str = "cardinality";
 pub const RULE_BOUNDED_QUEUE: &str = "bounded-queue";
 pub const RULE_INSTRUMENT: &str = "instrument";
+pub const RULE_KEYSPACE: &str = "keyspace";
 pub const RULE_UNSAFE: &str = "unsafe";
 pub const RULE_PRAGMA: &str = "pragma";
 

@@ -1,0 +1,24 @@
+//! Keyspace fixtures: an inline `format!` key beside a table constant
+//! is a true positive; routing through a helper is clean.
+
+pub const T_ENTITY: &str = "entity";
+
+pub struct Tx;
+
+impl Tx {
+    pub fn get(&self, _table: &str, _key: &str) -> Option<()> {
+        None
+    }
+}
+
+pub fn ent_key(ms: &str, id: &str) -> String {
+    [ms, id].join("/")
+}
+
+pub fn raw_inline_key(tx: &Tx, ms: &str, id: &str) -> Option<()> {
+    tx.get(T_ENTITY, &format!("{ms}/{id}")) // line 19: raw key at the call site
+}
+
+pub fn helper_built_key(tx: &Tx, ms: &str, id: &str) -> Option<()> {
+    tx.get(T_ENTITY, &ent_key(ms, id)) // clean: key built by the helper
+}

@@ -6,6 +6,7 @@ pub mod audit;
 pub mod clock_ok;
 pub mod det;
 pub mod hyg;
+pub mod keyspace;
 pub mod locks;
 
 pub fn touch_raw(ptr: *const u8) -> u8 {

@@ -39,6 +39,7 @@ fn fixture_exercises_every_rule_family() {
         "locks",
         "hotpath",
         "cardinality",
+        "keyspace",
         "bounded-queue",
         "instrument",
         "unsafe",

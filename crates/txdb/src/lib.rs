@@ -31,4 +31,4 @@ pub use changelog::{ChangeKind, ChangeRecord};
 pub use db::{Db, DbConfig};
 pub use error::{TxError, TxResult};
 pub use stats::DbStats;
-pub use txn::{ReadTxn, WriteTxn};
+pub use txn::{ReadTxn, WriteTxn, CHAIN_SEP};

@@ -66,6 +66,57 @@ impl ReadTxn {
             })
             .collect()
     }
+
+    /// All live rows at the chain prefixes of `key` — every prefix ending
+    /// at a [`CHAIN_SEP`] byte, shortest first. For tree-encoded keys
+    /// (every segment terminator is a `CHAIN_SEP`) this fetches the whole
+    /// ancestor chain of a node in one table traversal under one lock
+    /// acquisition, charged as a single scan.
+    pub fn scan_chain(&self, table: &str, key: &str) -> Vec<(String, Bytes)> {
+        self.db.charge(OpClass::List);
+        self.db.stats().record_scan();
+        let guard = self.db.inner.tables.read();
+        let Some(t) = guard.get(table) else {
+            return Vec::new();
+        };
+        chain_prefixes(key)
+            .filter_map(|p| {
+                t.get(p)
+                    .and_then(|chain| chain.visible_at(self.snapshot))
+                    .and_then(|v| v.value.clone())
+                    .map(|val| (p.to_string(), val))
+            })
+            .collect()
+    }
+
+    /// Greatest live key in `[start, end)` with its value — an index seek
+    /// to the predecessor of `end`, charged as a single read. Range scans
+    /// plus this primitive are what the tree keyspace's ancestor checks
+    /// (path overlap, nearest-covering-path resolution) run on.
+    pub fn pred_in_range(&self, table: &str, start: &str, end: &str) -> Option<(String, Bytes)> {
+        self.db.charge(OpClass::Read);
+        self.db.stats().record_read();
+        let guard = self.db.inner.tables.read();
+        let t = guard.get(table)?;
+        for (k, chain) in t.range(start.to_string()..end.to_string()).rev() {
+            if let Some(v) = chain.visible_at(self.snapshot).and_then(|v| v.value.clone()) {
+                return Some((k.clone(), v));
+            }
+        }
+        None
+    }
+}
+
+/// Chain-prefix separator byte recognized by [`ReadTxn::scan_chain`] /
+/// [`WriteTxn::scan_chain`]: the tree-key segment terminator.
+pub const CHAIN_SEP: char = '\u{1}';
+
+/// Every prefix of `key` ending at a [`CHAIN_SEP`] byte, shortest first.
+fn chain_prefixes(key: &str) -> impl Iterator<Item = &str> {
+    key.bytes()
+        .enumerate()
+        .filter(|(_, b)| *b == CHAIN_SEP as u8)
+        .map(move |(i, _)| &key[..=i])
 }
 
 /// Serializable read-write transaction.
@@ -77,6 +128,10 @@ pub struct WriteTxn {
     reads: HashSet<(String, String)>,
     /// Prefix scans performed (table, prefix).
     scans: Vec<(String, String)>,
+    /// Predecessor seeks performed: (table, effective lower bound, end).
+    /// The lower bound is the found key when the seek hit (changes below
+    /// it cannot alter the result) or the seek's `start` when it missed.
+    preds: Vec<(String, String, String)>,
     /// Buffered writes; `None` = delete.
     writes: BTreeMap<(String, String), Option<Bytes>>,
 }
@@ -89,6 +144,7 @@ impl WriteTxn {
             finished: false,
             reads: HashSet::new(),
             scans: Vec::new(),
+            preds: Vec::new(),
             writes: BTreeMap::new(),
         }
     }
@@ -141,6 +197,85 @@ impl WriteTxn {
             .into_iter()
             .filter_map(|(k, v)| v.map(|val| (k, val)))
             .collect()
+    }
+
+    /// All live rows at the chain prefixes of `key` (see
+    /// [`ReadTxn::scan_chain`]), merging buffered writes. Every prefix —
+    /// present *and* absent — lands in the validated read set, so a
+    /// concurrent create or drop anywhere on the ancestor chain conflicts
+    /// at commit. Charged as a single scan.
+    pub fn scan_chain(&mut self, table: &str, key: &str) -> Vec<(String, Bytes)> {
+        self.db.charge(OpClass::List);
+        self.db.stats().record_scan();
+        let mut out = Vec::new();
+        let guard = self.db.inner.tables.read();
+        let t = guard.get(table);
+        for p in chain_prefixes(key) {
+            let wkey = (table.to_string(), p.to_string());
+            if let Some(buffered) = self.writes.get(&wkey) {
+                if let Some(v) = buffered {
+                    out.push((p.to_string(), v.clone()));
+                }
+                continue;
+            }
+            self.reads.insert(wkey);
+            if let Some(v) = t
+                .and_then(|t| t.get(p))
+                .and_then(|chain| chain.visible_at(self.snapshot))
+                .and_then(|v| v.value.clone())
+            {
+                out.push((p.to_string(), v));
+            }
+        }
+        out
+    }
+
+    /// Greatest live key in `[start, end)` (see [`ReadTxn::pred_in_range`])
+    /// merging buffered writes. The seek is recorded for commit-time
+    /// validation: any committed change in `[found-or-start, end)` after
+    /// the snapshot — which is exactly the set of changes that could move
+    /// the result — conflicts.
+    pub fn pred_in_range(&mut self, table: &str, start: &str, end: &str) -> Option<(String, Bytes)> {
+        self.db.charge(OpClass::Read);
+        self.db.stats().record_read();
+        let mut best: Option<(String, Bytes)> = None;
+        {
+            let guard = self.db.inner.tables.read();
+            if let Some(t) = guard.get(table) {
+                for (k, chain) in t.range(start.to_string()..end.to_string()).rev() {
+                    match self.writes.get(&(table.to_string(), k.clone())) {
+                        Some(None) => continue, // buffered delete masks the row
+                        Some(Some(v)) => {
+                            best = Some((k.clone(), v.clone()));
+                            break;
+                        }
+                        None => {
+                            if let Some(v) =
+                                chain.visible_at(self.snapshot).and_then(|v| v.value.clone())
+                            {
+                                best = Some((k.clone(), v));
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // A buffered insert at a key the database has never seen can beat
+        // the database's best.
+        let lo = (table.to_string(), start.to_string());
+        let hi = (table.to_string(), end.to_string());
+        for ((_, k), v) in self.writes.range(lo..hi).rev() {
+            if let Some(v) = v {
+                if best.as_ref().map(|(bk, _)| k > bk).unwrap_or(true) {
+                    best = Some((k.clone(), v.clone()));
+                }
+                break;
+            }
+        }
+        let effective_lo = best.as_ref().map(|(k, _)| k.clone()).unwrap_or_else(|| start.to_string());
+        self.preds.push((table.to_string(), effective_lo, end.to_string()));
+        best
     }
 
     /// Buffer an upsert.
@@ -264,6 +399,30 @@ impl WriteTxn {
                         return Err(TxError::Conflict {
                             detail: format!(
                                 "scan {table}/{prefix}* observed a change after snapshot {}",
+                                self.snapshot
+                            ),
+                        });
+                    }
+                }
+            }
+            // Predecessor seeks: a commit into [found-or-start, end) after
+            // the snapshot could have produced a different predecessor
+            // (a new key above the found one, or a change/removal of the
+            // found key itself), so it invalidates the seek.
+            for (table, lo, end) in &self.preds {
+                if let Some(t) = tables.get(table) {
+                    let moved = t
+                        .range(lo.clone()..end.clone())
+                        .any(|(_, chain)| chain.latest_csn() > self.snapshot);
+                    if moved {
+                        inner.stats.record_conflict();
+                        uc_obs::span_event(
+                            "txdb.conflict",
+                            &format!("{table} pred snapshot={}", self.snapshot),
+                        );
+                        return Err(TxError::Conflict {
+                            detail: format!(
+                                "pred seek {table} range observed a change after snapshot {}",
                                 self.snapshot
                             ),
                         });
@@ -489,6 +648,118 @@ mod tests {
         let changes = db.changelog().changes_since(0);
         assert_eq!(changes.len(), 2);
         assert!(changes.iter().all(|c| c.csn == csn));
+    }
+
+    #[test]
+    fn scan_chain_fetches_every_terminator_prefix() {
+        let db = Db::in_memory();
+        let (a, ab, abc) = ("ms\u{1}", "ms\u{1}c\u{1}", "ms\u{1}c\u{1}s\u{1}");
+        put1(&db, "t", a, "A");
+        put1(&db, "t", abc, "C");
+        put1(&db, "t", "ms\u{1}other\u{1}", "X");
+        let rt = db.begin_read();
+        let rows = rt.scan_chain("t", abc);
+        let keys: Vec<_> = rows.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec![a, abc], "absent middle prefix {ab} skipped, shortest first");
+        // charged as exactly one scan, zero point reads
+        let scans0 = db.stats().scans();
+        let reads0 = db.stats().reads();
+        let _ = db.begin_read().scan_chain("t", abc);
+        assert_eq!(db.stats().scans() - scans0, 1);
+        assert_eq!(db.stats().reads() - reads0, 0);
+    }
+
+    #[test]
+    fn write_scan_chain_registers_absent_prefixes_for_validation() {
+        let db = Db::in_memory();
+        put1(&db, "t", "ms\u{1}c\u{1}s\u{1}", "leaf");
+        let mut tx = db.begin_write();
+        let rows = tx.scan_chain("t", "ms\u{1}c\u{1}s\u{1}");
+        assert_eq!(rows.len(), 1);
+        tx.put("t", "derived", Bytes::from_static(b"d"));
+        // A concurrent create of the *absent* ancestor must invalidate the
+        // chain read (phantom on the ancestor chain).
+        put1(&db, "t", "ms\u{1}c\u{1}", "born");
+        assert!(matches!(tx.commit(), Err(TxError::Conflict { .. })));
+    }
+
+    #[test]
+    fn scan_chain_merges_buffered_writes() {
+        let db = Db::in_memory();
+        put1(&db, "t", "ms\u{1}", "A");
+        put1(&db, "t", "ms\u{1}c\u{1}", "B");
+        let mut tx = db.begin_write();
+        tx.delete("t", "ms\u{1}c\u{1}");
+        tx.put("t", "ms\u{1}c2\u{1}", Bytes::from_static(b"mine"));
+        let rows = tx.scan_chain("t", "ms\u{1}c\u{1}s\u{1}");
+        let keys: Vec<_> = rows.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["ms\u{1}"], "buffered delete masks the row");
+        let rows = tx.scan_chain("t", "ms\u{1}c2\u{1}x\u{1}");
+        let keys: Vec<_> = rows.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["ms\u{1}", "ms\u{1}c2\u{1}"], "buffered put visible");
+    }
+
+    #[test]
+    fn pred_in_range_finds_greatest_visible_key() {
+        let db = Db::in_memory();
+        put1(&db, "t", "p/a", "1");
+        put1(&db, "t", "p/m", "2");
+        put1(&db, "t", "p/z", "3");
+        let rt = db.begin_read();
+        let (k, v) = rt.pred_in_range("t", "p/", "p/x").unwrap();
+        assert_eq!((k.as_str(), &v[..]), ("p/m", &b"2"[..]));
+        // end is exclusive
+        let (k, _) = rt.pred_in_range("t", "p/", "p/m").unwrap();
+        assert_eq!(k, "p/a");
+        assert!(rt.pred_in_range("t", "p/", "p/a").is_none());
+    }
+
+    #[test]
+    fn pred_in_range_merges_buffered_writes() {
+        let db = Db::in_memory();
+        put1(&db, "t", "p/m", "db");
+        let mut tx = db.begin_write();
+        tx.delete("t", "p/m");
+        assert!(tx.pred_in_range("t", "p/", "p/x").is_none(), "buffered delete masks");
+        tx.put("t", "p/q", Bytes::from_static(b"mine"));
+        let (k, v) = tx.pred_in_range("t", "p/", "p/x").unwrap();
+        assert_eq!((k.as_str(), &v[..]), ("p/q", &b"mine"[..]));
+    }
+
+    #[test]
+    fn pred_seek_validates_against_concurrent_inserts_above_found() {
+        let db = Db::in_memory();
+        put1(&db, "t", "p/a", "1");
+        let mut tx = db.begin_write();
+        let (k, _) = tx.pred_in_range("t", "p/", "p/z").unwrap();
+        assert_eq!(k, "p/a");
+        tx.put("t", "derived", Bytes::from_static(b"d"));
+        // A new key between the found one and `end` changes the answer.
+        put1(&db, "t", "p/m", "2");
+        assert!(matches!(tx.commit(), Err(TxError::Conflict { .. })));
+    }
+
+    #[test]
+    fn pred_seek_ignores_concurrent_inserts_below_found() {
+        let db = Db::in_memory();
+        put1(&db, "t", "p/m", "1");
+        let mut tx = db.begin_write();
+        let (k, _) = tx.pred_in_range("t", "p/", "p/z").unwrap();
+        assert_eq!(k, "p/m");
+        tx.put("t", "derived", Bytes::from_static(b"d"));
+        // Below the found key: cannot change the predecessor, no conflict.
+        put1(&db, "t", "p/a", "2");
+        tx.commit().unwrap();
+    }
+
+    #[test]
+    fn pred_seek_miss_validates_whole_range() {
+        let db = Db::in_memory();
+        let mut tx = db.begin_write();
+        assert!(tx.pred_in_range("t", "p/", "p/z").is_none());
+        tx.put("t", "derived", Bytes::from_static(b"d"));
+        put1(&db, "t", "p/a", "1");
+        assert!(matches!(tx.commit(), Err(TxError::Conflict { .. })));
     }
 
     #[test]

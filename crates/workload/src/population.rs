@@ -119,6 +119,59 @@ impl PopulationParams {
     pub fn small(seed: u64) -> Self {
         PopulationParams { seed, num_metastores: 20, ..Default::default() }
     }
+
+    /// The scaling ceiling: one metastore carrying 10⁶–10⁷ assets — the
+    /// tail tenant the tree keyspace (DESIGN.md §11) exists for. Container
+    /// counts are re-centred (more catalogs, more schemas, more tables per
+    /// schema) while the composition, type, and format mixes stay at the
+    /// paper's aggregates; the catalog-count sigma is tightened because a
+    /// single metastore gets exactly one draw, and a heavy tail there
+    /// would make the *total* swing an order of magnitude instead of the
+    /// per-catalog counts. Populations this size should be consumed
+    /// through [`visit_population`], not [`Population::generate`] — the
+    /// materialized spec tree alone runs to hundreds of MB.
+    pub fn huge(seed: u64) -> Self {
+        PopulationParams {
+            seed,
+            num_metastores: 1,
+            catalogs_per_ms: (7.5, 0.25),
+            schemas_per_catalog: (2.9, 1.0),
+            tables_per_schema: (2.6, 1.2),
+            ..Default::default()
+        }
+    }
+}
+
+/// Walk a population in generation order without materializing it: the
+/// visitor receives `(metastore_idx, catalog_idx, schema)` one schema at a
+/// time, and nothing is retained between calls. This is the only way to
+/// consume [`PopulationParams::huge`]-scale populations — bulk loaders
+/// batch what they need per chunk and the peak footprint stays one
+/// schema's asset list. The draw order is identical to
+/// [`Population::generate`], so the two yield byte-identical specs for the
+/// same params.
+pub fn visit_population(
+    params: &PopulationParams,
+    mut visit: impl FnMut(usize, usize, SchemaSpec),
+) {
+    let mut rng = rng_for(params.seed, 100);
+    let foreign_zipf = Zipf::new(FOREIGN_TYPES.len(), params.foreign_type_zipf);
+    for m in 0..params.num_metastores {
+        let _ = m;
+        let n_catalogs =
+            lognormal_count(&mut rng, params.catalogs_per_ms.0, params.catalogs_per_ms.1, 1);
+        for c in 0..n_catalogs {
+            let n_schemas = lognormal_count(
+                &mut rng,
+                params.schemas_per_catalog.0,
+                params.schemas_per_catalog.1,
+                1,
+            );
+            for s in 0..n_schemas {
+                visit(m, c, generate_schema(params, &mut rng, &foreign_zipf, s));
+            }
+        }
+    }
 }
 
 /// A generated population.
@@ -129,28 +182,18 @@ pub struct Population {
 
 impl Population {
     pub fn generate(params: &PopulationParams) -> Population {
-        let mut rng = rng_for(params.seed, 100);
-        let foreign_zipf = Zipf::new(FOREIGN_TYPES.len(), params.foreign_type_zipf);
-        let mut metastores = Vec::with_capacity(params.num_metastores);
-        for m in 0..params.num_metastores {
-            let n_catalogs =
-                lognormal_count(&mut rng, params.catalogs_per_ms.0, params.catalogs_per_ms.1, 1);
-            let mut catalogs = Vec::with_capacity(n_catalogs);
-            for c in 0..n_catalogs {
-                let n_schemas = lognormal_count(
-                    &mut rng,
-                    params.schemas_per_catalog.0,
-                    params.schemas_per_catalog.1,
-                    1,
-                );
-                let mut schemas = Vec::with_capacity(n_schemas);
-                for s in 0..n_schemas {
-                    schemas.push(generate_schema(params, &mut rng, &foreign_zipf, s));
-                }
-                catalogs.push(CatalogSpec { name: format!("catalog_{c}"), schemas });
+        let mut metastores: Vec<MetastoreSpec> = Vec::with_capacity(params.num_metastores);
+        visit_population(params, |m, c, schema| {
+            if metastores.len() <= m {
+                metastores
+                    .push(MetastoreSpec { name: format!("metastore_{m}"), catalogs: Vec::new() });
             }
-            metastores.push(MetastoreSpec { name: format!("metastore_{m}"), catalogs });
-        }
+            let catalogs = &mut metastores[m].catalogs;
+            if catalogs.len() <= c {
+                catalogs.push(CatalogSpec { name: format!("catalog_{c}"), schemas: Vec::new() });
+            }
+            catalogs[c].schemas.push(schema);
+        });
         Population { metastores }
     }
 
@@ -559,6 +602,47 @@ mod tests {
         // Fig 4: 90 % below ~10 MB, essentially all below 100 MB
         assert!(p90 < 10.0 * 1024.0 * 1024.0, "p90 working set {p90}");
         assert!(p999 < 100.0 * 1024.0 * 1024.0, "p99.9 working set {p999}");
+    }
+
+    #[test]
+    fn streaming_walk_matches_materialized_generation() {
+        let params = PopulationParams::small(11);
+        let pop = Population::generate(&params);
+        let mut streamed: Vec<(usize, usize, String, usize)> = Vec::new();
+        visit_population(&params, |m, c, schema| {
+            streamed.push((m, c, schema.name.clone(), schema.assets.len()));
+        });
+        let materialized: Vec<(usize, usize, String, usize)> = pop
+            .metastores
+            .iter()
+            .enumerate()
+            .flat_map(|(m, ms)| {
+                ms.catalogs.iter().enumerate().flat_map(move |(c, cat)| {
+                    cat.schemas.iter().map(move |s| (m, c, s.name.clone(), s.assets.len()))
+                })
+            })
+            .collect();
+        assert_eq!(streamed, materialized);
+    }
+
+    #[test]
+    fn huge_preset_reaches_the_million_asset_ceiling() {
+        // Census by streaming: the huge preset must never require
+        // materializing its spec tree to be counted.
+        let mut assets = 0usize;
+        let mut schemas = 0usize;
+        let mut peak_schema = 0usize;
+        visit_population(&PopulationParams::huge(3), |_, _, schema| {
+            schemas += 1;
+            assets += schema.assets.len();
+            peak_schema = peak_schema.max(schema.assets.len());
+        });
+        assert!(
+            (1_000_000..=10_000_000).contains(&assets),
+            "huge preset must land in the 10^6–10^7 band, got {assets}"
+        );
+        assert!(schemas > 10_000, "expected tens of thousands of schemas, got {schemas}");
+        assert!(peak_schema > 1_000, "heavy tail should produce 10^3+-asset schemas, got {peak_schema}");
     }
 
     #[test]

@@ -17,7 +17,7 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use uc_catalog::cache::CacheConfig;
-use uc_catalog::service::crud::TableSpec;
+use uc_catalog::service::crud::{BulkSchemaSpec, TableSpec};
 use uc_catalog::service::{Context, UcConfig, UnityCatalog};
 use uc_catalog::sharding::ShardRouter;
 use uc_catalog::types::FullName;
@@ -433,6 +433,89 @@ fn cache_matches_database_under_node_churn_and_cache_faults() {
             assert!(!p1.overlaps(p2), "{p1} overlaps {p2}");
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Fault mode 6: bulk-loaded 10⁵-asset namespace under a fault storm
+// ---------------------------------------------------------------------
+
+/// Bulk-import a six-figure namespace through the chunked write path
+/// while commits randomly conflict, the backend flickers, and the
+/// write-through cache drops updates — then verify the namespace came
+/// out exactly right: every acknowledged row durable, a mid-storm
+/// subtree drop cascades exactly once, and the cache agrees with the
+/// database after one reconcile pass.
+#[test]
+fn bulk_namespace_survives_fault_storm() {
+    let seed = chaos_seed(0xB1_6B16);
+    let w = chaos_world(seed);
+    let ctx = Context::user(ADMIN);
+    w.uc.create_catalog(&ctx, &w.ms, "main").unwrap();
+
+    // 10⁵ assets in release; debug builds shrink the population so plain
+    // `cargo test` stays fast. `UC_CHAOS_ASSETS` overrides both.
+    let assets: usize = std::env::var("UC_CHAOS_ASSETS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if cfg!(debug_assertions) { 20_000 } else { 100_000 });
+    const TABLES_PER_SCHEMA: usize = 200;
+    let n_schemas = (assets / (TABLES_PER_SCHEMA + 1)).max(2);
+    let specs: Vec<BulkSchemaSpec> = (0..n_schemas)
+        .map(|s| BulkSchemaSpec {
+            name: format!("s{s:05}"),
+            tables: (0..TABLES_PER_SCHEMA).map(|t| format!("t{t}")).collect(),
+        })
+        .collect();
+
+    // The storm: serialization conflicts and transient outages hit the
+    // chunked commits (each absorbed by the bounded write retry), while
+    // the write-through cache drops a third of its updates.
+    w.plan.arm(points::TXDB_COMMIT_CONFLICT, FaultMode::Probability(0.05));
+    w.plan.arm(points::TXDB_COMMIT_UNAVAILABLE, FaultMode::Probability(0.02));
+    w.plan.arm(points::CATALOG_CACHE_SKIP, FaultMode::Probability(0.3));
+
+    let created = w
+        .uc
+        .bulk_create_tables(&ctx, &w.ms, "main", &specs, &int_schema(), 2 * TABLES_PER_SCHEMA)
+        .unwrap();
+    assert_eq!(created, n_schemas * (TABLES_PER_SCHEMA + 1), "every row acknowledged");
+
+    // Mid-storm subtree drop: one schema and its whole table set go away
+    // in a single cascading write, retried through whatever it hits.
+    let victim = FullName::parse("main.s00001").unwrap();
+    let dropped = w.uc.drop_securable(&ctx, &w.ms, &victim, "schema").unwrap();
+    assert_eq!(dropped, TABLES_PER_SCHEMA + 1, "cascade covers the schema and its tables");
+
+    assert!(w.plan.injected(points::TXDB_COMMIT_CONFLICT) > 0, "conflict storm must fire");
+    assert!(w.plan.injected(points::CATALOG_CACHE_SKIP) > 0, "cache-skip fault must fire");
+    w.plan.disarm(points::TXDB_COMMIT_CONFLICT);
+    w.plan.disarm(points::TXDB_COMMIT_UNAVAILABLE);
+    w.plan.disarm(points::CATALOG_CACHE_SKIP);
+
+    // Ground truth from a cache-disabled node: exactly the surviving
+    // schemas remain, and nothing under the dropped one resolves.
+    let truth = truth_node(&w);
+    let cat = FullName::parse("main").unwrap();
+    let db_schemas = truth.list_children(&ctx, &w.ms, &cat, None).unwrap();
+    assert_eq!(db_schemas.len(), n_schemas - 1, "one schema dropped, the rest durable");
+    assert!(truth.get_securable(&ctx, &w.ms, &victim, "schema").is_err());
+    assert!(truth.get_table(&ctx, &w.ms, "main.s00001.t0").is_err());
+
+    // Cache ≡ DB after one reconcile, sampled across the namespace.
+    w.uc.reconcile_metastore(&w.ms);
+    for s in (0..n_schemas).step_by((n_schemas / 7).max(1)) {
+        if s == 1 {
+            continue; // the dropped schema
+        }
+        let parent = FullName::parse(&format!("main.s{s:05}")).unwrap();
+        let cached = w.uc.list_children(&ctx, &w.ms, &parent, None).unwrap();
+        assert_eq!(cached.len(), TABLES_PER_SCHEMA, "schema s{s:05} table count");
+        let name = format!("main.s{s:05}.t{}", s % TABLES_PER_SCHEMA);
+        let via_cache = w.uc.get_table(&ctx, &w.ms, &name).unwrap();
+        let via_db = truth.get_table(&ctx, &w.ms, &name).unwrap();
+        assert_eq!(via_cache.id, via_db.id, "cache and db disagree on {name}");
+    }
+    assert!(w.uc.get_table(&ctx, &w.ms, "main.s00001.t0").is_err());
 }
 
 // ---------------------------------------------------------------------

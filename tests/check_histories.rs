@@ -287,3 +287,72 @@ fn regression_seed_734003_pct_runs_clean() {
     let out = run_one(&RunConfig::new(734_003, SchedMode::Pct { depth: 3 }));
     assert!(out.violations.is_empty(), "{:#?}", out.violations);
 }
+
+// ---------------------------------------------------------------------
+// 9. Subtree adversary: cascades vs. deep creates vs. range listings
+// ---------------------------------------------------------------------
+
+/// ≥100 seeded runs of the subtree-adversary schedule: clients racing
+/// cascading `DropSchema` (one range scan over the subtree's tree-key
+/// range) against recreate-and-deep-create and range-scan listings on the
+/// same schema. Every run must satisfy the snapshot checker *and* the
+/// structural sweep `run_one` appends — tree rows 1:1 with active
+/// entities, every tree key's ancestor prefixes present (no orphan at any
+/// prefix), and the path index prefix-free (one asset per path).
+#[test]
+fn subtree_adversary_hundred_seeded_runs_hold_invariants() {
+    let base = sched_seed(0);
+    let mut runs = 0usize;
+    let mut cascades = 0usize;
+    for offset in 0..50u64 {
+        for mode in MODES {
+            let seed = base.wrapping_add(offset);
+            let mut cfg = RunConfig::new(seed, mode);
+            cfg.clients = 2;
+            cfg.subtree_clients = 2;
+            cfg.ops_per_client = 8;
+            let out = run_one(&cfg);
+            assert!(
+                out.violations.is_empty(),
+                "seed {seed} mode {mode:?} subtree adversary violated: {:#?}\nhistory:\n{}",
+                out.violations,
+                out.history.canonical_text()
+            );
+            assert_eq!(
+                out.history.ops.len(),
+                (cfg.clients + cfg.subtree_clients) * cfg.ops_per_client,
+                "subtree clients must feed the history like any client"
+            );
+            // Count multi-entity cascades (schema + at least one table died
+            // in one drop) to prove the schedule has teeth.
+            cascades += out
+                .history
+                .ops
+                .iter()
+                .filter(|o| {
+                    o.resp
+                        .strip_prefix("ok:dropped:")
+                        .and_then(|n| n.parse::<usize>().ok())
+                        .is_some_and(|n| n >= 2)
+                })
+                .count();
+            runs += 1;
+        }
+    }
+    assert!(runs >= 100);
+    assert!(
+        cascades > 0,
+        "the adversary never landed a multi-entity cascade across {runs} runs — the schedule is toothless"
+    );
+}
+
+/// The adversarial schedule replays byte-identically from its seed, like
+/// every other explorer configuration.
+#[test]
+fn subtree_adversary_runs_replay_byte_identical() {
+    let mut cfg = RunConfig::new(24_601, SchedMode::Pct { depth: 3 });
+    cfg.subtree_clients = 3;
+    let a = run_one(&cfg);
+    let b = run_one(&cfg);
+    assert_eq!(a.fingerprint(), b.fingerprint());
+}

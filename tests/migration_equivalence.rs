@@ -1,0 +1,380 @@
+//! Migration equivalence: a metastore born on the legacy (pre-tree) key
+//! layout, migrated by the online `rebuild_tree_index` build, must be
+//! indistinguishable from one born tree-ready — byte-identical listings
+//! and name resolutions across the migration boundary, an exact tree
+//! index even when writers race the build (dual-write), and a
+//! deterministic audit trail under a fixed fault-schedule seed where the
+//! migration contributes exactly its own records and perturbs nothing
+//! else.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use uc_catalog::ids::Uid;
+use uc_catalog::model::keys::{self, T_ENTITY, T_TREE, T_TREEMETA};
+use uc_catalog::service::crud::TableSpec;
+use uc_catalog::service::{Context, UcConfig, UnityCatalog};
+use uc_catalog::types::FullName;
+use uc_cloudstore::faults::{points, FaultMode, FaultPlan};
+use uc_cloudstore::{Clock, LatencyModel, ObjectStore, StsService};
+use uc_delta::value::{DataType, Field, Schema};
+use uc_txdb::{Db, DbConfig};
+
+const ADMIN: &str = "admin";
+
+struct LegacyWorld {
+    db: Db,
+    uc: Arc<UnityCatalog>,
+    ms: Uid,
+}
+
+/// A world whose metastore was created on the legacy layout: name-index
+/// rows only, no tree rows, no build marker. The manual clock freezes
+/// audit timestamps so canonical texts are replay-comparable.
+fn legacy_world(config: UcConfig) -> LegacyWorld {
+    let store = ObjectStore::new(
+        StsService::new(Clock::manual(0)),
+        LatencyModel::zero(),
+    );
+    let db = Db::new(DbConfig { faults: config.faults.clone(), ..Default::default() });
+    let uc = UnityCatalog::new(db.clone(), store.clone(), config, "node-0");
+    let ms = uc.create_metastore(ADMIN, "legacy", "us-west-2").unwrap();
+    let ctx = Context::user(ADMIN);
+    let root = store.create_bucket("lake");
+    uc.create_storage_credential(&ctx, &ms, "lake_cred", &root).unwrap();
+    uc.set_metastore_root(&ctx, &ms, "s3://lake/managed").unwrap();
+    LegacyWorld { db, uc, ms }
+}
+
+fn legacy_config() -> UcConfig {
+    UcConfig { start_legacy_layout: true, ..Default::default() }
+}
+
+fn int_schema() -> Schema {
+    Schema::new(vec![Field::new("x", DataType::Int)])
+}
+
+/// Seed the namespace with sibling-prefix traps at both levels so the
+/// equivalence check exercises exactly the names a broken key scheme
+/// would conflate.
+fn populate(w: &LegacyWorld, ctx: &Context) {
+    for cat in ["main", "mainline"] {
+        w.uc.create_catalog(ctx, &w.ms, cat).unwrap();
+    }
+    for sch in ["s", "s2"] {
+        w.uc.create_schema(ctx, &w.ms, "main", sch).unwrap();
+    }
+    w.uc.create_schema(ctx, &w.ms, "mainline", "s").unwrap();
+    for t in ["t1", "t10", "ware", "warehouse"] {
+        w.uc
+            .create_table(ctx, &w.ms, TableSpec::managed(&format!("main.s.{t}"), int_schema()).unwrap())
+            .unwrap();
+    }
+    w.uc
+        .create_table(ctx, &w.ms, TableSpec::managed("main.s2.t1", int_schema()).unwrap())
+        .unwrap();
+    w.uc
+        .create_table(ctx, &w.ms, TableSpec::managed("mainline.s.other", int_schema()).unwrap())
+        .unwrap();
+}
+
+/// Render the whole visible namespace — every catalog, schema, child
+/// asset, and each asset's resolved chain identity — into one canonical
+/// string. Taken before and after migration, the two strings must be
+/// byte-identical: same entities, same ids, same order.
+fn namespace_snapshot(uc: &UnityCatalog, ctx: &Context, ms: &Uid) -> String {
+    let mut out = String::new();
+    let mut catalogs = uc.list_catalogs(ctx, ms).unwrap();
+    catalogs.sort_by(|a, b| a.name.cmp(&b.name));
+    for cat in &catalogs {
+        writeln!(out, "catalog|{}|{}", cat.name, cat.id).unwrap();
+        let cat_name = FullName::parse(&cat.name).unwrap();
+        let mut schemas = uc.list_children(ctx, ms, &cat_name, Some("schema")).unwrap();
+        schemas.sort_by(|a, b| a.name.cmp(&b.name));
+        for sch in &schemas {
+            writeln!(out, "schema|{}.{}|{}", cat.name, sch.name, sch.id).unwrap();
+            let sch_name = FullName::parse(&format!("{}.{}", cat.name, sch.name)).unwrap();
+            let mut children = uc.list_children(ctx, ms, &sch_name, None).unwrap();
+            children.sort_by(|a, b| (a.kind.name_group(), &a.name).cmp(&(b.kind.name_group(), &b.name)));
+            for child in &children {
+                let full = format!("{}.{}.{}", cat.name, sch.name, child.name);
+                writeln!(out, "{}|{}|{}", child.kind.name_group(), full, child.id).unwrap();
+                // Resolve the qualified name back through the service: the
+                // resolution must agree with the listing, before and after.
+                let resolved = uc
+                    .get_securable(ctx, ms, &FullName::parse(&full).unwrap(), child.kind.name_group())
+                    .unwrap();
+                writeln!(out, "resolve|{}|{}", full, resolved.id).unwrap();
+            }
+        }
+    }
+    out
+}
+
+/// The tree index must mirror the active entity set exactly: one tree row
+/// per active non-metastore entity (plus the metastore's own readiness
+/// row), each tree value byte-identical to its entity row.
+fn assert_tree_index_exact(db: &Db, ms: &Uid) {
+    let rt = db.begin_read();
+    let tree_rows = rt.scan_prefix(T_TREE, &keys::tree_ms_prefix(ms));
+    let ent_rows = rt.scan_prefix(T_ENTITY, &keys::ent_ms_prefix(ms));
+
+    let mut active_by_id = std::collections::BTreeMap::new();
+    for (_, raw) in &ent_rows {
+        let ent = uc_catalog::model::entity::Entity::decode(raw).unwrap();
+        if ent.is_active() {
+            active_by_id.insert(ent.id.clone(), raw.clone());
+        }
+    }
+    assert_eq!(
+        tree_rows.len(),
+        active_by_id.len(),
+        "tree rows must be 1:1 with active entities (incl. the metastore readiness row)"
+    );
+    for (tk, raw) in &tree_rows {
+        let ent = uc_catalog::model::entity::Entity::decode(raw).unwrap();
+        let ent_raw = active_by_id
+            .get(&ent.id)
+            .unwrap_or_else(|| panic!("tree row {tk:?} names inactive/unknown entity {}", ent.id));
+        assert_eq!(raw, ent_raw, "tree value must be byte-identical to the entity row");
+    }
+}
+
+fn tree_ready(db: &Db, ms: &Uid) -> bool {
+    db.begin_read().get(T_TREE, &keys::tree_ms_prefix(ms)).is_some()
+}
+
+// ---------------------------------------------------------------------
+// 1. Listings and resolutions are byte-identical across the boundary
+// ---------------------------------------------------------------------
+
+#[test]
+fn rebuild_preserves_listings_and_resolutions() {
+    let w = legacy_world(legacy_config());
+    let ctx = Context::user(ADMIN);
+    populate(&w, &ctx);
+
+    assert!(!tree_ready(&w.db, &w.ms), "legacy world must start without a tree index");
+    let before = namespace_snapshot(&w.uc, &ctx, &w.ms);
+
+    // 2 catalogs + 3 schemas + 6 tables + 1 credential = 12 backfilled
+    // rows (the metastore's own readiness row is written separately).
+    let written = w.uc.rebuild_tree_index(&w.ms).unwrap();
+    assert_eq!(written, 12, "every active non-metastore entity gets a tree row");
+    assert!(tree_ready(&w.db, &w.ms), "readiness row must flip readers to the tree path");
+
+    let after = namespace_snapshot(&w.uc, &ctx, &w.ms);
+    assert_eq!(before, after, "migration must not change a single listed or resolved byte");
+    assert_tree_index_exact(&w.db, &w.ms);
+
+    // A second rebuild is idempotent: same rows, same namespace.
+    let again = w.uc.rebuild_tree_index(&w.ms).unwrap();
+    assert_eq!(again, 12);
+    assert_eq!(namespace_snapshot(&w.uc, &ctx, &w.ms), before);
+    assert_tree_index_exact(&w.db, &w.ms);
+}
+
+/// A cache-disabled node over the migrated database must serve the same
+/// snapshot from pure range scans as the caching node — and must actually
+/// use the tree: one scan per uncached leaf resolution.
+#[test]
+fn migrated_reads_use_the_tree_and_match_ground_truth() {
+    let w = legacy_world(legacy_config());
+    let ctx = Context::user(ADMIN);
+    populate(&w, &ctx);
+    let before = namespace_snapshot(&w.uc, &ctx, &w.ms);
+    w.uc.rebuild_tree_index(&w.ms).unwrap();
+
+    let truth = UnityCatalog::new(
+        w.db.clone(),
+        w.uc.object_store().clone(),
+        UcConfig { cache: uc_catalog::cache::CacheConfig::disabled(), ..Default::default() },
+        "node-truth",
+    );
+    assert_eq!(
+        namespace_snapshot(&truth, &ctx, &w.ms),
+        before,
+        "cache-disabled node over the migrated db must agree with the pre-migration snapshot"
+    );
+    // The migrated layout serves an uncached four-level resolution as a
+    // single chain scan.
+    let scans0 = w.db.stats().scans();
+    truth.get_table(&ctx, &w.ms, "main.s.warehouse").unwrap();
+    assert_eq!(w.db.stats().scans() - scans0, 1, "resolution must ride the tree chain scan");
+}
+
+// ---------------------------------------------------------------------
+// 2. Writers racing the build: dual-write keeps the index exact
+// ---------------------------------------------------------------------
+
+#[test]
+fn dual_writes_during_build_keep_the_index_exact() {
+    let w = legacy_world(legacy_config());
+    let ctx = Context::user(ADMIN);
+    populate(&w, &ctx);
+
+    // Freeze the world mid-build: the marker is up but the backfill has
+    // not run. Every writer from here on dual-writes tree rows.
+    let mut tx = w.db.begin_write();
+    tx.put(T_TREEMETA, w.ms.as_str(), Bytes::from_static(b"building"));
+    tx.commit().unwrap();
+
+    // Concurrent DDL while "the build is running": creates, a drop, and a
+    // create under a brand-new schema. Readers must stay on the legacy
+    // walk (no readiness row yet) and see every change.
+    w.uc
+        .create_table(&ctx, &w.ms, TableSpec::managed("main.s.mid_build", int_schema()).unwrap())
+        .unwrap();
+    w.uc.create_schema(&ctx, &w.ms, "mainline", "fresh").unwrap();
+    w.uc
+        .create_table(&ctx, &w.ms, TableSpec::managed("mainline.fresh.t", int_schema()).unwrap())
+        .unwrap();
+    let dropped = w
+        .uc
+        .drop_securable(&ctx, &w.ms, &FullName::parse("main.s.t10").unwrap(), "relation")
+        .unwrap();
+    assert_eq!(dropped, 1);
+    assert!(!tree_ready(&w.db, &w.ms), "readers must not flip before the readiness row");
+    let mid_build = namespace_snapshot(&w.uc, &ctx, &w.ms);
+
+    // Backfill completes. Dual-written rows and backfilled rows must fuse
+    // into one exact index: the dropped table resurfaces nowhere, the
+    // mid-build creates are present exactly once.
+    w.uc.rebuild_tree_index(&w.ms).unwrap();
+    assert!(tree_ready(&w.db, &w.ms));
+    assert_tree_index_exact(&w.db, &w.ms);
+    assert_eq!(
+        namespace_snapshot(&w.uc, &ctx, &w.ms),
+        mid_build,
+        "flipping to the tree path must not change what the namespace looks like"
+    );
+    assert!(w.uc.get_table(&ctx, &w.ms, "main.s.t10").is_err(), "dropped mid-build stays dropped");
+    assert_eq!(w.uc.get_table(&ctx, &w.ms, "main.s.mid_build").unwrap().name, "mid_build");
+}
+
+// ---------------------------------------------------------------------
+// 3. Audit determinism across the migration boundary under faults
+// ---------------------------------------------------------------------
+
+/// Seed selection mirroring the chaos suite: `UC_CHAOS_SEED` overrides
+/// for replay, and the chosen seed is printed for reproduction.
+fn chaos_seed(default: u64) -> u64 {
+    let seed = std::env::var("UC_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default);
+    eprintln!("migration: UC_CHAOS_SEED={seed} (set this env var to replay the fault schedule)");
+    seed
+}
+
+/// Run one fixed DDL sequence on a legacy world under a seeded fault
+/// plan, optionally migrating halfway through, and return the canonical
+/// audit text with uids normalized to first-appearance indices (parallel
+/// tests share the process-global uid stream, so raw uids differ between
+/// runs; the normalized text is the determinism artifact).
+fn seeded_run(seed: u64, migrate: bool) -> String {
+    let plan = FaultPlan::seeded(seed);
+    // The first few commits hit spurious conflicts; bounded retry must
+    // absorb them without leaving a trace in the audit record content.
+    // FirstN keeps the schedule on the shared prefix of both variants, so
+    // the extra commits of the migration itself can't shift later draws.
+    plan.arm(points::TXDB_COMMIT_CONFLICT, FaultMode::FirstN(2));
+    let w = legacy_world(UcConfig { faults: plan, ..legacy_config() });
+    let ctx = Context::user(ADMIN);
+
+    w.uc.create_catalog(&ctx, &w.ms, "main").unwrap();
+    w.uc.create_schema(&ctx, &w.ms, "main", "s").unwrap();
+    for t in ["t1", "t10"] {
+        w.uc
+            .create_table(&ctx, &w.ms, TableSpec::managed(&format!("main.s.{t}"), int_schema()).unwrap())
+            .unwrap();
+    }
+    w.uc.get_table(&ctx, &w.ms, "main.s.t1").unwrap();
+
+    if migrate {
+        w.uc.rebuild_tree_index(&w.ms).unwrap();
+    }
+
+    // Post-boundary ops run on the tree path in the migrated variant and
+    // the legacy walk in the other — the audited outcomes must agree.
+    w.uc
+        .create_table(&ctx, &w.ms, TableSpec::managed("main.s.warehouse", int_schema()).unwrap())
+        .unwrap();
+    w.uc
+        .drop_securable(&ctx, &w.ms, &FullName::parse("main.s.t10").unwrap(), "relation")
+        .unwrap();
+    w.uc.get_table(&ctx, &w.ms, "main.s.warehouse").unwrap();
+    assert!(w.uc.get_table(&ctx, &w.ms, "main.s.t10").is_err());
+
+    normalize_uids(&w.uc.audit_log().canonical_text())
+}
+
+/// Replace each 32-hex uid token by its first-appearance index so audit
+/// texts from different worlds compare on structure, order, and content.
+fn normalize_uids(text: &str) -> String {
+    let mut map: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    let mut out = String::with_capacity(text.len());
+    let mut token = String::new();
+    let mut flush = |token: &mut String, out: &mut String| {
+        if token.len() == 32 && token.chars().all(|c| c.is_ascii_hexdigit()) {
+            let next = map.len();
+            let id = *map.entry(token.clone()).or_insert(next);
+            let _ = write!(out, "uid{id}");
+        } else {
+            out.push_str(token);
+        }
+        token.clear();
+    };
+    for ch in text.chars() {
+        if ch.is_ascii_alphanumeric() {
+            token.push(ch);
+        } else {
+            flush(&mut token, &mut out);
+            out.push(ch);
+        }
+    }
+    flush(&mut token, &mut out);
+    out
+}
+
+#[test]
+fn audit_replay_is_deterministic_across_the_migration_boundary() {
+    let seed = chaos_seed(0x9E37);
+    // Replaying the identical seeded sequence — including the mid-stream
+    // migration — renders the identical canonical audit text.
+    let a = seeded_run(seed, true);
+    let b = seeded_run(seed, true);
+    assert_eq!(a, b, "same seed, same sequence, same migration point ⇒ same audit bytes");
+
+    // The migration contributes exactly its own record and perturbs no
+    // other audited outcome: dropping its lines (and the sequence
+    // numbers, which its record consumes one of) reproduces the
+    // never-migrated run byte for byte.
+    let strip_seq = |text: &str| -> String {
+        text.lines()
+            .map(|l| {
+                let rest = l.split_once(' ').map_or(l, |(first, rest)| {
+                    if first.starts_with("seq=") { rest } else { l }
+                });
+                format!("{rest}\n")
+            })
+            .collect()
+    };
+    let unmigrated = seeded_run(seed, false);
+    let filtered: String = a
+        .lines()
+        .filter(|l| !l.contains("rebuildTreeIndex"))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    assert_eq!(
+        strip_seq(&filtered),
+        strip_seq(&unmigrated),
+        "audit must differ only by the migration's own records"
+    );
+    assert_eq!(
+        a.lines().count(),
+        unmigrated.lines().count() + 1,
+        "the migration audits exactly one record"
+    );
+}
