@@ -333,6 +333,7 @@ impl MsCache {
     /// search.
     pub fn get_at(&self, id: &Uid, version: u64) -> Option<Option<Arc<Entity>>> {
         let tick = self.next_tick();
+        // uc-lint: allow(hotpath) -- the hot cached read itself: a shard read lock; writers serialize behind the write gate, not here
         let shard = self.entity_shard(id).read();
         let entry = shard.get(id)?;
         entry.last_access.store(tick, Ordering::Relaxed);
@@ -346,6 +347,7 @@ impl MsCache {
 
     /// Look up by name-index key, valid at the cache's current version.
     pub fn id_by_name(&self, name_key: &str) -> Option<Uid> {
+        // uc-lint: allow(hotpath) -- hot name-index probe: shard read lock, same discipline as get_at
         self.name_shard(name_key).read().get(name_key).cloned()
     }
 

@@ -1473,6 +1473,15 @@ impl UnityCatalog {
             }
             Ok(purged)
         })?;
+        // GC is a destructive governance action: it lands in the audit
+        // trail like any other mutation (run as the node, not a tenant).
+        self.record_audit(
+            super::NO_TENANT,
+            "purgeSoftDeleted",
+            Some(ms),
+            AuditDecision::Allow,
+            format!("purged {purged} row(s), {objects_deleted} object(s)"),
+        );
         Ok((purged, objects_deleted))
     }
 }

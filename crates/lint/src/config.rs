@@ -2,6 +2,11 @@
 //! `key = "string"`, `key = true|false`, `key = 123`, and string arrays
 //! (single- or multi-line). Comments start with `#`. This deliberately
 //! avoids any external TOML dependency — uc-lint must stay zero-dep.
+//!
+//! Beyond values, the parser records *where* each string item and each
+//! key appeared (1-based line numbers) so the stale-config rule can
+//! point its diagnostics at the exact `Lint.toml` line that names a
+//! function or file that no longer exists.
 
 use std::collections::BTreeMap;
 
@@ -16,6 +21,11 @@ pub enum Value {
 #[derive(Debug, Default)]
 pub struct Config {
     sections: BTreeMap<String, BTreeMap<String, Value>>,
+    /// (section, key) -> line of the `key = ...` assignment.
+    key_lines: BTreeMap<(String, String), u32>,
+    /// (section, key) -> each string item with the line it appeared on
+    /// (list elements individually; scalar strings as one entry).
+    item_lines: BTreeMap<(String, String), Vec<(String, u32)>>,
 }
 
 /// Strip a trailing `#` comment that is outside any string literal.
@@ -71,12 +81,25 @@ fn parse_list(body: &str) -> Result<Value, String> {
     Ok(Value::List(out))
 }
 
+/// Extract every `"..."` literal from one physical (comment-stripped)
+/// line, pairing it with `line_no`.
+fn strings_on_line(text: &str, line_no: u32, out: &mut Vec<(String, u32)>) {
+    let mut rest = text;
+    while let Some(start) = rest.find('"') {
+        let after = &rest[start + 1..];
+        let Some(len) = after.find('"') else { break };
+        out.push((after[..len].to_string(), line_no));
+        rest = &after[len + 1..];
+    }
+}
+
 impl Config {
     pub fn parse(text: &str) -> Result<Config, String> {
         let mut cfg = Config::default();
         let mut section = String::new();
-        let mut lines = text.lines().peekable();
-        while let Some(raw) = lines.next() {
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((idx, raw)) = lines.next() {
+            let line_no = idx as u32 + 1;
             let line = strip_comment(raw).trim();
             if line.is_empty() {
                 continue;
@@ -93,23 +116,30 @@ impl Config {
                 return Err(format!("expected key = value: {raw}"));
             };
             let key = line[..eq].trim().to_string();
+            cfg.key_lines.insert((section.clone(), key.clone()), line_no);
             let mut value = line[eq + 1..].trim().to_string();
+            let mut items: Vec<(String, u32)> = Vec::new();
+            strings_on_line(&value, line_no, &mut items);
             if value.starts_with('[') {
                 // Array, possibly spanning lines: accumulate until the
                 // bracket closes (brackets never nest in our config).
                 while !value.contains(']') {
-                    let Some(next) = lines.next() else {
+                    let Some((nidx, next)) = lines.next() else {
                         return Err(format!("unterminated array for key {key}"));
                     };
+                    let next = strip_comment(next).trim();
+                    strings_on_line(next, nidx as u32 + 1, &mut items);
                     value.push(' ');
-                    value.push_str(strip_comment(next).trim());
+                    value.push_str(next);
                 }
                 let open = value.find('[').unwrap_or(0);
                 let close = value.rfind(']').unwrap_or(value.len() - 1);
                 let parsed = parse_list(&value[open + 1..close])?;
+                cfg.item_lines.insert((section.clone(), key.clone()), items);
                 cfg.sections.entry(section.clone()).or_default().insert(key, parsed);
             } else {
                 let parsed = parse_scalar(&value)?;
+                cfg.item_lines.insert((section.clone(), key.clone()), items);
                 cfg.sections.entry(section.clone()).or_default().insert(key, parsed);
             }
         }
@@ -129,6 +159,24 @@ impl Config {
             Some(Value::Str(s)) => Some(s.clone()),
             _ => None,
         }
+    }
+
+    /// Is the key present at all (whatever its value)?
+    pub fn has_key(&self, section: &str, key: &str) -> bool {
+        self.sections.get(section).map(|s| s.contains_key(key)).unwrap_or(false)
+    }
+
+    /// Line of the `key = ...` assignment, if the key exists.
+    pub fn key_line(&self, section: &str, key: &str) -> Option<u32> {
+        self.key_lines.get(&(section.to_string(), key.to_string())).copied()
+    }
+
+    /// Every string item of the key with the `Lint.toml` line it sits on.
+    pub fn items(&self, section: &str, key: &str) -> Vec<(String, u32)> {
+        self.item_lines
+            .get(&(section.to_string(), key.to_string()))
+            .cloned()
+            .unwrap_or_default()
     }
 }
 
@@ -156,5 +204,25 @@ mod tests {
     fn rejects_malformed_lines() {
         assert!(Config::parse("not a kv line\n").is_err());
         assert!(Config::parse("[locks]\norder = [\"a\"").is_err());
+    }
+
+    #[test]
+    fn tracks_item_and_key_lines() {
+        let cfg = Config::parse(
+            "[determinism]\n\
+             allow_files = [\n  \"a/b.rs\",\n  \"c/d.rs\", # note\n]\n\
+             [instrument]\n\
+             audit_file = \"x/y.rs\"\n",
+        )
+        .map_err(|e| panic!("{e}"))
+        .unwrap_or_default();
+        assert_eq!(
+            cfg.items("determinism", "allow_files"),
+            vec![("a/b.rs".to_string(), 3), ("c/d.rs".to_string(), 4)]
+        );
+        assert_eq!(cfg.items("instrument", "audit_file"), vec![("x/y.rs".to_string(), 7)]);
+        assert_eq!(cfg.key_line("determinism", "allow_files"), Some(2));
+        assert!(cfg.has_key("instrument", "audit_file"));
+        assert!(!cfg.has_key("locks", "yieldful_calls"));
     }
 }

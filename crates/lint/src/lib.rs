@@ -1,11 +1,23 @@
 #![forbid(unsafe_code)]
 //! uc-lint: workspace invariant linter for the Unity Catalog
 //! reproduction. Zero external dependencies: a lightweight Rust lexer +
-//! brace-matched item scanner feed four rule families (determinism, lock
-//! discipline, instrumentation coverage, hygiene) plus an `unsafe_code`
-//! gate. Output is byte-stable and sorted so CI can diff consecutive
-//! runs. See DESIGN.md §8 for the rule catalog and known limits.
+//! brace-matched item scanner feed an interprocedural call graph
+//! (`callgraph`) and the rule families (determinism, lock discipline,
+//! hot-path purity, instrumentation coverage, hygiene, stale config)
+//! plus an `unsafe_code` gate. Output is byte-stable and sorted so CI
+//! can diff consecutive runs. See DESIGN.md §8 for the rule catalog.
+//!
+//! The driver runs in phases: (1) load and scan every workspace file,
+//! (2) build the call graph and its fixpoint summaries (yield
+//! reachability, transitive lock acquisition, the hot-path closure,
+//! audit reachability), (3) run per-file rules with the summaries in
+//! hand, (4) global passes (lock census + order graph + cycle check,
+//! stale-config), (5) pragma suppression over the *whole* diagnostic
+//! set — which is also where pragmas that suppress nothing (and were
+//! not consumed as hot/cold boundary markers) become diagnostics
+//! themselves.
 
+pub mod callgraph;
 pub mod config;
 pub mod lexer;
 pub mod rules;
@@ -16,9 +28,10 @@ use std::fmt::Write as _;
 use std::fs;
 use std::path::{Path, PathBuf};
 
+use callgraph::{CallGraph, Unit};
 use config::Config;
-use rules::instrument::KnownOps;
-use rules::locks::{LockAcq, LockEdge};
+use rules::instrument::{KnownOps, Reach};
+use rules::locks::{Interproc, LockAcq, LockEdge};
 use rules::{Diagnostic, FileCtx, RULE_PRAGMA};
 
 #[derive(Debug, Default)]
@@ -29,6 +42,11 @@ pub struct LintReport {
     /// Lock-class census lines: "class  [first-site] (N sites)". Classes
     /// without nesting edges (pool, write gate) still appear here.
     pub lock_classes: Vec<String>,
+    /// Deduped, sorted call-graph lines: "caller -> callee  [line]"
+    /// (keys are `file::fn`; the line is the first call site).
+    pub call_graph: Vec<String>,
+    pub defs_count: usize,
+    pub call_edges_count: usize,
     pub files_scanned: usize,
     pub fns_scanned: usize,
 }
@@ -38,20 +56,33 @@ impl LintReport {
         self.diagnostics.is_empty()
     }
 
-    /// Render the byte-stable report. `with_graph` appends the inferred
-    /// lock-order graph artifact.
-    pub fn render(&self, with_graph: bool) -> String {
+    /// Render the byte-stable report. `with_lock_graph` appends the
+    /// inferred lock-order graph artifact; `with_call_graph` appends the
+    /// workspace call graph.
+    pub fn render(&self, with_lock_graph: bool, with_call_graph: bool) -> String {
         let mut out = String::new();
         for d in &self.diagnostics {
             let _ = writeln!(out, "{}:{}:{}:{}", d.file, d.line, d.rule, d.message);
         }
-        if with_graph {
+        if with_lock_graph {
             let _ = writeln!(out, "# lock classes ({})", self.lock_classes.len());
             for c in &self.lock_classes {
                 let _ = writeln!(out, "{c}");
             }
             let _ = writeln!(out, "# lock-order graph ({} edges)", self.lock_graph.len());
             for e in &self.lock_graph {
+                let _ = writeln!(out, "{e}");
+            }
+        }
+        if with_call_graph {
+            let _ = writeln!(
+                out,
+                "# call graph ({} defs, {} call sites, {} unique caller->callee pairs)",
+                self.defs_count,
+                self.call_edges_count,
+                self.call_graph.len()
+            );
+            for e in &self.call_graph {
                 let _ = writeln!(out, "{e}");
             }
         }
@@ -159,8 +190,9 @@ pub fn run(root: &Path) -> Result<LintReport, String> {
 
     // Known-ops table for the instrumentation rule, parsed from source so
     // uc-lint needs no dependency on the catalog crate.
-    let known: Option<KnownOps> = cfg
-        .str("instrument", "audit_file")
+    let audit_file = cfg.str("instrument", "audit_file");
+    let known: Option<KnownOps> = audit_file
+        .as_deref()
         .and_then(|p| fs::read_to_string(root.join(p)).ok())
         .and_then(|src| rules::instrument::parse_known_ops(&lexer::lex(&src).tokens));
 
@@ -177,15 +209,15 @@ pub fn run(root: &Path) -> Result<LintReport, String> {
     }
     crate_dirs.sort();
 
-    let mut report = LintReport::default();
-    let mut raw_edges: Vec<LockEdge> = Vec::new();
-    let mut raw_acqs: Vec<LockAcq> = Vec::new();
-
+    // ── Phase 1: load and scan every file ─────────────────────────────
+    let mut units: Vec<Unit> = Vec::new();
+    let mut crate_names: BTreeSet<String> = BTreeSet::new();
     for crate_dir in &crate_dirs {
         let crate_name = crate_dir
             .file_name()
             .map(|n| n.to_string_lossy().to_string())
             .unwrap_or_default();
+        crate_names.insert(crate_name.clone());
         let mut files = Vec::new();
         list_rs_files(&crate_dir.join("src"), &mut files)?;
         for path in files {
@@ -194,65 +226,115 @@ pub fn run(root: &Path) -> Result<LintReport, String> {
                 fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
             let lexed = lexer::lex(&src);
             let scanned = scan::scan(&lexed.tokens, &rel);
-            report.files_scanned += 1;
-            report.fns_scanned += scanned.fns.len();
-
-            let ctx = FileCtx {
-                rel_path: &rel,
-                crate_name: &crate_name,
-                tokens: &lexed.tokens,
-                scan: &scanned,
-                cfg: &cfg,
-            };
-
-            let mut file_diags: Vec<Diagnostic> = Vec::new();
-            rules::determinism::check(&ctx, &mut file_diags);
-            rules::hygiene::check(&ctx, &mut file_diags);
-            rules::locks::check(&ctx, &mut file_diags, &mut raw_edges, &mut raw_acqs);
-            rules::hotpath::check(&ctx, &mut file_diags);
-            rules::cardinality::check(&ctx, &mut file_diags);
-            rules::keyspace::check(&ctx, &mut file_diags);
-            rules::bounded_queue::check(&ctx, &mut file_diags);
-            rules::instrument::check(&ctx, known.as_ref(), &mut file_diags);
-            let is_crate_root = rel.ends_with("/src/lib.rs");
-            rules::check_unsafe(&ctx, is_crate_root, &mut file_diags);
-
-            // Pragma suppression: `// uc-lint: allow(rule) -- reason`
-            // covers its own line and the one below. Malformed pragmas
-            // and pragmas without a reason are themselves diagnostics.
-            let mut suppressed: BTreeMap<&str, BTreeSet<u32>> = BTreeMap::new();
-            for p in &lexed.pragmas {
-                if p.malformed {
-                    file_diags.push(ctx.diag(
-                        p.line,
-                        RULE_PRAGMA,
-                        "malformed uc-lint pragma (expected `// uc-lint: allow(rule, ...) -- reason`)"
-                            .to_string(),
-                    ));
-                    continue;
-                }
-                if !p.has_reason {
-                    file_diags.push(ctx.diag(
-                        p.line,
-                        RULE_PRAGMA,
-                        "uc-lint pragma requires a justification (`-- <reason>`)".to_string(),
-                    ));
-                    continue;
-                }
-                for rule in &p.rules {
-                    let lines = suppressed.entry(rule.as_str()).or_default();
-                    lines.insert(p.line);
-                    lines.insert(p.line + 1);
-                }
-            }
-            file_diags.retain(|d| {
-                d.rule == RULE_PRAGMA
-                    || !suppressed.get(d.rule).map(|l| l.contains(&d.line)).unwrap_or(false)
-            });
-            report.diagnostics.extend(file_diags);
+            units.push(Unit { rel, crate_name: crate_name.clone(), lexed, scan: scanned });
         }
     }
+    let file_set: BTreeSet<String> = units.iter().map(|u| u.rel.clone()).collect();
 
+    let mut report = LintReport {
+        files_scanned: units.len(),
+        fns_scanned: units.iter().map(|u| u.scan.fns.len()).sum(),
+        ..LintReport::default()
+    };
+
+    // ── Phase 2: call graph + fixpoint summaries ──────────────────────
+    let graph = CallGraph::build(&units);
+    let receivers = cfg.list("locks", "guard_receivers");
+
+    // Per-def direct acquisitions double as the lock-class census.
+    let mut raw_acqs: Vec<LockAcq> = Vec::new();
+    let mut direct: Vec<BTreeSet<String>> = vec![BTreeSet::new(); graph.defs.len()];
+    for (di, d) in graph.defs.iter().enumerate() {
+        let unit = &units[d.unit];
+        let toks = &unit.lexed.tokens;
+        for i in d.body.0 + 1..d.body.1 {
+            if let Some(class) = rules::locks::acq_class_at(toks, i, d.body.1, &receivers, &unit.crate_name) {
+                raw_acqs.push(LockAcq {
+                    class: class.clone(),
+                    file: d.file.clone(),
+                    line: toks[i].line,
+                });
+                direct[di].insert(class);
+            }
+        }
+    }
+    let (star, witness) = graph.acq_star(&direct);
+    let (yields, yhop) = graph.yields_star();
+
+    // Hot-path closure from the configured roots, pruned at pragma'd
+    // call sites (the hot/cold boundary).
+    let roots = cfg.list("hotpath", "functions");
+    let hot = callgraph::hotpath_closure(&graph, &units, &roots);
+    let mut hot_members: Vec<BTreeMap<usize, String>> = vec![BTreeMap::new(); units.len()];
+    for (&d, chain) in &hot.member {
+        let def = &graph.defs[d];
+        hot_members[def.unit].insert(def.fn_idx, chain.clone());
+    }
+
+    // Instrument reachability seeds: api_enter spans, audit records,
+    // Deny marks. Each `reaches` result includes the seed def itself.
+    let n = graph.defs.len();
+    let mut api_seed = vec![false; n];
+    let mut audit_seed = vec![false; n];
+    let mut deny_seed = vec![false; n];
+    for (i, d) in graph.defs.iter().enumerate() {
+        let toks = &units[d.unit].lexed.tokens;
+        if rules::instrument::direct_api_op(toks, d.body).is_some() {
+            api_seed[i] = true;
+        }
+        if d.name == "record_audit"
+            || (audit_file.as_deref() == Some(d.file.as_str()) && d.name == "record")
+        {
+            audit_seed[i] = true;
+        }
+        if (d.body.0..d.body.1).any(|k| rules::is_ident(&toks[k], "Deny")) {
+            deny_seed[i] = true;
+        }
+    }
+    let has_audit_target = audit_seed.iter().any(|&b| b);
+    let api_reach = graph.reaches(&api_seed);
+    let audit_reach = graph.reaches(&audit_seed);
+    let deny_reach = graph.reaches(&deny_seed);
+    let mut reach_by_unit: Vec<BTreeMap<usize, Reach>> = vec![BTreeMap::new(); units.len()];
+    for (i, d) in graph.defs.iter().enumerate() {
+        reach_by_unit[d.unit].insert(
+            d.fn_idx,
+            Reach { api: api_reach[i], audit: audit_reach[i], deny: deny_reach[i] },
+        );
+    }
+
+    // ── Phase 3: per-file rules ───────────────────────────────────────
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    let mut raw_edges: Vec<LockEdge> = Vec::new();
+    for (ui, unit) in units.iter().enumerate() {
+        let ctx = FileCtx {
+            rel_path: &unit.rel,
+            crate_name: &unit.crate_name,
+            tokens: &unit.lexed.tokens,
+            scan: &unit.scan,
+            cfg: &cfg,
+        };
+        rules::determinism::check(&ctx, &mut diags);
+        rules::hygiene::check(&ctx, &mut diags);
+        let inter = Interproc {
+            graph: &graph,
+            unit: ui,
+            yields: &yields,
+            yhop: &yhop,
+            star: &star,
+            witness: &witness,
+        };
+        rules::locks::check(&ctx, &inter, &mut diags, &mut raw_edges);
+        rules::hotpath::check(&ctx, &hot_members[ui], &mut diags);
+        rules::cardinality::check(&ctx, &hot_members[ui], &mut diags);
+        rules::keyspace::check(&ctx, &mut diags);
+        rules::bounded_queue::check(&ctx, &mut diags);
+        rules::instrument::check(&ctx, known.as_ref(), &reach_by_unit[ui], has_audit_target, &mut diags);
+        let is_crate_root = unit.rel.ends_with("/src/lib.rs");
+        rules::check_unsafe(&ctx, is_crate_root, &mut diags);
+    }
+
+    // ── Phase 4: global passes ────────────────────────────────────────
     // Lock-class census: one line per class with its first (sorted)
     // acquisition site and total site count, so edge-free classes like
     // `txdb.pool` and `catalog.gate` are still visible in the artifact.
@@ -270,8 +352,25 @@ pub fn run(root: &Path) -> Result<LintReport, String> {
             .push(format!("{class}  [{file}:{line}] ({count} site(s))"));
     }
 
+    // Stale-config: every Lint.toml entry must still resolve against the
+    // workspace it governs.
+    {
+        let fn_keys: BTreeSet<String> = graph.by_key.keys().cloned().collect();
+        let classes: BTreeSet<String> = by_class.keys().cloned().collect();
+        let world = rules::staleconfig::World {
+            files: &file_set,
+            crates: &crate_names,
+            fn_keys: &fn_keys,
+            classes: &classes,
+        };
+        rules::staleconfig::check(&cfg, &world, &mut diags);
+    }
+
     // Lock-order graph artifact: dedupe edges by (held, acquired), keep
-    // the first site in sorted order, and run a cycle check.
+    // the first site in sorted order, and run a cycle check. The edge
+    // set now includes interprocedural edges (guard held at a call site
+    // whose callee may acquire), so a deadlock cycle split across two
+    // functions closes here like a nested one.
     raw_edges.sort();
     let mut seen: BTreeSet<(String, String)> = BTreeSet::new();
     let mut adj: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
@@ -292,7 +391,7 @@ pub fn run(root: &Path) -> Result<LintReport, String> {
             .and_then(|a| cycle.get(1).map(|b| (a.clone(), b.clone())))
             .and_then(|k| first_site.get(&k).cloned())
             .unwrap_or_else(|| ("Lint.toml".to_string(), 1));
-        report.diagnostics.push(Diagnostic {
+        diags.push(Diagnostic {
             file: site.0,
             line: site.1,
             rule: rules::RULE_LOCKS,
@@ -300,7 +399,98 @@ pub fn run(root: &Path) -> Result<LintReport, String> {
         });
     }
 
-    report.diagnostics.sort();
+    // Call-graph artifact: unique caller -> callee pairs with the first
+    // call site line, sorted by key.
+    report.defs_count = graph.defs.len();
+    report.call_edges_count = graph.edges.len();
+    {
+        let mut pairs: BTreeMap<(String, String), u32> = BTreeMap::new();
+        for e in &graph.edges {
+            let key = (graph.defs[e.caller].key.clone(), graph.defs[e.callee].key.clone());
+            let entry = pairs.entry(key).or_insert(e.line);
+            if e.line < *entry {
+                *entry = e.line;
+            }
+        }
+        for ((caller, callee), line) in &pairs {
+            report.call_graph.push(format!("{caller} -> {callee}  [{line}]"));
+        }
+    }
+
+    // ── Phase 5: pragma suppression over the whole diagnostic set ─────
+    // `// uc-lint: allow(rule) -- reason` covers its own line and the one
+    // below. Malformed pragmas and pragmas without a reason are
+    // diagnostics; so are well-formed pragmas that suppress nothing and
+    // were not consumed as hot-path boundary markers.
+    struct ValidPragma {
+        file: String,
+        line: u32,
+        rules: Vec<String>,
+        used: bool,
+    }
+    let mut valid: Vec<ValidPragma> = Vec::new();
+    for unit in &units {
+        for p in &unit.lexed.pragmas {
+            if p.malformed {
+                diags.push(Diagnostic {
+                    file: unit.rel.clone(),
+                    line: p.line,
+                    rule: RULE_PRAGMA,
+                    message:
+                        "malformed uc-lint pragma (expected `// uc-lint: allow(rule, ...) -- reason`)"
+                            .to_string(),
+                });
+                continue;
+            }
+            if !p.has_reason {
+                diags.push(Diagnostic {
+                    file: unit.rel.clone(),
+                    line: p.line,
+                    rule: RULE_PRAGMA,
+                    message: "uc-lint pragma requires a justification (`-- <reason>`)".to_string(),
+                });
+                continue;
+            }
+            valid.push(ValidPragma {
+                file: unit.rel.clone(),
+                line: p.line,
+                rules: p.rules.clone(),
+                used: hot.used_pragmas.contains(&(unit.rel.clone(), p.line)),
+            });
+        }
+    }
+    diags.retain(|d| {
+        if d.rule == RULE_PRAGMA {
+            return true;
+        }
+        for p in valid.iter_mut() {
+            if p.file == d.file
+                && (p.line == d.line || p.line + 1 == d.line)
+                && p.rules.iter().any(|r| r == d.rule)
+            {
+                p.used = true;
+                return false;
+            }
+        }
+        true
+    });
+    for p in &valid {
+        if !p.used {
+            diags.push(Diagnostic {
+                file: p.file.clone(),
+                line: p.line,
+                rule: RULE_PRAGMA,
+                message: format!(
+                    "pragma allow({}) suppresses no diagnostic (stale — delete it, or it hides a check that no longer fires)",
+                    p.rules.join(", ")
+                ),
+            });
+        }
+    }
+
+    diags.sort();
+    diags.dedup();
+    report.diagnostics = diags;
     Ok(report)
 }
 

@@ -9,12 +9,15 @@
 //! those, any `.inc(..)` / `.add(..)` / `.record(..)` whose *label
 //! argument* contains a `format!` invocation is a diagnostic unless
 //! suppressed with a reasoned `// uc-lint: allow(cardinality)` pragma.
+//! The hot set is the same call-graph closure the hotpath rule uses —
+//! `[hotpath] functions` names roots, and a label built in a helper two
+//! calls below `api_enter` is just as hot as one built inline.
 //!
-//! Like the rest of uc-lint this is textual and function-local: it checks
-//! the label (first) argument only, so plain-value `record(elapsed)`
-//! calls on unlabeled histograms never match, and it cannot see labels
-//! built by callees — its job is to stop the easy regression and force a
-//! written justification for everything else.
+//! The label check itself stays textual: it walks the (first)
+//! label-position argument only, so plain-value `record(elapsed)` calls
+//! on unlabeled histograms never match.
+
+use std::collections::BTreeMap;
 
 use super::{is_ident, is_punct, Diagnostic, FileCtx, RULE_CARDINALITY};
 use crate::lexer::Kind;
@@ -22,15 +25,15 @@ use crate::lexer::Kind;
 /// Family methods whose first argument is the label.
 const LABELED_METHODS: &[&str] = &["inc", "add", "record"];
 
-pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
-    let listed = ctx.cfg.list("hotpath", "functions");
-    if listed.is_empty() {
+/// `members` maps this file's fn indices to their hot-path root chain,
+/// computed by the driver from the call-graph closure.
+pub fn check(ctx: &FileCtx<'_>, members: &BTreeMap<usize, String>, out: &mut Vec<Diagnostic>) {
+    if members.is_empty() {
         return;
     }
     let toks = ctx.tokens;
-    for f in &ctx.scan.fns {
-        let key = format!("{}::{}", ctx.rel_path, f.name);
-        if !listed.iter().any(|l| l == &key) {
+    for (fn_idx, f) in ctx.scan.fns.iter().enumerate() {
+        if !members.contains_key(&fn_idx) {
             continue;
         }
         let Some((open, close)) = f.body else { continue };

@@ -1,19 +1,20 @@
 //! Hot-path lock ban. The cached-read fast path — `api_enter` through the
 //! audit append — runs once per lookup, so one shared exclusive lock
 //! anywhere on it re-serializes the entire read side (the Fig 10 knee the
-//! audit-lane/counter-stripe sharding removed). `[hotpath] functions`
-//! in Lint.toml lists those functions as `<rel_path>::<fn_name>`; any
-//! guard-returning acquisition (`.read()` / `.write()` / `.lock()` /
-//! `.try_lock()` / `.write_gate()` / `.acquire()`) inside one is a
-//! diagnostic unless suppressed with a reasoned
-//! `// uc-lint: allow(hotpath)` pragma (per-thread lanes and miss-path
-//! gates are legitimate and documented at their sites).
+//! audit-lane/counter-stripe sharding removed). `[hotpath] functions` in
+//! Lint.toml names only the *roots* (`<rel_path>::<fn_name>`); the driver
+//! closes them over the workspace call graph, so a lock buried N calls
+//! below `api_enter` is flagged exactly like one in `api_enter` itself.
 //!
-//! This is a textual, function-local check like the rest of uc-lint: it
-//! cannot see locks taken by callees. Its job is to stop the *easy*
-//! regression — someone adding a map or log behind a mutex directly in a
-//! hot function — and to force a written justification for everything
-//! else.
+//! Any guard-returning acquisition (`.read()` / `.write()` / `.lock()` /
+//! `.try_lock()` / `.write_gate()` / `.acquire()`) inside a closure
+//! member is a diagnostic unless suppressed with a reasoned
+//! `// uc-lint: allow(hotpath)` pragma. A pragma on a *call site* inside
+//! a member marks the hot/cold boundary instead: the callee subtree is
+//! pruned from the closure (miss paths are cold by construction), and
+//! the pragma counts as used.
+
+use std::collections::BTreeMap;
 
 use super::{is_punct, Diagnostic, FileCtx, RULE_HOTPATH};
 use crate::lexer::Kind;
@@ -21,21 +22,21 @@ use crate::lexer::Kind;
 /// Method names whose call returns (or stands for) a lock guard.
 const ACQ_METHODS: &[&str] = &["read", "write", "lock", "try_lock", "write_gate", "acquire"];
 
-pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
-    let listed = ctx.cfg.list("hotpath", "functions");
-    if listed.is_empty() {
+/// `members` maps this file's fn indices to their root-chain witness
+/// (e.g. `api_enter -> api_enter_inner -> tenant_label`), computed by
+/// the driver from the hot-path closure.
+pub fn check(ctx: &FileCtx<'_>, members: &BTreeMap<usize, String>, out: &mut Vec<Diagnostic>) {
+    if members.is_empty() {
         return;
     }
     let toks = ctx.tokens;
-    for f in &ctx.scan.fns {
-        let key = format!("{}::{}", ctx.rel_path, f.name);
-        if !listed.iter().any(|l| l == &key) {
-            continue;
-        }
+    for (fn_idx, f) in ctx.scan.fns.iter().enumerate() {
+        let Some(chain) = members.get(&fn_idx) else { continue };
         let Some((open, close)) = f.body else { continue };
         if ctx.scan.test_mask[open] {
             continue;
         }
+        let via = if chain == &f.name { String::new() } else { format!("; on hot path via {chain}") };
         let mut i = open + 1;
         while i < close {
             let t = &toks[i];
@@ -49,8 +50,8 @@ pub fn check(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
                     t.line,
                     RULE_HOTPATH,
                     format!(
-                        "`.{}()` acquisition inside hot-path function `{}` (api_enter→audit must take no shared exclusive lock; suppress with a reasoned allow(hotpath) pragma if provably uncontended)",
-                        t.text, f.name
+                        "`.{}()` acquisition inside hot-path function `{}` (api_enter→audit must take no shared exclusive lock{}; suppress with a reasoned allow(hotpath) pragma if provably uncontended)",
+                        t.text, f.name, via
                     ),
                 ));
             }

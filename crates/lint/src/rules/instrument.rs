@@ -1,19 +1,38 @@
-//! Instrumentation-coverage rule. Every public entry point on the
-//! catalog service must open a span via `api_enter("op")` (directly, or
-//! by delegating to a same-file function that does), the op string must
-//! exist in the audit module's `KNOWN_OPS` table, audit action literals
-//! must belong to that op's allowed set, and any function that denies
-//! with `PermissionDenied` must also record an `AuditDecision::Deny`.
+//! Instrumentation-coverage rule, now a set of reachability checks over
+//! the workspace call graph. Every public entry point on the catalog
+//! service must *reach* an `api_enter("op")` span open (directly or
+//! through any chain of resolvable callees — delegation across files and
+//! crates counts), must reach an audit record (`record_audit`, or the
+//! audit module's `record`) whenever its op declares audit actions — an
+//! empty action set in `KNOWN_OPS` marks a deliberately unaudited
+//! read/list op, so the audit policy lives in one table — the op string
+//! must exist in the audit module's `KNOWN_OPS` table, audit action
+//! literals must belong to that op's allowed set, and any function that
+//! denies with `PermissionDenied` must reach an `AuditDecision::Deny`
+//! (its own body or a callee's — the deny audit may live in a helper).
 //!
 //! Known false negatives (DESIGN.md §8): actions passed as variables are
 //! not checked (`vend_for_entity`-style helpers), the Deny check is
 //! function-granular (one audited deny path satisfies it for the whole
-//! function), and cross-file delegation needs a pragma.
+//! function), and a call the graph cannot resolve contributes no
+//! reachability facts.
 
 use std::collections::{BTreeMap, BTreeSet};
 
 use super::{is_ident, is_punct, Diagnostic, FileCtx, RULE_INSTRUMENT};
 use crate::lexer::{Kind, Token};
+
+/// Per-function reachability facts, computed by the driver over the
+/// call graph (each flag includes the function's own body).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Reach {
+    /// Reaches a def whose body opens an `api_enter` span.
+    pub api: bool,
+    /// Reaches `record_audit` / the audit module's `record`.
+    pub audit: bool,
+    /// Reaches a body containing an `AuditDecision::Deny` mark.
+    pub deny: bool,
+}
 
 /// op → allowed audit actions, parsed out of the audit module source.
 pub type KnownOps = BTreeMap<String, Vec<String>>;
@@ -73,7 +92,7 @@ const API_ENTER_FNS: &[&str] = &["api_enter", "api_enter_t", "api_enter_p"];
 
 /// Find the op string of a direct `api_enter("...")` (or `api_enter_t` /
 /// `api_enter_p`) call in a token range, if any.
-fn direct_api_op(toks: &[Token], range: (usize, usize)) -> Option<(String, u32)> {
+pub fn direct_api_op(toks: &[Token], range: (usize, usize)) -> Option<(String, u32)> {
     let (open, close) = range;
     for i in open..close {
         if API_ENTER_FNS.iter().any(|f| is_ident(&toks[i], f))
@@ -122,7 +141,17 @@ fn call_args(toks: &[Token], open: usize) -> (Vec<Vec<usize>>, usize) {
     (args, i)
 }
 
-pub fn check(ctx: &FileCtx<'_>, known: Option<&KnownOps>, out: &mut Vec<Diagnostic>) {
+/// `reach` maps this file's fn indices to their reachability facts;
+/// `has_audit_target` is false when the workspace defines no audit
+/// record function at all (fixture corpora), which disables the
+/// audit-reachability check rather than flagging every entry.
+pub fn check(
+    ctx: &FileCtx<'_>,
+    known: Option<&KnownOps>,
+    reach: &BTreeMap<usize, Reach>,
+    has_audit_target: bool,
+    out: &mut Vec<Diagnostic>,
+) {
     let entry_files = ctx.cfg.list("instrument", "entry_files");
     if !entry_files.iter().any(|f| f == ctx.rel_path) {
         return;
@@ -140,39 +169,38 @@ pub fn check(ctx: &FileCtx<'_>, known: Option<&KnownOps>, out: &mut Vec<Diagnost
         known.values().flat_map(|v| v.iter().map(|s| s.as_str())).collect();
     let toks = ctx.tokens;
 
-    // Same-file functions that instrument directly — delegation targets.
-    let mut instrumented: BTreeSet<&str> = BTreeSet::new();
-    for f in &ctx.scan.fns {
-        if let Some(body) = f.body {
-            if direct_api_op(toks, body).is_some() {
-                instrumented.insert(f.name.as_str());
-            }
-        }
-    }
-
-    for f in &ctx.scan.fns {
+    for (fn_idx, f) in ctx.scan.fns.iter().enumerate() {
         let Some((open, close)) = f.body else { continue };
         if ctx.scan.test_mask[open] {
             continue;
         }
         let direct = direct_api_op(toks, (open, close));
         let is_entry = f.is_pub && f.impl_type.as_deref() == Some(impl_type.as_str());
+        let r = reach.get(&fn_idx).copied().unwrap_or_default();
 
-        if is_entry && direct.is_none() {
-            let delegates = (open..close).any(|i| {
-                toks[i].kind == Kind::Ident
-                    && i + 1 < close
-                    && is_punct(&toks[i + 1], "(")
-                    && toks[i].text != f.name
-                    && instrumented.contains(toks[i].text.as_str())
-            });
-            if !delegates {
-                out.push(ctx.diag(
-                    f.line,
-                    RULE_INSTRUMENT,
-                    format!("pub entry point `{}` does not call api_enter (directly or via a same-file delegate)", f.name),
-                ));
-            }
+        if is_entry && direct.is_none() && !r.api {
+            out.push(ctx.diag(
+                f.line,
+                RULE_INSTRUMENT,
+                format!("pub entry point `{}` does not reach api_enter (directly or through any resolvable callee)", f.name),
+            ));
+        }
+        // Audit reachability: an entry whose op declares audit actions in
+        // KNOWN_OPS must be able to land an audit record before returning
+        // — on the success path and on denies. An empty action set is the
+        // policy table's way of declaring an unaudited read/list op, so
+        // those entries are exempt (the exemption lives in KNOWN_OPS, not
+        // in per-site pragmas).
+        let declares_audit = match &direct {
+            Some((op, _)) => known.get(op).is_none_or(|a| !a.is_empty()),
+            None => false, // no op span: the api_enter diagnostic above covers it
+        };
+        if is_entry && has_audit_target && declares_audit && !r.audit {
+            out.push(ctx.diag(
+                f.line,
+                RULE_INSTRUMENT,
+                format!("pub entry point `{}` declares audit actions but never reaches an audit record (record_audit) on any return path", f.name),
+            ));
         }
         if let Some((op, op_line)) = &direct {
             if !known.contains_key(op) {
@@ -236,14 +264,14 @@ pub fn check(ctx: &FileCtx<'_>, known: Option<&KnownOps>, out: &mut Vec<Diagnost
             }
         }
 
-        // Deny paths must audit: PermissionDenied without any Deny token.
+        // Deny paths must audit: PermissionDenied without a reachable
+        // Deny mark (own body or any resolvable callee's).
         let has_denied = (open..close).any(|i| is_ident(&toks[i], "PermissionDenied"));
-        let has_deny_audit = (open..close).any(|i| is_ident(&toks[i], "Deny"));
-        if has_denied && !has_deny_audit {
+        if has_denied && !r.deny {
             out.push(ctx.diag(
                 f.line,
                 RULE_INSTRUMENT,
-                format!("`{}` constructs PermissionDenied without auditing a Deny decision", f.name),
+                format!("`{}` constructs PermissionDenied without reaching a Deny audit decision", f.name),
             ));
         }
     }

@@ -6,25 +6,35 @@
 //!   * guards live across a zero-arg `.commit()` — the txdb commit path
 //!     takes `commit_lock` + `tables` internally, so arriving with a lock
 //!     held nests foreign guards under catalog/service locks;
-//!   * guards live across calls named in `[locks] yieldful_calls` —
-//!     catalog read APIs that hit sched yield points internally;
+//!   * guards live across any call that *reaches* a sched yield point
+//!     through the workspace call graph — the yieldful-call set is
+//!     inferred (`CallGraph::yields_star`), not hand-curated, so a new
+//!     yieldful API is covered the moment it exists;
 //!   * acquisitions that invert the pinned `[locks] order` list, and
-//!     same-class nesting (self-deadlock with non-reentrant locks).
+//!     same-class nesting (self-deadlock with non-reentrant locks) —
+//!     including acquisitions performed by a *callee* (`acq_star`: the
+//!     transitive may-acquire set propagates through call sites);
 //!
-//! Every (held → acquired) pair is also recorded as a lock-order graph
-//! edge; the driver dedupes, sorts, and emits the graph as an artifact
-//! and runs a cycle check over it.
+//! Every (held → acquired) pair — direct or via a callee — is recorded
+//! as a lock-order graph edge; the driver dedupes, sorts, and emits the
+//! graph as an artifact and runs a cycle check over it, so a deadlock
+//! cycle split across two functions is caught exactly like a nested one.
 //!
-//! Known false negatives (documented in DESIGN.md §8): guard liveness is
-//! function-local (a guard passed to or acquired by a callee is
-//! invisible), and a temporary guard is considered dead once any block
-//! that opened after the acquisition closes.
+//! Remaining false negatives (documented in DESIGN.md §8): guard
+//! liveness is function-local (a guard *returned* to a caller is
+//! invisible), a temporary guard is considered dead once any block that
+//! opened after the acquisition closes, and a call site the graph cannot
+//! resolve (dynamic dispatch, closures passed as values) contributes no
+//! interprocedural facts.
+
+use std::collections::{BTreeMap, BTreeSet};
 
 use super::{is_ident, is_punct, Diagnostic, FileCtx, RULE_LOCKS};
-use crate::lexer::Kind;
+use crate::callgraph::CallGraph;
+use crate::lexer::{Kind, Token};
 
 /// One inferred acquisition-order edge: `held` was live when `acquired`
-/// was taken.
+/// was taken (directly, or inside a resolved callee).
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct LockEdge {
     pub held: String,
@@ -44,6 +54,22 @@ pub struct LockAcq {
     pub line: u32,
 }
 
+/// Interprocedural context handed to the guard walk by the driver:
+/// the call graph plus the fixpoint summaries computed over it.
+pub struct Interproc<'a> {
+    pub graph: &'a CallGraph,
+    /// Index of this file's unit in the graph's unit table.
+    pub unit: usize,
+    /// def -> can reach a sched yield point.
+    pub yields: &'a [bool],
+    /// def -> witness next-hop edge for the yield chain.
+    pub yhop: &'a [Option<usize>],
+    /// def -> transitive may-acquire lock classes.
+    pub star: &'a [BTreeSet<String>],
+    /// (def, class) -> witness edge for the acquisition chain.
+    pub witness: &'a BTreeMap<(usize, String), usize>,
+}
+
 #[derive(Debug)]
 struct Guard {
     class: String,
@@ -58,22 +84,59 @@ fn rank_of(order: &[String], class: &str) -> Option<usize> {
     order.iter().position(|c| c == class)
 }
 
+/// Classify the token at `i` as a lock acquisition site, returning its
+/// lock class. Shared by the guard walk here and the per-def census that
+/// seeds `acq_star` in the driver: `.read()` / `.write()` / `.lock()` /
+/// `.try_lock()` on a configured receiver ident, `.write_gate()`, or
+/// `.acquire()` on a pool.
+pub fn acq_class_at(
+    toks: &[Token],
+    i: usize,
+    close: usize,
+    receivers: &[String],
+    crate_name: &str,
+) -> Option<String> {
+    let t = &toks[i];
+    if t.kind != Kind::Ident
+        || i == 0
+        || !is_punct(&toks[i - 1], ".")
+        || i + 2 >= close
+        || !is_punct(&toks[i + 1], "(")
+        || !is_punct(&toks[i + 2], ")")
+    {
+        return None;
+    }
+    if t.text == "write_gate" {
+        Some(format!("{crate_name}.gate"))
+    } else if t.text == "acquire" && i >= 2 && is_ident(&toks[i - 2], "pool") {
+        Some(format!("{crate_name}.pool"))
+    } else if GUARD_METHODS.contains(&t.text.as_str())
+        && i >= 2
+        && toks[i - 2].kind == Kind::Ident
+        && receivers.iter().any(|r| r == &toks[i - 2].text)
+    {
+        Some(format!("{}.{}", crate_name, toks[i - 2].text))
+    } else {
+        None
+    }
+}
+
 pub fn check(
     ctx: &FileCtx<'_>,
+    inter: &Interproc<'_>,
     out: &mut Vec<Diagnostic>,
     edges: &mut Vec<LockEdge>,
-    acqs: &mut Vec<LockAcq>,
 ) {
     let receivers = ctx.cfg.list("locks", "guard_receivers");
     let order = ctx.cfg.list("locks", "order");
-    let yieldful = ctx.cfg.list("locks", "yieldful_calls");
     let toks = ctx.tokens;
 
-    for f in &ctx.scan.fns {
+    for (fn_idx, f) in ctx.scan.fns.iter().enumerate() {
         let Some((open, close)) = f.body else { continue };
         if ctx.scan.test_mask[open] {
             continue;
         }
+        let def_id = inter.graph.def_of_fn.get(&(inter.unit, fn_idx)).copied();
         let mut guards: Vec<Guard> = Vec::new();
         let mut depth: i64 = 1;
         let mut pending_let: Option<(String, i64)> = None;
@@ -129,11 +192,20 @@ pub fn check(
                 i += 3;
                 continue;
             }
-            // Yield-point / commit / yieldful-call hazards while any
-            // guard is live.
-            if !guards.is_empty() && t.kind == Kind::Ident && i + 1 < close {
-                let callish = is_punct(&toks[i + 1], "(");
-                if callish && t.text == "yield_point" {
+            // Hazards at a call-looking token while any guard is live.
+            // The two *textual* special cases (a literal `yield_point(`,
+            // a zero-arg `.commit()`) stay — the first is the yield seed
+            // itself, the second covers the txdb commit internals that
+            // the graph cannot always resolve. Everything else is the
+            // graph's job.
+            if t.kind == Kind::Ident && i + 1 < close && is_punct(&toks[i + 1], "(") {
+                let callish_commit = t.text == "commit"
+                    && i > 0
+                    && is_punct(&toks[i - 1], ".")
+                    && i + 2 < close
+                    && is_punct(&toks[i + 2], ")");
+                let textual = t.text == "yield_point" || callish_commit;
+                if !guards.is_empty() && t.text == "yield_point" {
                     for g in &guards {
                         out.push(ctx.diag(
                             t.line,
@@ -141,13 +213,7 @@ pub fn check(
                             format!("guard `{}` (line {}) held across sched yield point", g.class, g.line),
                         ));
                     }
-                } else if callish
-                    && t.text == "commit"
-                    && i > 0
-                    && is_punct(&toks[i - 1], ".")
-                    && i + 2 < close
-                    && is_punct(&toks[i + 2], ")")
-                {
+                } else if !guards.is_empty() && callish_commit {
                     for g in &guards {
                         out.push(ctx.diag(
                             t.line,
@@ -155,54 +221,77 @@ pub fn check(
                             format!("guard `{}` (line {}) held across txdb commit", g.class, g.line),
                         ));
                     }
-                } else if callish && yieldful.iter().any(|y| y == &t.text) {
-                    for g in &guards {
-                        out.push(ctx.diag(
-                            t.line,
-                            RULE_LOCKS,
-                            format!(
-                                "guard `{}` (line {}) held across yielding call `{}()`",
-                                g.class, g.line, t.text
-                            ),
-                        ));
+                }
+                // Interprocedural: consult the graph for what the callee
+                // can do. Resolution is per (line, name), so shadowed or
+                // unresolvable calls contribute nothing (conservative).
+                if let Some(def_id) = def_id {
+                    let callees = inter.graph.callees_at(def_id, t.line, &t.text);
+                    for callee in callees {
+                        // Yieldful-call inference (replaces the old
+                        // `[locks] yieldful_calls` list).
+                        if !textual && !guards.is_empty() && inter.yields[callee] {
+                            let chain = inter.graph.yield_chain(callee, inter.yhop);
+                            for g in &guards {
+                                out.push(ctx.diag(
+                                    t.line,
+                                    RULE_LOCKS,
+                                    format!(
+                                        "guard `{}` (line {}) held across yielding call `{}()` ({chain})",
+                                        g.class, g.line, t.text
+                                    ),
+                                ));
+                            }
+                        }
+                        // Transitive acquisitions: classes the callee may
+                        // take become edges (and order/nesting checks)
+                        // against every live guard.
+                        for class in inter.star[callee].iter() {
+                            for g in &guards {
+                                if &g.class == class {
+                                    let chain =
+                                        inter.graph.acq_chain(callee, class, inter.witness);
+                                    out.push(ctx.diag(
+                                        t.line,
+                                        RULE_LOCKS,
+                                        format!(
+                                            "call `{}()` may re-acquire `{}` while a `{}` guard is held (line {}; via {chain})",
+                                            t.text, class, g.class, g.line
+                                        ),
+                                    ));
+                                    continue;
+                                }
+                                edges.push(LockEdge {
+                                    held: g.class.clone(),
+                                    acquired: class.clone(),
+                                    file: ctx.rel_path.to_string(),
+                                    line: t.line,
+                                });
+                                if let (Some(rh), Some(ra)) =
+                                    (rank_of(&order, &g.class), rank_of(&order, class))
+                                {
+                                    if rh > ra {
+                                        let chain = inter
+                                            .graph
+                                            .acq_chain(callee, class, inter.witness);
+                                        out.push(ctx.diag(
+                                            t.line,
+                                            RULE_LOCKS,
+                                            format!(
+                                                "lock order inversion: call `{}()` may acquire `{}` while holding `{}` (pinned order puts `{}` first; via {chain})",
+                                                t.text, class, g.class, class
+                                            ),
+                                        ));
+                                    }
+                                }
+                            }
+                        }
                     }
                 }
             }
-            // Acquisition site: `.read()` / `.write()` / `.lock()` /
-            // `.try_lock()` on a configured receiver, `.write_gate()`,
-            // or `.acquire()` on a pool.
-            let acq_class = if t.kind == Kind::Ident
-                && i > 0
-                && is_punct(&toks[i - 1], ".")
-                && i + 2 < close
-                && is_punct(&toks[i + 1], "(")
-                && is_punct(&toks[i + 2], ")")
-            {
-                if t.text == "write_gate" {
-                    Some(format!("{}.gate", ctx.crate_name))
-                } else if t.text == "acquire"
-                    && i >= 2
-                    && is_ident(&toks[i - 2], "pool")
-                {
-                    Some(format!("{}.pool", ctx.crate_name))
-                } else if GUARD_METHODS.contains(&t.text.as_str())
-                    && i >= 2
-                    && toks[i - 2].kind == Kind::Ident
-                    && receivers.iter().any(|r| r == &toks[i - 2].text)
-                {
-                    Some(format!("{}.{}", ctx.crate_name, toks[i - 2].text))
-                } else {
-                    None
-                }
-            } else {
-                None
-            };
+            // Direct acquisition site in this body.
+            let acq_class = acq_class_at(toks, i, close, &receivers, ctx.crate_name);
             if let Some(class) = acq_class {
-                acqs.push(LockAcq {
-                    class: class.clone(),
-                    file: ctx.rel_path.to_string(),
-                    line: t.line,
-                });
                 for g in &guards {
                     if g.class == class {
                         out.push(ctx.diag(

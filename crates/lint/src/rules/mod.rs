@@ -12,6 +12,7 @@ pub mod hygiene;
 pub mod instrument;
 pub mod keyspace;
 pub mod locks;
+pub mod staleconfig;
 
 use crate::config::Config;
 use crate::lexer::{Kind, Token};
@@ -35,6 +36,7 @@ pub const RULE_INSTRUMENT: &str = "instrument";
 pub const RULE_KEYSPACE: &str = "keyspace";
 pub const RULE_UNSAFE: &str = "unsafe";
 pub const RULE_PRAGMA: &str = "pragma";
+pub const RULE_STALE_CONFIG: &str = "stale-config";
 
 /// Everything a rule needs to look at one file.
 pub struct FileCtx<'a> {

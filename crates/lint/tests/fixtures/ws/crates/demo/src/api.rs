@@ -26,7 +26,7 @@ impl Service {
     }
 
     pub fn ghost(&self) {
-        let _api = self.api_enter("ghost_op"); // line 29: op not in KNOWN_OPS
+        let _api = self.api_enter("ghost_op"); // op not in KNOWN_OPS (and, being unknown, must audit — nothing here does)
     }
 
     pub fn create_table(&self, name: &str) -> Result<Table, Error> {
@@ -37,14 +37,25 @@ impl Service {
     }
 
     pub fn deny_without_audit(&self, name: &str) -> Result<Table, Error> {
-        let _api = self.api_enter("get_table"); // fn at line 39: PermissionDenied below, no Deny audit
+        let _api = self.api_enter("get_table"); // PermissionDenied below, no Deny audit
         if name.is_empty() {
             return Err(Error::PermissionDenied("no".into()));
         }
         self.fetch(name)
     }
 
-    fn fetch(&self, _name: &str) -> Result<Table, Error> {
+    pub fn silent_create(&self) -> Result<Table, Error> {
+        let _api = self.api_enter("create_table"); // op declares audit actions but nothing below records one
+        Ok(Table)
+    }
+
+    fn fetch(&self, name: &str) -> Result<Table, Error> {
+        self.record_audit("alice", "getTable", name); // entries that delegate here reach the audit sink
         Err(Error::NotFound)
+    }
+
+    fn record_audit(&self, _principal: &str, _action: &str, _detail: &str) {
+        // The fixture's audit sink: reachability to this def satisfies
+        // the instrument rule's audit-record check.
     }
 }

@@ -50,9 +50,49 @@ pub fn pooled(pool: &Pool, ms: &Gate) {
     drop(gate);
 }
 
+pub fn held_across_deep_yield(s: &S, uc: &Uc) {
+    let guard = s.state.read();
+    uc_depot::mid_hop(uc); // guard held across a cross-crate call that yields two hops down
+    drop(guard);
+}
+
+pub fn outer_state(a: &S, b: &S) {
+    let g = a.state.read();
+    lock_tables(b); // callee acquires demo.tables while demo.state is held: inversion through the call
+    drop(g);
+}
+
+fn lock_tables(b: &S) {
+    let g = b.tables.read();
+    drop(g);
+}
+
+pub fn tidy(_s: &S) {
+    // uc-lint: allow(locks) -- fixture: nothing below acquires or yields anymore
+    let _n = 0;
+}
+
 pub fn hot_read(a: &S) {
     let guard = a.state.read(); // hotpath: listed function takes a lock without a pragma
     drop(guard);
+}
+
+pub fn hot_entry(a: &S, f: &Fam, id: u32) {
+    hot_helper(a, f, id); // the lock and the label live one call below this root
+    uc_depot::depot_probe(a); // cross-crate: depot.state joins the closure too
+    // uc-lint: allow(hotpath) -- hot/cold boundary: the refill is the miss path, pruned from the closure
+    cold_refill(a);
+}
+
+fn hot_helper(a: &S, f: &Fam, id: u32) {
+    let g = a.state.read(); // hotpath: reached from hot_entry, not listed itself
+    drop(g);
+    f.inc(&format!("t={id}")); // cardinality: inline label one call below the root
+}
+
+fn cold_refill(a: &S) {
+    let g = a.state.write(); // pruned by the boundary pragma at the call site: no diagnostic
+    drop(g);
 }
 
 pub fn hot_labeled(m: &Fam, id: u32) {

@@ -13,20 +13,20 @@ fn fixture_root() -> PathBuf {
 fn fixture_corpus_matches_golden_output() {
     let report = uc_lint::run(&fixture_root()).expect("fixture lint runs");
     assert!(!report.is_clean(), "fixture corpus must produce diagnostics");
-    let rendered = report.render(true);
+    let rendered = report.render(true, true);
     let golden = include_str!("fixtures/expected.txt");
     assert_eq!(
         rendered, golden,
         "fixture output drifted from the golden file; if the change is \
          intentional, regenerate with \
-         `cargo run -p uc-lint -- --root crates/lint/tests/fixtures/ws --lock-graph`"
+         `cargo run -p uc-lint -- --root crates/lint/tests/fixtures/ws --lock-graph --call-graph`"
     );
 }
 
 #[test]
 fn fixture_output_is_byte_stable_across_runs() {
-    let a = uc_lint::run(&fixture_root()).expect("first run").render(true);
-    let b = uc_lint::run(&fixture_root()).expect("second run").render(true);
+    let a = uc_lint::run(&fixture_root()).expect("first run").render(true, true);
+    let b = uc_lint::run(&fixture_root()).expect("second run").render(true, true);
     assert_eq!(a, b, "two consecutive runs must render identically");
 }
 
@@ -44,6 +44,7 @@ fn fixture_exercises_every_rule_family() {
         "instrument",
         "unsafe",
         "pragma",
+        "stale-config",
     ] {
         assert!(
             report.diagnostics.iter().any(|d| d.rule == rule),
@@ -59,7 +60,7 @@ fn real_workspace_is_clean() {
     assert!(
         report.is_clean(),
         "uc-lint found diagnostics on HEAD:\n{}",
-        report.render(false)
+        report.render(false, false)
     );
     // The lock artifact must name the connection pool and the
     // per-metastore write gate even though neither nests.
